@@ -1,0 +1,25 @@
+//! Cost of deriving the Figure 3/4 bounds matrix from the foundational
+//! facts (experiments E1/E2), and of comparing against the published tables.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use routelab_core::closure::derive_bounds;
+use routelab_core::edges::foundational_facts;
+use routelab_core::paper::{compare, figure3, figure4};
+
+fn bench_closure(c: &mut Criterion) {
+    c.bench_function("closure/foundational_facts", |b| b.iter(foundational_facts));
+    let facts = foundational_facts();
+    c.bench_function("closure/derive_bounds", |b| b.iter(|| derive_bounds(&facts)));
+    let bounds = derive_bounds(&facts);
+    c.bench_function("closure/compare_fig3", |b| {
+        let table = figure3();
+        b.iter(|| compare(&bounds, &table).cells.len())
+    });
+    c.bench_function("closure/compare_fig4", |b| {
+        let table = figure4();
+        b.iter(|| compare(&bounds, &table).cells.len())
+    });
+}
+
+criterion_group!(benches, bench_closure);
+criterion_main!(benches);

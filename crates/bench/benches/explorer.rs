@@ -1,0 +1,51 @@
+//! Exhaustive exploration cost (experiments E3/E4/E9): state-graph
+//! construction, SCC analysis, and trace search on the paper gadgets.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use routelab_engine::runner::Runner;
+use routelab_explore::graph::ExploreConfig;
+use routelab_explore::oscillation::analyze;
+use routelab_explore::trace_search::{search, SearchGoal};
+use routelab_spp::gadgets;
+
+fn bench_oscillation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("explorer/oscillation");
+    group.sample_size(10);
+    let cfg = ExploreConfig::default();
+    for (name, inst, model) in [
+        ("disagree-R1O", gadgets::disagree(), "R1O"),
+        ("disagree-RMA", gadgets::disagree(), "RMA"),
+        ("fig6-REA", gadgets::fig6(), "REA"),
+        ("bad-gadget-REA", gadgets::bad_gadget(), "REA"),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &inst, |b, inst| {
+            b.iter(|| analyze(inst, model.parse().unwrap(), &cfg))
+        });
+    }
+    group.finish();
+}
+
+fn bench_trace_search(c: &mut Criterion) {
+    let mut group = c.benchmark_group("explorer/trace_search");
+    group.sample_size(10);
+    let cfg =
+        ExploreConfig { channel_cap: 6, max_states: 2_000_000, max_steps_per_state: 50_000 };
+    let a4 = routelab_engine::paper_runs::a4_rea();
+    let target = Runner::trace_of(&a4.instance, &a4.seq);
+    group.bench_function("a4-repetition-in-R1O(impossible)", |b| {
+        b.iter(|| {
+            search(&a4.instance, "R1O".parse().unwrap(), &target, SearchGoal::Repetition, &cfg)
+                .is_impossible()
+        })
+    });
+    group.bench_function("a4-subsequence-in-R1O(found)", |b| {
+        b.iter(|| {
+            search(&a4.instance, "R1O".parse().unwrap(), &target, SearchGoal::Subsequence, &cfg)
+                .is_found()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_oscillation, bench_trace_search);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! Monte-Carlo harness throughput (experiment E11): randomized fair runs
+//! per second across models.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use routelab_sim::montecarlo::{run_cell, CellConfig};
+use routelab_spp::gadgets;
+use routelab_spp::generator::gao_rexford_instance;
+
+fn bench_montecarlo(c: &mut Criterion) {
+    let mut group = c.benchmark_group("montecarlo");
+    group.sample_size(10);
+    let cfg = CellConfig { runs: 10, max_steps: 5_000, seed: 1, drop_prob: 0.25 };
+    for model in ["R1O", "RMS", "UMS", "REA"] {
+        let inst = gadgets::fig6();
+        group.bench_with_input(BenchmarkId::new("fig6", model), &inst, |b, inst| {
+            b.iter(|| run_cell(inst, model.parse().unwrap(), &cfg).converged)
+        });
+    }
+    let gr = gao_rexford_instance(16, 3, 6, 5).expect("generator");
+    group.bench_with_input(BenchmarkId::new("gao_rexford_16", "RMS"), &gr, |b, inst| {
+        b.iter(|| run_cell(inst, "RMS".parse().unwrap(), &cfg).converged)
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_montecarlo);
+criterion_main!(benches);

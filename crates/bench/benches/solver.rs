@@ -1,0 +1,67 @@
+//! SPP substrate cost: stable-assignment enumeration, dispute-wheel
+//! detection, and instance generation at increasing sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use routelab_spp::dispute::{dispute_digraph, find_dispute_wheel};
+use routelab_spp::gadgets;
+use routelab_spp::generator::{gao_rexford_instance, random_instance, RandomSppConfig};
+use routelab_spp::solve::enumerate_stable_assignments;
+
+fn bench_solver(c: &mut Criterion) {
+    let mut group = c.benchmark_group("solver/stable_assignments");
+    for (name, inst) in gadgets::corpus() {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &inst, |b, inst| {
+            b.iter(|| enumerate_stable_assignments(inst, 10_000_000).unwrap().len())
+        });
+    }
+    group.finish();
+}
+
+fn bench_dispute(c: &mut Criterion) {
+    let mut group = c.benchmark_group("solver/dispute_wheel");
+    for n in [8usize, 16, 32] {
+        let inst = gao_rexford_instance(n, 3, 6, 5).expect("generator");
+        group.bench_with_input(BenchmarkId::new("gao_rexford", n), &inst, |b, inst| {
+            b.iter(|| find_dispute_wheel(inst).is_none())
+        });
+        let rnd = random_instance(&RandomSppConfig {
+            nodes: n,
+            extra_edges: n,
+            seed: 3,
+            ..RandomSppConfig::default()
+        })
+        .expect("generator");
+        group.bench_with_input(BenchmarkId::new("random", n), &rnd, |b, inst| {
+            b.iter(|| find_dispute_wheel(inst).is_some())
+        });
+        group.bench_with_input(BenchmarkId::new("digraph", n), &rnd, |b, inst| {
+            b.iter(|| dispute_digraph(inst).vertices.len())
+        });
+    }
+    group.finish();
+}
+
+fn bench_generators(c: &mut Criterion) {
+    let mut group = c.benchmark_group("solver/generators");
+    for n in [16usize, 64] {
+        group.bench_with_input(BenchmarkId::new("random", n), &n, |b, &n| {
+            b.iter(|| {
+                random_instance(&RandomSppConfig {
+                    nodes: n,
+                    extra_edges: n,
+                    seed: 9,
+                    ..RandomSppConfig::default()
+                })
+                .unwrap()
+                .node_count()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("gao_rexford", n), &n, |b, &n| {
+            b.iter(|| gao_rexford_instance(n, 9, 6, 5).unwrap().node_count())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_solver, bench_dispute, bench_generators);
+criterion_main!(benches);

@@ -1,0 +1,311 @@
+//! Transitive closure of realization facts (Sec. 3.4).
+//!
+//! Positive facts close under max–min transitivity: if `B` realizes `A` at
+//! strength `s₁` and `C` realizes `B` at `s₂`, then `C` realizes `A` at
+//! `min(s₁, s₂)` (Fig. 1). Negative facts propagate by the contrapositives
+//! (Fig. 2):
+//!
+//! * **push the tail**: `B ⊒ₛ A` and `C ⋣ₜ A` with `t ≤ s` imply `C ⋣ₜ B`,
+//! * **pull the head**: `C ⊒ₛ A` and `C ⋣ₜ B` with `t ≤ s` imply `A ⋣ₜ B`.
+
+use std::fmt;
+
+use crate::edges::Facts;
+use crate::lattice::CellBound;
+use crate::model::CommModel;
+
+/// A 24×24 matrix of [`CellBound`]s over the full taxonomy, indexed by
+/// `(realized, realizer)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BoundsMatrix {
+    models: Vec<CommModel>,
+    cells: Vec<CellBound>,
+}
+
+impl BoundsMatrix {
+    /// An all-unknown matrix over [`CommModel::all`], with the diagonal
+    /// pinned to exact (every model realizes itself).
+    pub fn unknown() -> Self {
+        let models = CommModel::all();
+        let n = models.len();
+        let mut cells = vec![CellBound::unknown(); n * n];
+        for i in 0..n {
+            cells[i * n + i] = CellBound::exactly(4);
+        }
+        BoundsMatrix { models, cells }
+    }
+
+    /// The models indexing rows and columns (figure order).
+    pub fn models(&self) -> &[CommModel] {
+        &self.models
+    }
+
+    fn idx(&self, realized: CommModel, realizer: CommModel) -> usize {
+        realized.index() * self.models.len() + realizer.index()
+    }
+
+    /// The bound for "`realizer` realizes `realized`".
+    pub fn get(&self, realized: CommModel, realizer: CommModel) -> CellBound {
+        self.cells[self.idx(realized, realizer)]
+    }
+
+    /// Intersects the cell with `bound`.
+    pub fn tighten(&mut self, realized: CommModel, realizer: CommModel, bound: CellBound) {
+        let i = self.idx(realized, realizer);
+        self.cells[i] = self.cells[i].meet(bound);
+    }
+
+    /// `true` when every cell has `lower ≤ upper`.
+    pub fn is_consistent(&self) -> bool {
+        self.cells.iter().all(|c| c.is_consistent())
+    }
+
+    /// Renders the sub-matrix with the given columns as an ASCII table in
+    /// the layout of Figures 3 and 4 (all 24 rows).
+    pub fn render(&self, columns: &[CommModel]) -> String {
+        let mut out = String::new();
+        out.push_str("      ");
+        for c in columns {
+            out.push_str(&format!("{:>5} ", c.to_string()));
+        }
+        out.push('\n');
+        for &a in &self.models {
+            out.push_str(&format!("{:>5} ", a.to_string()));
+            for &b in columns {
+                let tok = if a == b { "-".to_string() } else { self.get(a, b).token() };
+                out.push_str(&format!("{tok:>5} "));
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl fmt::Display for BoundsMatrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.render(&self.models))
+    }
+}
+
+/// Derives the full bounds matrix from foundational facts: seeds the matrix,
+/// closes lower bounds under max–min transitivity, then propagates upper
+/// bounds with the two contrapositive rules until a fixpoint.
+///
+/// # Panics
+///
+/// Panics if the facts are mutually inconsistent (some cell ends with
+/// `lower > upper`) — that would mean a transcription error in
+/// [`crate::edges`].
+pub fn derive_bounds(facts: &Facts) -> BoundsMatrix {
+    let mut m = BoundsMatrix::unknown();
+    let n = m.models.len();
+
+    // Seed.
+    for p in &facts.positives {
+        m.tighten(p.realized, p.realizer, CellBound::at_least(p.strength.level()));
+    }
+    for nfact in &facts.negatives {
+        m.tighten(nfact.realized, nfact.realizer, CellBound::at_most(nfact.max_level));
+    }
+
+    let models = m.models.clone();
+    // Lower-bound closure: lower(a,c) ≥ min(lower(a,b), lower(b,c)).
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for &b in &models {
+            for &a in &models {
+                let ab = m.get(a, b).lower;
+                if ab == 0 {
+                    continue;
+                }
+                for &c in &models {
+                    if a == c {
+                        continue;
+                    }
+                    let bc = m.get(b, c).lower;
+                    let through = ab.min(bc);
+                    let i = m.idx(a, c);
+                    if through > m.cells[i].lower {
+                        m.cells[i].lower = through;
+                        changed = true;
+                    }
+                }
+            }
+        }
+    }
+
+    // Upper-bound propagation.
+    changed = true;
+    while changed {
+        changed = false;
+        for ai in 0..n {
+            for bi in 0..n {
+                if ai == bi {
+                    continue;
+                }
+                let (a, b) = (models[ai], models[bi]);
+                let lower_ab = m.get(a, b).lower;
+                if lower_ab == 0 {
+                    continue;
+                }
+                for ci in 0..n {
+                    let c = models[ci];
+                    // Rule "push the tail": B ⊒ A (≥ s), C ⋣ A above u < s
+                    // ⇒ C ⋣ B above u.
+                    let upper_ac = m.get(a, c).upper;
+                    if upper_ac < lower_ab {
+                        let i = m.idx(b, c);
+                        if upper_ac < m.cells[i].upper {
+                            m.cells[i].upper = upper_ac;
+                            changed = true;
+                        }
+                    }
+                    // Rule "pull the head": B ⊒ A (≥ s) read as C' ⊒ A with
+                    // C' = B, and B ⋣ ... — expressed symmetrically below.
+                    // If C realizes A at ≥ s and C ⋣ X above u < s then
+                    // A ⋣ X above u:  here (a, b) plays (A, C) and we scan X.
+                    let upper_xb = m.get(c, b).upper; // C=b fails to realize X=c above this
+                    if upper_xb < lower_ab {
+                        let i = m.idx(c, a);
+                        if upper_xb < m.cells[i].upper {
+                            m.cells[i].upper = upper_xb;
+                            changed = true;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    assert!(
+        m.is_consistent(),
+        "foundational facts are inconsistent: some cell has lower > upper"
+    );
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::edges::foundational_facts;
+
+    fn bounds() -> BoundsMatrix {
+        derive_bounds(&foundational_facts())
+    }
+
+    fn cell(b: &BoundsMatrix, a: &str, c: &str) -> CellBound {
+        b.get(a.parse().unwrap(), c.parse().unwrap())
+    }
+
+    #[test]
+    fn diagonal_is_exact() {
+        let b = bounds();
+        for m in CommModel::all() {
+            assert_eq!(b.get(m, m), CellBound::exactly(4));
+        }
+    }
+
+    #[test]
+    fn queueing_models_are_strong() {
+        // Sec. 3.5: "RMS is able to realize all reliable channel models
+        // exactly and all unreliable channel models either with repetition
+        // or exactly. UMS is able to exactly realize all models."
+        let b = bounds();
+        for a in CommModel::all() {
+            let ums = cell(&b, &a.to_string(), "UMS");
+            assert_eq!(ums.lower, 4, "UMS should exactly realize {a}");
+        }
+        for a in CommModel::all_reliable() {
+            let rms = cell(&b, &a.to_string(), "RMS");
+            assert_eq!(rms.lower, 4, "RMS should exactly realize {a}");
+        }
+        for a in CommModel::all_unreliable() {
+            let rms = cell(&b, &a.to_string(), "RMS");
+            assert!(rms.lower >= 3, "RMS should realize {a} at least with repetition");
+        }
+    }
+
+    #[test]
+    fn oscillation_catchers() {
+        // Sec. 3.5: R1O, RMO, R1S, RMS, RES, R1F, RMF catch all oscillations
+        // of all other models (level ≥ 2 ⇒ oscillation-preserving; lower ≥ 1
+        // suffices but the paper proves ≥ 2 everywhere here).
+        let b = bounds();
+        for strong in ["R1O", "RMO", "R1S", "RMS", "RES", "R1F", "RMF"] {
+            for a in CommModel::all() {
+                if a.to_string() == strong {
+                    continue;
+                }
+                let c = cell(&b, &a.to_string(), strong);
+                assert!(c.lower >= 2, "{strong} should realize {a} at ≥ 2, got {c}");
+            }
+        }
+    }
+
+    #[test]
+    fn weak_models_provably_miss_oscillations() {
+        // Sec. 3.5: REO, REF, R1A, RMA, REA are provably unable to capture
+        // some oscillations.
+        let b = bounds();
+        for weak in ["REO", "REF", "R1A", "RMA", "REA"] {
+            let c = cell(&b, "R1O", weak);
+            assert_eq!(c.upper, 0, "{weak} must not preserve R1O oscillations, got {c}");
+        }
+    }
+
+    #[test]
+    fn corollary_3_14_is_derived() {
+        // For every y, y' and z ≠ O: Ryz cannot be realized with repetition
+        // in Ry'O.
+        let b = bounds();
+        for y in ["1", "M", "E"] {
+            for z in ["S", "F", "A"] {
+                for y2 in ["1", "M", "E"] {
+                    let a = format!("R{y}{z}");
+                    let c = format!("R{y2}O");
+                    let bound = cell(&b, &a, &c);
+                    assert!(bound.upper <= 2, "{c} realizing {a}: {bound}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn example_cells_from_the_paper() {
+        let b = bounds();
+        // Fig. 3 row R1S, col R1O = 2.
+        assert_eq!(cell(&b, "R1S", "R1O"), CellBound::exactly(2));
+        // Fig. 3 row R1O, col RMO = 4.
+        assert_eq!(cell(&b, "R1O", "RMO"), CellBound::exactly(4));
+        // Fig. 3 row RMO, col R1O = 3.
+        assert_eq!(cell(&b, "RMO", "R1O"), CellBound::exactly(3));
+        // Fig. 3 row REA, col REF = 4.
+        assert_eq!(cell(&b, "REA", "REF"), CellBound::exactly(4));
+        // Fig. 4 row R1O, col U1S = 4.
+        assert_eq!(cell(&b, "R1O", "U1S"), CellBound::exactly(4));
+        // Fig. 3 row U1O, col R1O = ">=2".
+        assert_eq!(cell(&b, "U1O", "R1O").lower, 2);
+    }
+
+    #[test]
+    fn matrix_is_consistent_and_renders() {
+        let b = bounds();
+        assert!(b.is_consistent());
+        let s = b.render(&CommModel::all_reliable());
+        assert!(s.contains("R1O"));
+        assert!(s.lines().count() == 25); // header + 24 rows
+        let full = b.to_string();
+        assert!(full.contains("UEA"));
+    }
+
+    #[test]
+    fn tighten_meets() {
+        let mut m = BoundsMatrix::unknown();
+        let a: CommModel = "R1O".parse().unwrap();
+        let c: CommModel = "REA".parse().unwrap();
+        m.tighten(a, c, CellBound::at_least(2));
+        m.tighten(a, c, CellBound::at_most(3));
+        assert_eq!(m.get(a, c), CellBound { lower: 2, upper: 3 });
+    }
+}

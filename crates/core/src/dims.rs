@@ -1,0 +1,164 @@
+//! The dimensions of the communication-model space (Definition 2.6).
+
+use std::fmt;
+
+/// Channel reliability: are update messages ever lost?
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Reliability {
+    /// `R`: every message placed in a channel is eventually read
+    /// (the drop sets `g` are always empty).
+    Reliable,
+    /// `U`: messages may be dropped (`g` need not be empty).
+    Unreliable,
+}
+
+impl Reliability {
+    /// All values, in paper order (`R`, `U`).
+    pub const ALL: [Reliability; 2] = [Reliability::Reliable, Reliability::Unreliable];
+
+    /// One-letter paper symbol.
+    pub fn symbol(self) -> char {
+        match self {
+            Reliability::Reliable => 'R',
+            Reliability::Unreliable => 'U',
+        }
+    }
+}
+
+impl fmt::Display for Reliability {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.symbol())
+    }
+}
+
+/// How many neighbors a node processes when it updates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum NeighborScope {
+    /// `1`: exactly one incoming channel is processed.
+    One,
+    /// `M`: an arbitrary subset of incoming channels (possibly none or all).
+    Multiple,
+    /// `E`: every incoming channel.
+    Every,
+}
+
+impl NeighborScope {
+    /// All values, in paper order (`1`, `M`, `E`).
+    pub const ALL: [NeighborScope; 3] =
+        [NeighborScope::One, NeighborScope::Multiple, NeighborScope::Every];
+
+    /// One-letter paper symbol.
+    pub fn symbol(self) -> char {
+        match self {
+            NeighborScope::One => '1',
+            NeighborScope::Multiple => 'M',
+            NeighborScope::Every => 'E',
+        }
+    }
+}
+
+impl fmt::Display for NeighborScope {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.symbol())
+    }
+}
+
+/// How many messages a node reads from each processed channel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum MessagePolicy {
+    /// `O`: exactly one message per processed channel (`f ≡ 1`).
+    One,
+    /// `S`: unrestricted (`f` arbitrary, including 0 and ∞).
+    Some,
+    /// `F`: at least one message per processed channel (`f ≥ 1`).
+    Forced,
+    /// `A`: all messages in the channel (`f ≡ ∞`).
+    All,
+}
+
+impl MessagePolicy {
+    /// All values, in paper order (`O`, `S`, `F`, `A`).
+    pub const ALL: [MessagePolicy; 4] = [
+        MessagePolicy::One,
+        MessagePolicy::Some,
+        MessagePolicy::Forced,
+        MessagePolicy::All,
+    ];
+
+    /// One-letter paper symbol.
+    pub fn symbol(self) -> char {
+        match self {
+            MessagePolicy::One => 'O',
+            MessagePolicy::Some => 'S',
+            MessagePolicy::Forced => 'F',
+            MessagePolicy::All => 'A',
+        }
+    }
+}
+
+impl fmt::Display for MessagePolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.symbol())
+    }
+}
+
+/// How many nodes update per step (the first dimension of Definition 2.6).
+///
+/// The paper — and everything in [`crate::edges`] and [`crate::closure`] —
+/// fixes this to [`UpdaterCount::One`]; [`UpdaterCount::Unrestricted`] is
+/// supported by the engine for Example A.6.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub enum UpdaterCount {
+    /// Exactly one node updates per step (`|U| = 1`).
+    #[default]
+    One,
+    /// Any non-empty set of nodes updates per step.
+    Unrestricted,
+    /// Every node updates at every step (`U = V`).
+    Every,
+}
+
+impl fmt::Display for UpdaterCount {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            UpdaterCount::One => "one",
+            UpdaterCount::Unrestricted => "unrestricted",
+            UpdaterCount::Every => "every",
+        };
+        write!(f, "{s}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn symbols_match_paper() {
+        assert_eq!(Reliability::Reliable.to_string(), "R");
+        assert_eq!(Reliability::Unreliable.to_string(), "U");
+        assert_eq!(NeighborScope::One.to_string(), "1");
+        assert_eq!(NeighborScope::Multiple.to_string(), "M");
+        assert_eq!(NeighborScope::Every.to_string(), "E");
+        assert_eq!(MessagePolicy::One.to_string(), "O");
+        assert_eq!(MessagePolicy::Some.to_string(), "S");
+        assert_eq!(MessagePolicy::Forced.to_string(), "F");
+        assert_eq!(MessagePolicy::All.to_string(), "A");
+    }
+
+    #[test]
+    fn all_lists_are_complete_and_ordered() {
+        assert_eq!(Reliability::ALL.len(), 2);
+        assert_eq!(NeighborScope::ALL.len(), 3);
+        assert_eq!(MessagePolicy::ALL.len(), 4);
+        // Paper order: the symbols spell the column headers of Fig. 3/4.
+        let syms: String = MessagePolicy::ALL.iter().map(|m| m.symbol()).collect();
+        assert_eq!(syms, "OSFA");
+    }
+
+    #[test]
+    fn updater_count_default_is_one() {
+        assert_eq!(UpdaterCount::default(), UpdaterCount::One);
+        assert_eq!(UpdaterCount::Unrestricted.to_string(), "unrestricted");
+    }
+}

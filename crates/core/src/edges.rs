@@ -1,0 +1,206 @@
+//! The foundational realization results of Sec. 3.2–3.3, as data.
+//!
+//! Positive facts say "`realizer` realizes `realized` at least at strength
+//! `s`"; negative facts say "`realizer` cannot realize `realized` above level
+//! `max_level`". [`crate::closure`] combines them with the transitivity
+//! rules of Sec. 3.4 to reconstruct Figures 3 and 4.
+
+use crate::dims::{MessagePolicy, NeighborScope, Reliability};
+use crate::lattice::Strength;
+use crate::model::CommModel;
+
+/// A proven realization: `realizer` realizes `realized` at strength ≥ `s`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PositiveFact {
+    /// The model whose executions are reproduced (`A` in `A ≤ B`).
+    pub realized: CommModel,
+    /// The model reproducing them (`B`).
+    pub realizer: CommModel,
+    /// Proven strength.
+    pub strength: Strength,
+    /// The theorem/proposition establishing the fact.
+    pub source: &'static str,
+}
+
+/// A proven non-realization: `realizer` realizes `realized` at level at most
+/// `max_level` (`0` = does not even preserve oscillations, the figures' `-1`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NegativeFact {
+    /// The model whose executions cannot be reproduced.
+    pub realized: CommModel,
+    /// The model failing to reproduce them.
+    pub realizer: CommModel,
+    /// Highest level still possible.
+    pub max_level: u8,
+    /// The theorem/proposition establishing the fact.
+    pub source: &'static str,
+}
+
+/// The foundational facts of the paper.
+#[derive(Debug, Clone, Default)]
+pub struct Facts {
+    /// Positive results (Props 3.3, 3.4, Thm 3.5, Prop 3.6, Thm 3.7).
+    pub positives: Vec<PositiveFact>,
+    /// Negative results (Thms 3.8, 3.9, Props 3.10–3.13).
+    pub negatives: Vec<NegativeFact>,
+}
+
+fn m(w: Reliability, x: NeighborScope, y: MessagePolicy) -> CommModel {
+    CommModel::new(w, x, y)
+}
+
+/// All foundational facts stated in Sec. 3.2 and Sec. 3.3.
+pub fn foundational_facts() -> Facts {
+    use MessagePolicy as P;
+    use NeighborScope as S;
+    use Reliability as R;
+
+    let mut facts = Facts::default();
+    let mut pos = |realized: CommModel, realizer: CommModel, strength, source| {
+        facts.positives.push(PositiveFact { realized, realizer, strength, source });
+    };
+
+    // Proposition 3.3(1): Uxy exactly realizes Rxy.
+    for x in S::ALL {
+        for y in P::ALL {
+            pos(
+                m(R::Reliable, x, y),
+                m(R::Unreliable, x, y),
+                Strength::Exact,
+                "Prop 3.3(1)",
+            );
+        }
+    }
+    for w in R::ALL {
+        for x in S::ALL {
+            // Proposition 3.3(2): wxS exactly realizes wxF.
+            pos(m(w, x, P::Forced), m(w, x, P::Some), Strength::Exact, "Prop 3.3(2)");
+            // Proposition 3.3(3): wxF exactly realizes wxO and wxA.
+            pos(m(w, x, P::One), m(w, x, P::Forced), Strength::Exact, "Prop 3.3(3)");
+            pos(m(w, x, P::All), m(w, x, P::Forced), Strength::Exact, "Prop 3.3(3)");
+        }
+        for y in P::ALL {
+            // Proposition 3.3(4): wMy exactly realizes w1y and wEy.
+            pos(m(w, S::One, y), m(w, S::Multiple, y), Strength::Exact, "Prop 3.3(4)");
+            pos(m(w, S::Every, y), m(w, S::Multiple, y), Strength::Exact, "Prop 3.3(4)");
+            // Theorem 3.5: w1y realizes wMy with repetition.
+            pos(m(w, S::Multiple, y), m(w, S::One, y), Strength::Repetition, "Thm 3.5");
+        }
+        // Proposition 3.4: wES exactly realizes wMS.
+        pos(m(w, S::Multiple, P::Some), m(w, S::Every, P::Some), Strength::Exact, "Prop 3.4");
+    }
+    // Proposition 3.6: R1O realizes R1S as a subsequence; U1O realizes U1S
+    // with repetition.
+    pos(
+        m(R::Reliable, S::One, P::Some),
+        m(R::Reliable, S::One, P::One),
+        Strength::Subsequence,
+        "Prop 3.6",
+    );
+    pos(
+        m(R::Unreliable, S::One, P::Some),
+        m(R::Unreliable, S::One, P::One),
+        Strength::Repetition,
+        "Prop 3.6",
+    );
+    // Theorem 3.7: R1S exactly realizes U1O.
+    pos(
+        m(R::Unreliable, S::One, P::One),
+        m(R::Reliable, S::One, P::Some),
+        Strength::Exact,
+        "Thm 3.7",
+    );
+
+    let mut neg = |realized: &str, realizer: &str, max_level: u8, source| {
+        facts.negatives.push(NegativeFact {
+            realized: realized.parse().expect("static model name"),
+            realizer: realizer.parse().expect("static model name"),
+            max_level,
+            source,
+        });
+    };
+    // Theorem 3.8: REO, REF, R1A, RMA, REA do not preserve R1O's oscillations.
+    for b in ["REO", "REF", "R1A", "RMA", "REA"] {
+        neg("R1O", b, 0, "Thm 3.8 (Ex A.1, DISAGREE)");
+    }
+    // Theorem 3.9: R1A, RMA, REA do not preserve REO's or REF's oscillations.
+    for a in ["REO", "REF"] {
+        for b in ["R1A", "RMA", "REA"] {
+            neg(a, b, 0, "Thm 3.9 (Ex A.2)");
+        }
+    }
+    // Proposition 3.10: REO cannot be exactly realized in R1O.
+    neg("REO", "R1O", 3, "Prop 3.10 (Ex A.3)");
+    // Proposition 3.11: REA cannot be realized with repetition in R1O.
+    neg("REA", "R1O", 2, "Prop 3.11 (Ex A.4)");
+    // Proposition 3.12: REA cannot be exactly realized by R1S.
+    neg("REA", "R1S", 3, "Prop 3.12 (Ex A.5)");
+    // Proposition 3.13: REO cannot be exactly realized by R1S.
+    neg("REO", "R1S", 3, "Prop 3.13 (Ex A.5)");
+
+    facts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fact_counts() {
+        let f = foundational_facts();
+        // 3.3(1): 12; 3.3(2): 6; 3.3(3): 12; 3.3(4): 16; 3.5: 8; 3.4: 2;
+        // 3.6: 2; 3.7: 1.
+        assert_eq!(f.positives.len(), 12 + 6 + 12 + 16 + 8 + 2 + 2 + 1);
+        // 3.8: 5; 3.9: 6; 3.10–3.13: 4.
+        assert_eq!(f.negatives.len(), 5 + 6 + 4);
+    }
+
+    #[test]
+    fn no_positive_self_loops_or_duplicates() {
+        let f = foundational_facts();
+        for p in &f.positives {
+            assert_ne!(p.realized, p.realizer, "{} {}", p.realized, p.source);
+        }
+        for (i, p) in f.positives.iter().enumerate() {
+            assert!(
+                !f.positives[i + 1..]
+                    .iter()
+                    .any(|q| q.realized == p.realized && q.realizer == p.realizer),
+                "duplicate positive {} -> {}",
+                p.realized,
+                p.realizer
+            );
+        }
+    }
+
+    #[test]
+    fn spot_check_specific_facts() {
+        let f = foundational_facts();
+        let has_pos = |a: &str, b: &str, s: Strength| {
+            let a: CommModel = a.parse().unwrap();
+            let b: CommModel = b.parse().unwrap();
+            f.positives
+                .iter()
+                .any(|p| p.realized == a && p.realizer == b && p.strength == s)
+        };
+        assert!(has_pos("R1O", "U1O", Strength::Exact)); // 3.3(1)
+        assert!(has_pos("REA", "RMA", Strength::Exact)); // 3.3(4)
+        assert!(has_pos("RMS", "RES", Strength::Exact)); // 3.4
+        assert!(has_pos("RMO", "R1O", Strength::Repetition)); // 3.5
+        assert!(has_pos("R1S", "R1O", Strength::Subsequence)); // 3.6
+        assert!(has_pos("U1O", "R1S", Strength::Exact)); // 3.7
+        let has_neg = |a: &str, b: &str, max: u8| {
+            let a: CommModel = a.parse().unwrap();
+            let b: CommModel = b.parse().unwrap();
+            f.negatives
+                .iter()
+                .any(|n| n.realized == a && n.realizer == b && n.max_level == max)
+        };
+        assert!(has_neg("R1O", "REA", 0)); // 3.8
+        assert!(has_neg("REF", "RMA", 0)); // 3.9
+        assert!(has_neg("REO", "R1O", 3)); // 3.10
+        assert!(has_neg("REA", "R1O", 2)); // 3.11
+        assert!(has_neg("REA", "R1S", 3)); // 3.12
+        assert!(has_neg("REO", "R1S", 3)); // 3.13
+    }
+}

@@ -1,0 +1,285 @@
+//! Heterogeneous (mixed) communication models — the paper's future work.
+//!
+//! Sec. 5 of the paper leaves two questions open: *mixed channels* (some
+//! reliable, some lossy — the paper notes its unreliable-channel results
+//! still apply) and *mixed node behavior* ("some nodes poll and others act
+//! on messages"), for which the paper has no results. A [`HeteroModel`]
+//! expresses both: a per-node neighbor scope and message policy, plus a set
+//! of lossy channels. The explorer (`routelab-explore`) analyzes these
+//! models exactly like the uniform ones.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use routelab_spp::{Channel, Graph, NodeId};
+
+use crate::dims::{MessagePolicy, NeighborScope, Reliability};
+use crate::model::CommModel;
+use crate::step::{ActivationStep, Take};
+use crate::validate::ModelViolation;
+
+/// One node's collection behavior: the last two dimensions of the taxonomy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct NodeModel {
+    /// Neighbors processed per update.
+    pub scope: NeighborScope,
+    /// Messages processed per channel.
+    pub messages: MessagePolicy,
+}
+
+impl fmt::Display for NodeModel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}{}", self.scope.symbol(), self.messages.symbol())
+    }
+}
+
+/// A mixed communication model: per-node scope and message policy, and a
+/// set of lossy channels (all others are reliable).
+///
+/// ```
+/// use routelab_core::hetero::{HeteroModel, NodeModel};
+/// use routelab_spp::{gadgets, NodeId};
+///
+/// let inst = gadgets::disagree();
+/// // Everyone polls (REA)… except node x, which is event-driven (1O).
+/// let mut h = HeteroModel::uniform(inst.node_count(), "REA".parse()?);
+/// h.set_node(NodeId(1), NodeModel { scope: routelab_core::NeighborScope::One,
+///                                   messages: routelab_core::MessagePolicy::One });
+/// assert!(!h.is_uniform());
+/// # Ok::<(), routelab_core::model::ParseModelError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HeteroModel {
+    per_node: Vec<NodeModel>,
+    lossy: BTreeSet<Channel>,
+    all_lossy: bool,
+}
+
+impl HeteroModel {
+    /// Every node behaves per `model`; channels are lossy exactly when
+    /// `model` is unreliable.
+    pub fn uniform(node_count: usize, model: CommModel) -> Self {
+        HeteroModel {
+            per_node: vec![
+                NodeModel { scope: model.scope, messages: model.messages };
+                node_count
+            ],
+            lossy: BTreeSet::new(),
+            all_lossy: model.reliability == Reliability::Unreliable,
+        }
+    }
+
+    /// Overrides one node's behavior.
+    pub fn set_node(&mut self, v: NodeId, m: NodeModel) -> &mut Self {
+        self.per_node[v.index()] = m;
+        self
+    }
+
+    /// Marks one channel as lossy.
+    pub fn set_lossy(&mut self, c: Channel) -> &mut Self {
+        self.lossy.insert(c);
+        self
+    }
+
+    /// The behavior of node `v`.
+    pub fn node(&self, v: NodeId) -> NodeModel {
+        self.per_node[v.index()]
+    }
+
+    /// The reliability of channel `c`.
+    pub fn reliability(&self, c: Channel) -> Reliability {
+        if self.all_lossy || self.lossy.contains(&c) {
+            Reliability::Unreliable
+        } else {
+            Reliability::Reliable
+        }
+    }
+
+    /// `true` when every node behaves identically and channels are
+    /// homogeneous — i.e. the model is really one of the 24 uniform ones.
+    pub fn is_uniform(&self) -> bool {
+        self.per_node.windows(2).all(|w| w[0] == w[1])
+            && (self.all_lossy || self.lossy.is_empty())
+    }
+
+    /// `true` when every channel is reliable and every node uses policy `A`
+    /// (the queue-to-newest state abstraction is then exact).
+    pub fn collapsible(&self) -> bool {
+        !self.all_lossy
+            && self.lossy.is_empty()
+            && self.per_node.iter().all(|m| m.messages == MessagePolicy::All)
+    }
+
+    /// Number of nodes configured.
+    pub fn node_count(&self) -> usize {
+        self.per_node.len()
+    }
+}
+
+/// Checks one activation step against a heterogeneous model (the mixed
+/// analogue of [`crate::validate::check_step`]).
+///
+/// # Errors
+///
+/// Returns the first [`ModelViolation`] found.
+pub fn check_step_hetero(
+    model: &HeteroModel,
+    g: &Graph,
+    step: &ActivationStep,
+) -> Result<(), ModelViolation> {
+    if step.updates.len() != 1 {
+        return Err(ModelViolation::UpdaterCount {
+            expected: crate::dims::UpdaterCount::One,
+            got: step.updates.len(),
+        });
+    }
+    let u = &step.updates[0];
+    let nm = model.node(u.node);
+    for (i, a) in u.actions.iter().enumerate() {
+        if a.channel().to != u.node || !g.has_edge(a.channel().from, a.channel().to) {
+            return Err(ModelViolation::ForeignChannel { node: u.node });
+        }
+        if u.actions[i + 1..].iter().any(|b| b.channel() == a.channel()) {
+            return Err(ModelViolation::DuplicateChannel { node: u.node });
+        }
+        let ok = match nm.messages {
+            MessagePolicy::One => a.take() == Take::Count(1),
+            MessagePolicy::Some => true,
+            MessagePolicy::Forced => a.attends(),
+            MessagePolicy::All => a.take() == Take::All,
+        };
+        if !ok {
+            return Err(ModelViolation::Messages { expected: nm.messages, node: u.node });
+        }
+        if model.reliability(a.channel()) == Reliability::Reliable && !a.is_lossless() {
+            return Err(ModelViolation::Dropped { node: u.node });
+        }
+    }
+    let scope_ok = match nm.scope {
+        NeighborScope::One => u.actions.len() == 1,
+        NeighborScope::Multiple => true,
+        NeighborScope::Every => u.actions.len() == g.degree(u.node),
+    };
+    if !scope_ok {
+        return Err(ModelViolation::Scope { expected: nm.scope, node: u.node });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::step::{ChannelAction, NodeUpdate};
+    use routelab_spp::gadgets;
+
+    fn disagree() -> (routelab_spp::SppInstance, NodeId, NodeId, NodeId) {
+        let inst = gadgets::disagree();
+        let d = inst.dest();
+        let x = inst.node_by_name("x").unwrap();
+        let y = inst.node_by_name("y").unwrap();
+        (inst, d, x, y)
+    }
+
+    #[test]
+    fn uniform_round_trip() {
+        let (inst, _, _, _) = disagree();
+        for m in CommModel::all() {
+            let h = HeteroModel::uniform(inst.node_count(), m);
+            assert!(h.is_uniform(), "{m}");
+            for c in inst.graph().channels() {
+                assert_eq!(h.reliability(c), m.reliability, "{m}");
+            }
+            assert_eq!(
+                h.collapsible(),
+                m.reliability == Reliability::Reliable
+                    && m.messages == MessagePolicy::All,
+                "{m}"
+            );
+        }
+    }
+
+    #[test]
+    fn node_and_channel_overrides() {
+        let (inst, d, x, _) = disagree();
+        let mut h = HeteroModel::uniform(inst.node_count(), "REA".parse().unwrap());
+        h.set_node(x, NodeModel { scope: NeighborScope::One, messages: MessagePolicy::One });
+        assert!(!h.is_uniform());
+        assert!(!h.collapsible()); // x no longer uses policy A
+        assert_eq!(h.node(x).messages, MessagePolicy::One);
+        let c = Channel::new(d, x);
+        assert_eq!(h.reliability(c), Reliability::Reliable);
+        h.set_lossy(c);
+        assert_eq!(h.reliability(c), Reliability::Unreliable);
+        assert!(!h.is_uniform());
+    }
+
+    #[test]
+    fn hetero_validation_mixes_rules() {
+        let (inst, d, x, y) = disagree();
+        let mut h = HeteroModel::uniform(inst.node_count(), "REA".parse().unwrap());
+        h.set_node(y, NodeModel { scope: NeighborScope::One, messages: MessagePolicy::One });
+        let g = inst.graph();
+
+        // x must still poll everything…
+        let x_poll = ActivationStep::single(NodeUpdate::new(
+            x,
+            vec![
+                ChannelAction::read_all(Channel::new(d, x)),
+                ChannelAction::read_all(Channel::new(y, x)),
+            ],
+        ));
+        assert!(check_step_hetero(&h, g, &x_poll).is_ok());
+        let x_partial = ActivationStep::single(NodeUpdate::new(
+            x,
+            vec![ChannelAction::read_all(Channel::new(d, x))],
+        ));
+        assert!(matches!(
+            check_step_hetero(&h, g, &x_partial),
+            Err(ModelViolation::Scope { .. })
+        ));
+
+        // …while y reads one message from one channel.
+        let y_read = ActivationStep::single(NodeUpdate::new(
+            y,
+            vec![ChannelAction::read_one(Channel::new(x, y))],
+        ));
+        assert!(check_step_hetero(&h, g, &y_read).is_ok());
+        let y_all = ActivationStep::single(NodeUpdate::new(
+            y,
+            vec![ChannelAction::read_all(Channel::new(x, y))],
+        ));
+        assert!(matches!(
+            check_step_hetero(&h, g, &y_all),
+            Err(ModelViolation::Messages { .. })
+        ));
+
+        // Drops only on lossy channels.
+        let y_drop = ActivationStep::single(NodeUpdate::new(
+            y,
+            vec![ChannelAction::drop_one(Channel::new(x, y))],
+        ));
+        assert!(matches!(
+            check_step_hetero(&h, g, &y_drop),
+            Err(ModelViolation::Dropped { .. })
+        ));
+        h.set_lossy(Channel::new(x, y));
+        assert!(check_step_hetero(&h, g, &y_drop).is_ok());
+    }
+
+    #[test]
+    fn multi_node_steps_rejected() {
+        let (inst, _, x, y) = disagree();
+        let h = HeteroModel::uniform(inst.node_count(), "RMS".parse().unwrap());
+        let step = ActivationStep::simultaneous(vec![NodeUpdate::bare(x), NodeUpdate::bare(y)]);
+        assert!(matches!(
+            check_step_hetero(&h, inst.graph(), &step),
+            Err(ModelViolation::UpdaterCount { .. })
+        ));
+    }
+
+    #[test]
+    fn node_model_display() {
+        let nm = NodeModel { scope: NeighborScope::Every, messages: MessagePolicy::All };
+        assert_eq!(nm.to_string(), "EA");
+    }
+}

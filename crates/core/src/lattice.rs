@@ -1,0 +1,229 @@
+//! Realization strengths and cell bounds (Definitions 3.1 and 3.2).
+//!
+//! The strengths form a chain: exact realization (level 4) implies
+//! realization with repetition (3), which implies realization as a
+//! subsequence (2), which implies oscillation preservation (1). Level 0
+//! means even oscillation preservation fails — the paper's `-1` entries.
+
+use std::fmt;
+
+/// A realization strength (Definition 3.1/3.2), strongest first.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Strength {
+    /// Level 1: only the existence of oscillations carries over
+    /// (Definition 3.1).
+    OscillationPreserving = 1,
+    /// Level 2: realization as a subsequence.
+    Subsequence = 2,
+    /// Level 3: exact realization with repetition.
+    Repetition = 3,
+    /// Level 4: exact realization.
+    Exact = 4,
+}
+
+impl Strength {
+    /// The numeric level used in Figures 3 and 4.
+    pub fn level(self) -> u8 {
+        self as u8
+    }
+
+    /// Strength from a figure level (1–4).
+    pub fn from_level(level: u8) -> Option<Strength> {
+        match level {
+            1 => Some(Strength::OscillationPreserving),
+            2 => Some(Strength::Subsequence),
+            3 => Some(Strength::Repetition),
+            4 => Some(Strength::Exact),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Strength {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Strength::OscillationPreserving => "oscillation-preserving",
+            Strength::Subsequence => "subsequence",
+            Strength::Repetition => "repetition",
+            Strength::Exact => "exact",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// What is known about one ordered model pair: the strongest realization
+/// level proven to hold (`lower`) and the strongest level not yet excluded
+/// (`upper`). Levels range over `0..=4`; `0` means "not even
+/// oscillation-preserving".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CellBound {
+    /// Proven lower bound on the realization level.
+    pub lower: u8,
+    /// Proven upper bound on the realization level.
+    pub upper: u8,
+}
+
+impl CellBound {
+    /// Nothing known: level in `0..=4`.
+    pub fn unknown() -> Self {
+        CellBound { lower: 0, upper: 4 }
+    }
+
+    /// The level is known exactly.
+    pub fn exactly(level: u8) -> Self {
+        assert!(level <= 4, "levels range over 0..=4");
+        CellBound { lower: level, upper: level }
+    }
+
+    /// Only a lower bound.
+    pub fn at_least(level: u8) -> Self {
+        assert!(level <= 4);
+        CellBound { lower: level, upper: 4 }
+    }
+
+    /// Only an upper bound.
+    pub fn at_most(level: u8) -> Self {
+        assert!(level <= 4);
+        CellBound { lower: 0, upper: level }
+    }
+
+    /// `true` when `lower ≤ upper`.
+    pub fn is_consistent(self) -> bool {
+        self.lower <= self.upper
+    }
+
+    /// `true` when the level is pinned down.
+    pub fn is_determined(self) -> bool {
+        self.lower == self.upper
+    }
+
+    /// Intersects two bounds (both must hold).
+    pub fn meet(self, other: CellBound) -> CellBound {
+        CellBound { lower: self.lower.max(other.lower), upper: self.upper.min(other.upper) }
+    }
+
+    /// `true` if `self` carries at least as much information as `other`
+    /// (interval containment).
+    pub fn refines(self, other: CellBound) -> bool {
+        self.lower >= other.lower && self.upper <= other.upper
+    }
+
+    /// Renders the bound with the figures' conventions: `4`/`3`/`2` for
+    /// determined levels, `-1` for level 0, `>=k` / `<=k` for one-sided
+    /// bounds, `a,b` for a two-value range, `.` when nothing is known.
+    pub fn token(self) -> String {
+        match (self.lower, self.upper) {
+            (0, 0) => "-1".to_string(),
+            (l, u) if l == u => l.to_string(),
+            (0, 4) => ".".to_string(),
+            (l, 4) => format!(">={l}"),
+            (0, u) => format!("<={u}"),
+            (l, u) if u == l + 1 => format!("{l},{u}"),
+            (l, u) => format!("{l}..{u}"),
+        }
+    }
+
+    /// Parses a figure token (inverse of [`CellBound::token`]).
+    pub fn from_token(tok: &str) -> Option<CellBound> {
+        match tok {
+            "." => return Some(CellBound::unknown()),
+            "-1" => return Some(CellBound::exactly(0)),
+            _ => {}
+        }
+        if let Some(rest) = tok.strip_prefix(">=") {
+            return rest.parse().ok().filter(|&l| l <= 4).map(CellBound::at_least);
+        }
+        if let Some(rest) = tok.strip_prefix("<=") {
+            return rest.parse().ok().filter(|&u| u <= 4).map(CellBound::at_most);
+        }
+        for sep in [",", ".."] {
+            if let Some((a, b)) = tok.split_once(sep) {
+                let (l, u) = (a.parse().ok()?, b.parse().ok()?);
+                if l <= u && u <= 4 {
+                    return Some(CellBound { lower: l, upper: u });
+                }
+                return None;
+            }
+        }
+        tok.parse().ok().filter(|&l| l <= 4u8).map(CellBound::exactly)
+    }
+}
+
+impl Default for CellBound {
+    fn default() -> Self {
+        CellBound::unknown()
+    }
+}
+
+impl fmt::Display for CellBound {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.token())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strength_chain() {
+        assert!(Strength::Exact > Strength::Repetition);
+        assert!(Strength::Repetition > Strength::Subsequence);
+        assert!(Strength::Subsequence > Strength::OscillationPreserving);
+        for s in [
+            Strength::OscillationPreserving,
+            Strength::Subsequence,
+            Strength::Repetition,
+            Strength::Exact,
+        ] {
+            assert_eq!(Strength::from_level(s.level()), Some(s));
+        }
+        assert_eq!(Strength::from_level(0), None);
+        assert_eq!(Strength::from_level(5), None);
+    }
+
+    #[test]
+    fn tokens_round_trip() {
+        for tok in ["4", "3", "2", "1", "-1", ">=3", ">=2", "<=2", "<=3", "2,3", "."] {
+            let b = CellBound::from_token(tok).unwrap_or_else(|| panic!("{tok}"));
+            assert_eq!(b.token(), tok, "token {tok}");
+        }
+        assert_eq!(CellBound::from_token("x"), None);
+        assert_eq!(CellBound::from_token(">=9"), None);
+        assert_eq!(CellBound::from_token("3,2"), None);
+    }
+
+    #[test]
+    fn meet_and_refinement() {
+        let a = CellBound::at_least(2);
+        let b = CellBound::at_most(3);
+        let m = a.meet(b);
+        assert_eq!(m, CellBound { lower: 2, upper: 3 });
+        assert!(m.is_consistent());
+        assert!(m.refines(a));
+        assert!(m.refines(b));
+        assert!(!a.refines(m));
+        let conflict = CellBound::at_least(3).meet(CellBound::at_most(1));
+        assert!(!conflict.is_consistent());
+    }
+
+    #[test]
+    fn determined_and_default() {
+        assert!(CellBound::exactly(4).is_determined());
+        assert!(!CellBound::unknown().is_determined());
+        assert_eq!(CellBound::default(), CellBound::unknown());
+        assert_eq!(CellBound::exactly(0).token(), "-1");
+    }
+
+    #[test]
+    #[should_panic(expected = "levels range over 0..=4")]
+    fn exactly_rejects_out_of_range() {
+        let _ = CellBound::exactly(5);
+    }
+
+    #[test]
+    fn display_matches_token() {
+        assert_eq!(CellBound { lower: 1, upper: 3 }.to_string(), "1..3");
+        assert_eq!(CellBound { lower: 2, upper: 3 }.to_string(), "2,3");
+    }
+}

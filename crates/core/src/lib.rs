@@ -1,0 +1,48 @@
+//! The paper's primary contribution, as a library: the taxonomy of
+//! communication models and the realization relationships between them.
+//!
+//! * [`dims`] — the dimensions of the model space (Definition 2.6),
+//! * [`model`] — the 24 [`CommModel`]s (`R`/`U` × `1`/`M`/`E` ×
+//!   `O`/`S`/`F`/`A`) and the named families (polling, message-passing,
+//!   queueing),
+//! * [`step`] — activation steps and sequences (Definition 2.2),
+//! * [`validate`] — per-model legality of activation steps,
+//! * [`lattice`] — realization strengths (Definition 3.1/3.2) and bounds,
+//! * [`edges`] — the foundational positive and negative results
+//!   (Props 3.3–3.13, Thms 3.5, 3.7–3.9),
+//! * [`closure`] — the transitive closure machinery of Sec. 3.4 that derives
+//!   the full Figure 3/4 matrices from the foundational results,
+//! * [`paper`] — the published Figure 3 and Figure 4 tables, cell by cell,
+//!   for conformance checking.
+//!
+//! # Example: recompute a Figure 3 cell
+//!
+//! ```
+//! use routelab_core::closure::derive_bounds;
+//! use routelab_core::edges::foundational_facts;
+//! use routelab_core::model::CommModel;
+//!
+//! let bounds = derive_bounds(&foundational_facts());
+//! let r1s: CommModel = "R1S".parse()?;
+//! let r1o: CommModel = "R1O".parse()?;
+//! // Figure 3 row R1S, column R1O is "2": R1O realizes R1S exactly as a
+//! // subsequence and provably no stronger.
+//! let cell = bounds.get(r1s, r1o);
+//! assert_eq!((cell.lower, cell.upper), (2, 2));
+//! # Ok::<(), routelab_core::model::ParseModelError>(())
+//! ```
+
+pub mod closure;
+pub mod dims;
+pub mod edges;
+pub mod hetero;
+pub mod lattice;
+pub mod model;
+pub mod paper;
+pub mod step;
+pub mod validate;
+
+pub use dims::{MessagePolicy, NeighborScope, Reliability, UpdaterCount};
+pub use lattice::{CellBound, Strength};
+pub use model::{CommModel, Family};
+pub use step::{ActivationSeq, ActivationStep, ChannelAction, NodeUpdate, Take};

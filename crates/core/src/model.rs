@@ -1,0 +1,251 @@
+//! The 24 communication models and their named families (Sec. 2.2–2.3).
+
+use std::error::Error;
+use std::fmt;
+use std::str::FromStr;
+
+use crate::dims::{MessagePolicy, NeighborScope, Reliability};
+
+/// A point in the model space: reliability × neighbor scope × message
+/// policy (with one node updating per step, as in Sec. 2.3).
+///
+/// ```
+/// use routelab_core::model::CommModel;
+/// let m: CommModel = "RMS".parse()?;
+/// assert_eq!(m.to_string(), "RMS");
+/// assert!(m.family() == routelab_core::model::Family::Queueing);
+/// # Ok::<(), routelab_core::model::ParseModelError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct CommModel {
+    /// Channel reliability (`R`/`U`).
+    pub reliability: Reliability,
+    /// Neighbors processed per update (`1`/`M`/`E`).
+    pub scope: NeighborScope,
+    /// Messages processed per channel (`O`/`S`/`F`/`A`).
+    pub messages: MessagePolicy,
+}
+
+/// The named model families highlighted in Sec. 2.3.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Family {
+    /// `R1A`, `RMA`, `REA` — nodes learn neighbors' *current* state
+    /// ("poll one", "poll some", "poll all").
+    Polling,
+    /// `R1O`, `RMO`, `REO` — one message per processed channel, as in the
+    /// original SPP work; `R1O` is the event-driven model.
+    MessagePassing,
+    /// `RMS`, `UMS` — unrestricted processing; the models closest to a
+    /// conformant BGP implementation, and the strongest realizers.
+    Queueing,
+    /// Everything else in the taxonomy.
+    Other,
+}
+
+impl CommModel {
+    /// Creates a model from its three dimensions.
+    pub fn new(
+        reliability: Reliability,
+        scope: NeighborScope,
+        messages: MessagePolicy,
+    ) -> Self {
+        CommModel { reliability, scope, messages }
+    }
+
+    /// All 24 models in Figure 3/4 row order: all reliable models
+    /// (`R1O, RMO, REO, R1S, …, REA`), then all unreliable ones.
+    pub fn all() -> Vec<CommModel> {
+        let mut out = Vec::with_capacity(24);
+        for w in Reliability::ALL {
+            for y in MessagePolicy::ALL {
+                for x in NeighborScope::ALL {
+                    out.push(CommModel::new(w, x, y));
+                }
+            }
+        }
+        out
+    }
+
+    /// The 12 reliable models in Figure 3 column order.
+    pub fn all_reliable() -> Vec<CommModel> {
+        CommModel::all().into_iter().filter(|m| m.reliability == Reliability::Reliable).collect()
+    }
+
+    /// The 12 unreliable models in Figure 4 column order.
+    pub fn all_unreliable() -> Vec<CommModel> {
+        CommModel::all()
+            .into_iter()
+            .filter(|m| m.reliability == Reliability::Unreliable)
+            .collect()
+    }
+
+    /// The family this model belongs to (Sec. 2.3 uses reliable channels for
+    /// the polling and message-passing families; queueing covers `RMS` and
+    /// `UMS`).
+    pub fn family(self) -> Family {
+        use MessagePolicy as P;
+        use NeighborScope as S;
+        use Reliability as R;
+        match (self.reliability, self.scope, self.messages) {
+            (R::Reliable, _, P::All) => Family::Polling,
+            (R::Reliable, _, P::One) => Family::MessagePassing,
+            (_, S::Multiple, P::Some) => Family::Queueing,
+            _ => Family::Other,
+        }
+    }
+
+    /// The same model over reliable channels.
+    pub fn to_reliable(self) -> CommModel {
+        CommModel { reliability: Reliability::Reliable, ..self }
+    }
+
+    /// The same model over unreliable channels.
+    pub fn to_unreliable(self) -> CommModel {
+        CommModel { reliability: Reliability::Unreliable, ..self }
+    }
+
+    /// Index of this model within [`CommModel::all`].
+    pub fn index(self) -> usize {
+        let w = match self.reliability {
+            Reliability::Reliable => 0,
+            Reliability::Unreliable => 1,
+        };
+        let y = MessagePolicy::ALL
+            .iter()
+            .position(|&m| m == self.messages)
+            .expect("policy in ALL");
+        let x = NeighborScope::ALL.iter().position(|&s| s == self.scope).expect("scope in ALL");
+        w * 12 + y * 3 + x
+    }
+}
+
+/// `Display` writes the paper's three-letter abbreviation, e.g. `RMS`.
+impl fmt::Display for CommModel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}{}{}",
+            self.reliability.symbol(),
+            self.scope.symbol(),
+            self.messages.symbol()
+        )
+    }
+}
+
+/// Error parsing a three-letter model abbreviation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseModelError {
+    input: String,
+}
+
+impl fmt::Display for ParseModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "invalid model {:?}: expected [RU][1ME][OSFA], e.g. \"RMS\"",
+            self.input
+        )
+    }
+}
+
+impl Error for ParseModelError {}
+
+impl FromStr for CommModel {
+    type Err = ParseModelError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let err = || ParseModelError { input: s.to_string() };
+        let chars: Vec<char> = s.chars().collect();
+        if chars.len() != 3 {
+            return Err(err());
+        }
+        let reliability = Reliability::ALL
+            .into_iter()
+            .find(|r| r.symbol() == chars[0])
+            .ok_or_else(err)?;
+        let scope = NeighborScope::ALL
+            .into_iter()
+            .find(|x| x.symbol() == chars[1])
+            .ok_or_else(err)?;
+        let messages = MessagePolicy::ALL
+            .into_iter()
+            .find(|y| y.symbol() == chars[2])
+            .ok_or_else(err)?;
+        Ok(CommModel { reliability, scope, messages })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn twenty_four_models_in_figure_order() {
+        let all = CommModel::all();
+        assert_eq!(all.len(), 24);
+        let names: Vec<String> = all.iter().map(|m| m.to_string()).collect();
+        assert_eq!(
+            &names[..12],
+            &[
+                "R1O", "RMO", "REO", "R1S", "RMS", "RES", "R1F", "RMF", "REF", "R1A", "RMA",
+                "REA"
+            ]
+        );
+        assert_eq!(names[12], "U1O");
+        assert_eq!(names[23], "UEA");
+        // index() agrees with position.
+        for (i, m) in all.iter().enumerate() {
+            assert_eq!(m.index(), i, "{m}");
+        }
+    }
+
+    #[test]
+    fn parse_round_trips() {
+        for m in CommModel::all() {
+            let s = m.to_string();
+            let back: CommModel = s.parse().unwrap();
+            assert_eq!(back, m);
+        }
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        for bad in ["", "R", "RM", "RMSX", "XMS", "RXS", "RMX", "rms"] {
+            assert!(bad.parse::<CommModel>().is_err(), "{bad:?}");
+        }
+        let e = "ZZZ".parse::<CommModel>().unwrap_err();
+        assert!(e.to_string().contains("ZZZ"));
+    }
+
+    #[test]
+    fn families_match_section_2_3() {
+        let f = |s: &str| s.parse::<CommModel>().unwrap().family();
+        assert_eq!(f("R1A"), Family::Polling);
+        assert_eq!(f("RMA"), Family::Polling);
+        assert_eq!(f("REA"), Family::Polling);
+        assert_eq!(f("R1O"), Family::MessagePassing);
+        assert_eq!(f("RMO"), Family::MessagePassing);
+        assert_eq!(f("REO"), Family::MessagePassing);
+        assert_eq!(f("RMS"), Family::Queueing);
+        assert_eq!(f("UMS"), Family::Queueing);
+        assert_eq!(f("RES"), Family::Other);
+        assert_eq!(f("U1O"), Family::Other);
+        assert_eq!(f("UEA"), Family::Other);
+    }
+
+    #[test]
+    fn reliability_flips() {
+        let m: CommModel = "RMS".parse().unwrap();
+        assert_eq!(m.to_unreliable().to_string(), "UMS");
+        assert_eq!(m.to_unreliable().to_reliable(), m);
+    }
+
+    #[test]
+    fn reliable_and_unreliable_partitions() {
+        assert_eq!(CommModel::all_reliable().len(), 12);
+        assert_eq!(CommModel::all_unreliable().len(), 12);
+        assert!(CommModel::all_reliable()
+            .iter()
+            .all(|m| m.reliability == Reliability::Reliable));
+    }
+}

@@ -1,0 +1,323 @@
+//! The published Figure 3 and Figure 4 matrices, transcribed cell by cell.
+//!
+//! Cell tokens use the figures' conventions (see [`CellBound::from_token`]):
+//! `4`/`3`/`2` exact levels, `>=k`/`<=k` one-sided bounds, `2,3` a two-value
+//! range, `-1` for "does not preserve oscillations", `.` for blank
+//! (unknown), `-` for the diagonal.
+
+use std::fmt;
+
+use crate::closure::BoundsMatrix;
+use crate::lattice::CellBound;
+use crate::model::CommModel;
+
+/// A published table: rows are all 24 models, columns the 12 reliable
+/// (Fig. 3) or 12 unreliable (Fig. 4) models.
+#[derive(Debug, Clone)]
+pub struct PaperTable {
+    /// Table name, `"Figure 3"` or `"Figure 4"`.
+    pub name: &'static str,
+    /// Row models (realized), figure order.
+    pub rows: Vec<CommModel>,
+    /// Column models (realizers), figure order.
+    pub cols: Vec<CommModel>,
+    /// `cells[r][c]`; `None` on the diagonal.
+    pub cells: Vec<Vec<Option<CellBound>>>,
+}
+
+impl PaperTable {
+    /// The published bound for `(realized, realizer)`, if the pair is in the
+    /// table and off-diagonal.
+    pub fn get(&self, realized: CommModel, realizer: CommModel) -> Option<CellBound> {
+        let r = self.rows.iter().position(|&m| m == realized)?;
+        let c = self.cols.iter().position(|&m| m == realizer)?;
+        self.cells[r][c]
+    }
+}
+
+/// Figure 3 rows (reliable realizers). Tokens separated by whitespace.
+const FIG3: [&str; 24] = [
+    //        R1O   RMO   REO   R1S   RMS   RES   R1F   RMF   REF   R1A   RMA   REA
+    /* R1O */ "-     4     -1    4     4     4     4     4     -1    -1    -1    -1",
+    /* RMO */ "3     -     -1    3     4     4     3     4     -1    -1    -1    -1",
+    /* REO */ "3     4     -     3     4     4     3     4     4     -1    -1    -1",
+    /* R1S */ "2     2     -1    -     4     4     >=2   >=2   -1    -1    -1    -1",
+    /* RMS */ "2     2     -1    3     -     4     2,3   >=2   -1    -1    -1    -1",
+    /* RES */ "2     2     -1    3     4     -     2,3   >=2   -1    -1    -1    -1",
+    /* R1F */ "2     2     -1    4     4     4     -     4     -1    -1    -1    -1",
+    /* RMF */ "2     2     -1    3     4     4     3     -     -1    -1    -1    -1",
+    /* REF */ "2     2     <=2   3     4     4     3     4     -     -1    -1    -1",
+    /* R1A */ "2     2     <=2   4     4     4     4     4     .     -     4     .",
+    /* RMA */ "2     2     <=2   3     4     4     3     4     .     3     -     .",
+    /* REA */ "2     2     <=2   3     4     4     3     4     4     3     4     -",
+    /* U1O */ ">=2   >=2   -1    4     4     4     >=2   >=2   -1    -1    -1    -1",
+    /* UMO */ "2,3   >=2   -1    3     >=3   >=3   2,3   >=2   -1    -1    -1    -1",
+    /* UEO */ "2,3   >=2   .     3     >=3   >=3   2,3   >=2   .     -1    -1    -1",
+    /* U1S */ "2     2     -1    >=3   >=3   >=3   >=2   >=2   -1    -1    -1    -1",
+    /* UMS */ "2     2     -1    3     >=3   >=3   2,3   >=2   -1    -1    -1    -1",
+    /* UES */ "2     2     -1    3     >=3   >=3   2,3   >=2   -1    -1    -1    -1",
+    /* U1F */ "2     2     -1    >=3   >=3   >=3   >=2   >=2   -1    -1    -1    -1",
+    /* UMF */ "2     2     -1    3     >=3   >=3   2,3   >=2   -1    -1    -1    -1",
+    /* UEF */ "2     2     <=2   3     >=3   >=3   2,3   >=2   .     -1    -1    -1",
+    /* U1A */ "2     2     <=2   >=3   >=3   >=3   >=2   >=2   .     .     .     .",
+    /* UMA */ "2     2     <=2   3     >=3   >=3   2,3   >=2   .     <=3   .     .",
+    /* UEA */ "2     2     <=2   3     >=3   >=3   2,3   >=2   .     <=3   .     .",
+];
+
+/// Figure 4 rows (unreliable realizers).
+const FIG4: [&str; 24] = [
+    //        U1O   UMO   UEO   U1S   UMS   UES   U1F   UMF   UEF   U1A   UMA   UEA
+    /* R1O */ "4     4     .     4     4     4     4     4     .     .     .     .",
+    /* RMO */ "3     4     .     >=3   4     4     >=3   4     .     .     .     .",
+    /* REO */ "3     4     4     >=3   4     4     >=3   4     4     .     .     .",
+    /* R1S */ ">=3   >=3   .     4     4     4     >=3   >=3   .     .     .     .",
+    /* RMS */ "3     >=3   .     >=3   4     4     >=3   >=3   .     .     .     .",
+    /* RES */ "3     >=3   .     >=3   4     4     >=3   >=3   .     .     .     .",
+    /* R1F */ ">=3   >=3   .     4     4     4     4     4     .     .     .     .",
+    /* RMF */ "3     >=3   .     >=3   4     4     >=3   4     .     .     .     .",
+    /* REF */ "3     >=3   .     >=3   4     4     >=3   4     4     .     .     .",
+    /* R1A */ ">=3   >=3   .     4     4     4     4     4     .     4     4     .",
+    /* RMA */ "3     >=3   .     >=3   4     4     >=3   4     .     >=3   4     .",
+    /* REA */ "3     >=3   .     >=3   4     4     >=3   4     4     >=3   4     4",
+    /* U1O */ "-     4     .     4     4     4     4     4     .     .     .     .",
+    /* UMO */ "3     -     .     >=3   4     4     >=3   4     .     .     .     .",
+    /* UEO */ "3     4     -     >=3   4     4     >=3   4     4     .     .     .",
+    /* U1S */ ">=3   >=3   .     -     4     4     >=3   >=3   .     .     .     .",
+    /* UMS */ "3     >=3   .     >=3   -     4     >=3   >=3   .     .     .     .",
+    /* UES */ "3     >=3   .     >=3   4     -     >=3   >=3   .     .     .     .",
+    /* U1F */ ">=3   >=3   .     4     4     4     -     4     .     .     .     .",
+    /* UMF */ "3     >=3   .     >=3   4     4     >=3   -     .     .     .     .",
+    /* UEF */ "3     >=3   .     >=3   4     4     >=3   4     -     .     .     .",
+    /* U1A */ ">=3   >=3   .     4     4     4     4     4     .     -     4     .",
+    /* UMA */ "3     >=3   .     >=3   4     4     >=3   4     .     >=3   -     .",
+    /* UEA */ "3     >=3   .     >=3   4     4     >=3   4     4     >=3   4     -",
+];
+
+fn parse_table(
+    name: &'static str,
+    cols: Vec<CommModel>,
+    raw: &[&str; 24],
+) -> PaperTable {
+    let rows = CommModel::all();
+    let mut cells = Vec::with_capacity(24);
+    for (r, line) in raw.iter().enumerate() {
+        let toks: Vec<&str> = line.split_whitespace().collect();
+        assert_eq!(toks.len(), cols.len(), "{name} row {r} has {} tokens", toks.len());
+        let mut row = Vec::with_capacity(cols.len());
+        for (c, tok) in toks.iter().enumerate() {
+            if *tok == "-" {
+                assert_eq!(rows[r], cols[c], "{name}: diagonal marker off-diagonal");
+                row.push(None);
+            } else {
+                let bound = CellBound::from_token(tok)
+                    .unwrap_or_else(|| panic!("{name} row {r} col {c}: bad token {tok:?}"));
+                row.push(Some(bound));
+            }
+        }
+        cells.push(row);
+    }
+    PaperTable { name, rows, cols, cells }
+}
+
+/// The published Figure 3 (ability of reliable-channel models to realize all
+/// 24 models).
+pub fn figure3() -> PaperTable {
+    parse_table("Figure 3", CommModel::all_reliable(), &FIG3)
+}
+
+/// The published Figure 4 (ability of unreliable-channel models to realize
+/// all 24 models).
+pub fn figure4() -> PaperTable {
+    parse_table("Figure 4", CommModel::all_unreliable(), &FIG4)
+}
+
+/// How a computed cell relates to the published one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CellVerdict {
+    /// Identical bounds.
+    Match,
+    /// Computed interval strictly inside the published one (we know more).
+    Tighter,
+    /// Published interval strictly inside the computed one (we know less).
+    Looser,
+    /// Overlapping but incomparable intervals.
+    Incomparable,
+    /// Disjoint intervals — a genuine contradiction.
+    Conflict,
+}
+
+/// One compared cell.
+#[derive(Debug, Clone, Copy)]
+pub struct CellComparison {
+    /// Row model (realized).
+    pub realized: CommModel,
+    /// Column model (realizer).
+    pub realizer: CommModel,
+    /// Published bound.
+    pub published: CellBound,
+    /// Computed bound.
+    pub computed: CellBound,
+    /// Relationship.
+    pub verdict: CellVerdict,
+}
+
+/// Summary of a table comparison.
+#[derive(Debug, Clone, Default)]
+pub struct Comparison {
+    /// All off-diagonal cells with their verdicts.
+    pub cells: Vec<CellComparison>,
+}
+
+impl Comparison {
+    /// Number of cells with the given verdict.
+    pub fn count(&self, v: CellVerdict) -> usize {
+        self.cells.iter().filter(|c| c.verdict == v).count()
+    }
+
+    /// All conflicting cells.
+    pub fn conflicts(&self) -> Vec<&CellComparison> {
+        self.cells.iter().filter(|c| c.verdict == CellVerdict::Conflict).collect()
+    }
+}
+
+impl fmt::Display for Comparison {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{} cells: {} match, {} tighter, {} looser, {} incomparable, {} conflicts",
+            self.cells.len(),
+            self.count(CellVerdict::Match),
+            self.count(CellVerdict::Tighter),
+            self.count(CellVerdict::Looser),
+            self.count(CellVerdict::Incomparable),
+            self.count(CellVerdict::Conflict),
+        )?;
+        for c in &self.cells {
+            if c.verdict != CellVerdict::Match {
+                writeln!(
+                    f,
+                    "  {} realized by {}: paper {} vs computed {} ({:?})",
+                    c.realized, c.realizer, c.published, c.computed, c.verdict
+                )?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Compares computed bounds against a published table, cell by cell.
+pub fn compare(computed: &BoundsMatrix, table: &PaperTable) -> Comparison {
+    let mut out = Comparison::default();
+    for &a in &table.rows {
+        for &b in &table.cols {
+            let Some(published) = table.get(a, b) else { continue };
+            let comp = computed.get(a, b);
+            let verdict = if comp == published {
+                CellVerdict::Match
+            } else if comp.lower > published.upper || comp.upper < published.lower {
+                CellVerdict::Conflict
+            } else if comp.refines(published) {
+                CellVerdict::Tighter
+            } else if published.refines(comp) {
+                CellVerdict::Looser
+            } else {
+                CellVerdict::Incomparable
+            };
+            out.cells.push(CellComparison {
+                realized: a,
+                realizer: b,
+                published,
+                computed: comp,
+                verdict,
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::closure::derive_bounds;
+    use crate::edges::foundational_facts;
+
+    #[test]
+    fn tables_parse() {
+        let f3 = figure3();
+        assert_eq!(f3.rows.len(), 24);
+        assert_eq!(f3.cols.len(), 12);
+        // 24*12 cells, 12 of them diagonal.
+        let non_diag: usize =
+            f3.cells.iter().flatten().filter(|c| c.is_some()).count();
+        assert_eq!(non_diag, 24 * 12 - 12);
+        let f4 = figure4();
+        let non_diag4: usize =
+            f4.cells.iter().flatten().filter(|c| c.is_some()).count();
+        assert_eq!(non_diag4, 24 * 12 - 12);
+    }
+
+    #[test]
+    fn spot_check_published_cells() {
+        let f3 = figure3();
+        let g = |a: &str, b: &str| f3.get(a.parse().unwrap(), b.parse().unwrap()).unwrap();
+        assert_eq!(g("R1O", "RMO"), CellBound::exactly(4));
+        assert_eq!(g("R1O", "REO"), CellBound::exactly(0)); // -1
+        assert_eq!(g("RMS", "R1F"), CellBound { lower: 2, upper: 3 });
+        assert_eq!(g("U1O", "R1O"), CellBound::at_least(2));
+        assert_eq!(g("REA", "REO"), CellBound::at_most(2));
+        assert_eq!(g("R1A", "REF"), CellBound::unknown()); // blank
+        let f4 = figure4();
+        let g4 = |a: &str, b: &str| f4.get(a.parse().unwrap(), b.parse().unwrap()).unwrap();
+        assert_eq!(g4("REO", "UEO"), CellBound::exactly(4));
+        assert_eq!(g4("R1O", "UEO"), CellBound::unknown());
+        assert_eq!(g4("UMA", "U1A"), CellBound::at_least(3));
+    }
+
+    #[test]
+    fn no_conflicts_with_derived_bounds() {
+        let bounds = derive_bounds(&foundational_facts());
+        for table in [figure3(), figure4()] {
+            let cmp = compare(&bounds, &table);
+            let conflicts = cmp.conflicts();
+            assert!(
+                conflicts.is_empty(),
+                "{}: {} conflicts\n{}",
+                table.name,
+                conflicts.len(),
+                cmp
+            );
+        }
+    }
+
+    #[test]
+    fn derived_bounds_reproduce_figures() {
+        // The closure should recover the published entry in (almost) every
+        // cell. We require: zero conflicts, zero looser cells (we never know
+        // *less* than the paper), and report the match rate.
+        let bounds = derive_bounds(&foundational_facts());
+        for table in [figure3(), figure4()] {
+            let cmp = compare(&bounds, &table);
+            assert_eq!(cmp.count(CellVerdict::Conflict), 0, "{}\n{}", table.name, cmp);
+            assert_eq!(cmp.count(CellVerdict::Looser), 0, "{}\n{}", table.name, cmp);
+            assert_eq!(cmp.count(CellVerdict::Incomparable), 0, "{}\n{}", table.name, cmp);
+        }
+    }
+
+    #[test]
+    fn diagonal_query_returns_none() {
+        let f3 = figure3();
+        let m: CommModel = "RMS".parse().unwrap();
+        assert!(f3.get(m, m).is_none());
+        // Unreliable realizer not in Figure 3 columns.
+        let u: CommModel = "UMS".parse().unwrap();
+        assert!(f3.get(m, u).is_none());
+    }
+
+    #[test]
+    fn comparison_display_lists_nonmatches() {
+        let bounds = derive_bounds(&foundational_facts());
+        let cmp = compare(&bounds, &figure3());
+        let s = cmp.to_string();
+        assert!(s.contains("cells:"), "{s}");
+    }
+}

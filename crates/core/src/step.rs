@@ -1,0 +1,298 @@
+//! Activation steps and sequences (Definition 2.2).
+//!
+//! A general activation-sequence entry is a quadruple `(U, X, f, g)`:
+//! updating nodes, processed channels, per-channel message counts, and
+//! per-channel drop sets. Here a step is represented structurally: a set of
+//! [`NodeUpdate`]s (usually one), each holding the [`ChannelAction`]s for the
+//! channels that node processes.
+
+use std::collections::BTreeSet;
+use std::error::Error;
+use std::fmt;
+
+use routelab_spp::{Channel, NodeId};
+
+/// How many messages to process from one channel (the paper's `f(c)`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Take {
+    /// Process the first `n` messages (capped at the channel length at
+    /// execution time). `Count(0)` processes nothing.
+    Count(u32),
+    /// Process every message currently in the channel (`f(c) = ∞`).
+    All,
+}
+
+impl fmt::Display for Take {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Take::Count(n) => write!(f, "{n}"),
+            Take::All => write!(f, "∞"),
+        }
+    }
+}
+
+/// Malformed channel action per the constraints of Definition 2.2.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InvalidActionError {
+    reason: String,
+}
+
+impl fmt::Display for InvalidActionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid channel action: {}", self.reason)
+    }
+}
+
+impl Error for InvalidActionError {}
+
+/// Processing of one channel within a step: `(f(c), g(c))`.
+///
+/// Invariants (Definition 2.2): if `f(c) = 0` then `g(c) = ∅`; if
+/// `0 < f(c) < ∞` then `g(c) ⊆ {1, …, f(c)}`. Drop indices are 1-based.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ChannelAction {
+    channel: Channel,
+    take: Take,
+    drops: BTreeSet<u32>,
+}
+
+impl ChannelAction {
+    /// Processes `channel` with count `take` and drop set `drops`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InvalidActionError`] when the Definition 2.2 constraints on
+    /// `(f, g)` are violated.
+    pub fn new(
+        channel: Channel,
+        take: Take,
+        drops: BTreeSet<u32>,
+    ) -> Result<Self, InvalidActionError> {
+        if drops.contains(&0) {
+            return Err(InvalidActionError { reason: "drop indices are 1-based".into() });
+        }
+        match take {
+            Take::Count(0) if !drops.is_empty() => {
+                return Err(InvalidActionError {
+                    reason: "f(c) = 0 requires g(c) = ∅".into(),
+                })
+            }
+            Take::Count(k) => {
+                if drops.iter().any(|&i| i > k) {
+                    return Err(InvalidActionError {
+                        reason: format!("g(c) must be a subset of 1..={k}"),
+                    });
+                }
+            }
+            Take::All => {}
+        }
+        Ok(ChannelAction { channel, take, drops })
+    }
+
+    /// Reads one message, keeping it (`f = 1`, `g = ∅`).
+    pub fn read_one(channel: Channel) -> Self {
+        ChannelAction { channel, take: Take::Count(1), drops: BTreeSet::new() }
+    }
+
+    /// Reads one message and drops it (`f = 1`, `g = {1}`), the unreliable
+    /// single read.
+    pub fn drop_one(channel: Channel) -> Self {
+        ChannelAction { channel, take: Take::Count(1), drops: BTreeSet::from([1]) }
+    }
+
+    /// Reads `k` messages, keeping all (`f = k`, `g = ∅`).
+    pub fn read_count(channel: Channel, k: u32) -> Self {
+        ChannelAction { channel, take: Take::Count(k), drops: BTreeSet::new() }
+    }
+
+    /// Reads the whole channel, keeping everything (`f = ∞`, `g = ∅`).
+    pub fn read_all(channel: Channel) -> Self {
+        ChannelAction { channel, take: Take::All, drops: BTreeSet::new() }
+    }
+
+    /// Targets the channel but reads nothing (`f = 0`).
+    pub fn skip(channel: Channel) -> Self {
+        ChannelAction { channel, take: Take::Count(0), drops: BTreeSet::new() }
+    }
+
+    /// The processed channel.
+    pub fn channel(&self) -> Channel {
+        self.channel
+    }
+
+    /// The message count `f(c)`.
+    pub fn take(&self) -> Take {
+        self.take
+    }
+
+    /// The drop set `g(c)` (1-based indices).
+    pub fn drops(&self) -> &BTreeSet<u32> {
+        &self.drops
+    }
+
+    /// `true` when no message is dropped.
+    pub fn is_lossless(&self) -> bool {
+        self.drops.is_empty()
+    }
+
+    /// `true` when at least one message is targeted (`f ≥ 1`), i.e. the node
+    /// genuinely *tries to read* the channel in the sense of fairness
+    /// (Definition 2.4).
+    pub fn attends(&self) -> bool {
+        !matches!(self.take, Take::Count(0))
+    }
+}
+
+impl fmt::Display for ChannelAction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}·f={}", self.channel, self.take)?;
+        if !self.drops.is_empty() {
+            let idx: Vec<String> = self.drops.iter().map(u32::to_string).collect();
+            write!(f, "·g={{{}}}", idx.join(","))?;
+        }
+        Ok(())
+    }
+}
+
+/// One node's part of a step: the node and its channel actions.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct NodeUpdate {
+    /// The updating node `v ∈ U`.
+    pub node: NodeId,
+    /// Actions on a subset of `v`'s incoming channels.
+    pub actions: Vec<ChannelAction>,
+}
+
+impl NodeUpdate {
+    /// An update processing the given channels.
+    pub fn new(node: NodeId, actions: Vec<ChannelAction>) -> Self {
+        NodeUpdate { node, actions }
+    }
+
+    /// An update that processes no channels (the node still re-chooses and
+    /// possibly announces — relevant when its known routes already changed).
+    pub fn bare(node: NodeId) -> Self {
+        NodeUpdate { node, actions: Vec::new() }
+    }
+}
+
+impl fmt::Display for NodeUpdate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}[", self.node)?;
+        for (i, a) in self.actions.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ")?;
+            }
+            write!(f, "{a}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+/// A step of the activation sequence: the quadruple `(U, X, f, g)` grouped
+/// per node. Usually `|U| = 1`; Example A.6 uses more.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ActivationStep {
+    /// The node updates, one per element of `U`.
+    pub updates: Vec<NodeUpdate>,
+}
+
+impl ActivationStep {
+    /// A single-node step.
+    pub fn single(update: NodeUpdate) -> Self {
+        ActivationStep { updates: vec![update] }
+    }
+
+    /// A multi-node step (Example A.6).
+    pub fn simultaneous(updates: Vec<NodeUpdate>) -> Self {
+        ActivationStep { updates }
+    }
+
+    /// The single updating node, if `|U| = 1`.
+    pub fn sole_node(&self) -> Option<NodeId> {
+        match self.updates.as_slice() {
+            [u] => Some(u.node),
+            _ => None,
+        }
+    }
+
+    /// Iterates over all channel actions across all updates.
+    pub fn actions(&self) -> impl Iterator<Item = &ChannelAction> {
+        self.updates.iter().flat_map(|u| u.actions.iter())
+    }
+}
+
+impl fmt::Display for ActivationStep {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, u) in self.updates.iter().enumerate() {
+            if i > 0 {
+                write!(f, " + ")?;
+            }
+            write!(f, "{u}")?;
+        }
+        Ok(())
+    }
+}
+
+/// A finite prefix of an activation sequence.
+pub type ActivationSeq = Vec<ActivationStep>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ch() -> Channel {
+        Channel::new(NodeId(0), NodeId(1))
+    }
+
+    #[test]
+    fn constructors_set_f_and_g() {
+        assert_eq!(ChannelAction::read_one(ch()).take(), Take::Count(1));
+        assert!(ChannelAction::read_one(ch()).is_lossless());
+        assert_eq!(ChannelAction::drop_one(ch()).drops(), &BTreeSet::from([1]));
+        assert_eq!(ChannelAction::read_all(ch()).take(), Take::All);
+        assert!(!ChannelAction::skip(ch()).attends());
+        assert!(ChannelAction::read_all(ch()).attends());
+        assert_eq!(ChannelAction::read_count(ch(), 5).take(), Take::Count(5));
+    }
+
+    #[test]
+    fn definition_2_2_constraints() {
+        // f = 0 requires g = ∅.
+        assert!(ChannelAction::new(ch(), Take::Count(0), BTreeSet::from([1])).is_err());
+        // g ⊆ 1..=f for finite f.
+        assert!(ChannelAction::new(ch(), Take::Count(2), BTreeSet::from([3])).is_err());
+        assert!(ChannelAction::new(ch(), Take::Count(2), BTreeSet::from([1, 2])).is_ok());
+        // 0 is not a valid 1-based index.
+        assert!(ChannelAction::new(ch(), Take::All, BTreeSet::from([0])).is_err());
+        // With f = ∞ any positive indices are fine.
+        assert!(ChannelAction::new(ch(), Take::All, BTreeSet::from([7, 9])).is_ok());
+        let e = ChannelAction::new(ch(), Take::Count(0), BTreeSet::from([1])).unwrap_err();
+        assert!(e.to_string().contains("f(c) = 0"));
+    }
+
+    #[test]
+    fn step_accessors() {
+        let u = NodeUpdate::new(NodeId(1), vec![ChannelAction::read_one(ch())]);
+        let s = ActivationStep::single(u.clone());
+        assert_eq!(s.sole_node(), Some(NodeId(1)));
+        assert_eq!(s.actions().count(), 1);
+        let multi = ActivationStep::simultaneous(vec![u, NodeUpdate::bare(NodeId(2))]);
+        assert_eq!(multi.sole_node(), None);
+        assert_eq!(multi.actions().count(), 1);
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let a = ChannelAction::new(ch(), Take::Count(2), BTreeSet::from([1])).unwrap();
+        let s = a.to_string();
+        assert!(s.contains("f=2"), "{s}");
+        assert!(s.contains("g={1}"), "{s}");
+        assert!(ChannelAction::read_all(ch()).to_string().contains('∞'));
+        let u = NodeUpdate::new(NodeId(1), vec![a]);
+        assert!(u.to_string().starts_with("1["));
+        let step =
+            ActivationStep::simultaneous(vec![u.clone(), NodeUpdate::bare(NodeId(2))]);
+        assert!(step.to_string().contains(" + "));
+    }
+}

@@ -1,0 +1,333 @@
+//! Legality of activation steps under a communication model.
+//!
+//! Each model in the taxonomy is a *restricted class of activation
+//! sequences* (Sec. 2.1); this module decides membership of individual steps
+//! — and hence finite sequences — in that class.
+
+use std::error::Error;
+use std::fmt;
+
+use routelab_spp::{Graph, NodeId};
+
+use crate::dims::{MessagePolicy, NeighborScope, Reliability, UpdaterCount};
+use crate::model::CommModel;
+use crate::step::{ActivationSeq, ActivationStep, NodeUpdate, Take};
+
+/// Why a step is not legal in a model.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ModelViolation {
+    /// The step updates a number of nodes the updater-count dimension
+    /// forbids.
+    UpdaterCount { expected: UpdaterCount, got: usize },
+    /// An action's channel is not an incoming channel of the updating node.
+    ForeignChannel { node: NodeId },
+    /// The same channel appears twice in one update.
+    DuplicateChannel { node: NodeId },
+    /// Neighbor scope violated (e.g. `E` requires all in-channels).
+    Scope { expected: NeighborScope, node: NodeId },
+    /// Message policy violated (e.g. `O` requires `f ≡ 1`).
+    Messages { expected: MessagePolicy, node: NodeId },
+    /// A reliable model with a non-empty drop set.
+    Dropped { node: NodeId },
+}
+
+impl fmt::Display for ModelViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelViolation::UpdaterCount { expected, got } => {
+                write!(f, "step updates {got} nodes but the model requires {expected}")
+            }
+            ModelViolation::ForeignChannel { node } => {
+                write!(f, "node {node} processes a channel it does not read")
+            }
+            ModelViolation::DuplicateChannel { node } => {
+                write!(f, "node {node} processes the same channel twice in one step")
+            }
+            ModelViolation::Scope { expected, node } => {
+                write!(f, "node {node} violates neighbor scope {expected}")
+            }
+            ModelViolation::Messages { expected, node } => {
+                write!(f, "node {node} violates message policy {expected}")
+            }
+            ModelViolation::Dropped { node } => {
+                write!(f, "node {node} drops messages on reliable channels")
+            }
+        }
+    }
+}
+
+impl Error for ModelViolation {}
+
+/// Checks a single node's update against the model dimensions.
+fn check_update(
+    model: CommModel,
+    g: &Graph,
+    u: &NodeUpdate,
+) -> Result<(), ModelViolation> {
+    // Structural: channels into the node, no duplicates.
+    for (i, a) in u.actions.iter().enumerate() {
+        if a.channel().to != u.node || !g.has_edge(a.channel().from, a.channel().to) {
+            return Err(ModelViolation::ForeignChannel { node: u.node });
+        }
+        if u.actions[i + 1..].iter().any(|b| b.channel() == a.channel()) {
+            return Err(ModelViolation::DuplicateChannel { node: u.node });
+        }
+    }
+    // Neighbor scope.
+    let degree = g.degree(u.node);
+    let scope_ok = match model.scope {
+        NeighborScope::One => u.actions.len() == 1,
+        NeighborScope::Multiple => true,
+        NeighborScope::Every => u.actions.len() == degree,
+    };
+    if !scope_ok {
+        return Err(ModelViolation::Scope { expected: model.scope, node: u.node });
+    }
+    // Message policy.
+    for a in &u.actions {
+        let ok = match model.messages {
+            MessagePolicy::One => a.take() == Take::Count(1),
+            MessagePolicy::Some => true,
+            MessagePolicy::Forced => a.attends(),
+            MessagePolicy::All => a.take() == Take::All,
+        };
+        if !ok {
+            return Err(ModelViolation::Messages { expected: model.messages, node: u.node });
+        }
+    }
+    // Reliability.
+    if model.reliability == Reliability::Reliable
+        && u.actions.iter().any(|a| !a.is_lossless())
+    {
+        return Err(ModelViolation::Dropped { node: u.node });
+    }
+    Ok(())
+}
+
+/// Checks a step under a model with the given updater-count dimension.
+///
+/// # Errors
+///
+/// Returns the first [`ModelViolation`] found.
+pub fn check_step_with(
+    model: CommModel,
+    updaters: UpdaterCount,
+    g: &Graph,
+    step: &ActivationStep,
+) -> Result<(), ModelViolation> {
+    let count_ok = match updaters {
+        UpdaterCount::One => step.updates.len() == 1,
+        UpdaterCount::Unrestricted => !step.updates.is_empty(),
+        UpdaterCount::Every => step.updates.len() == g.node_count(),
+    };
+    if !count_ok {
+        return Err(ModelViolation::UpdaterCount { expected: updaters, got: step.updates.len() });
+    }
+    // Distinct updaters.
+    for (i, u) in step.updates.iter().enumerate() {
+        if step.updates[i + 1..].iter().any(|w| w.node == u.node) {
+            return Err(ModelViolation::DuplicateChannel { node: u.node });
+        }
+        check_update(model, g, u)?;
+    }
+    Ok(())
+}
+
+/// Checks a step in the paper's standard setting (`|U| = 1`).
+///
+/// # Errors
+///
+/// Returns the first [`ModelViolation`] found.
+pub fn check_step(
+    model: CommModel,
+    g: &Graph,
+    step: &ActivationStep,
+) -> Result<(), ModelViolation> {
+    check_step_with(model, UpdaterCount::One, g, step)
+}
+
+/// Checks every step of a finite sequence (`|U| = 1` setting).
+///
+/// # Errors
+///
+/// Returns the index of the first offending step with its violation.
+pub fn check_sequence(
+    model: CommModel,
+    g: &Graph,
+    seq: &ActivationSeq,
+) -> Result<(), (usize, ModelViolation)> {
+    for (t, step) in seq.iter().enumerate() {
+        check_step(model, g, step).map_err(|e| (t, e))?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::step::ChannelAction;
+    use routelab_spp::gadgets;
+    use routelab_spp::Channel;
+
+    fn disagree_graph() -> (Graph, NodeId, NodeId, NodeId) {
+        let inst = gadgets::disagree();
+        let d = inst.dest();
+        let x = inst.node_by_name("x").unwrap();
+        let y = inst.node_by_name("y").unwrap();
+        (inst.graph().clone(), d, x, y)
+    }
+
+    fn m(s: &str) -> CommModel {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn scope_one_requires_exactly_one_channel() {
+        let (g, d, x, y) = disagree_graph();
+        let one = ActivationStep::single(NodeUpdate::new(
+            x,
+            vec![ChannelAction::read_one(Channel::new(d, x))],
+        ));
+        assert!(check_step(m("R1O"), &g, &one).is_ok());
+        let two = ActivationStep::single(NodeUpdate::new(
+            x,
+            vec![
+                ChannelAction::read_one(Channel::new(d, x)),
+                ChannelAction::read_one(Channel::new(y, x)),
+            ],
+        ));
+        assert!(matches!(check_step(m("R1O"), &g, &two), Err(ModelViolation::Scope { .. })));
+        assert!(check_step(m("RMO"), &g, &two).is_ok());
+    }
+
+    #[test]
+    fn scope_every_requires_all_channels() {
+        let (g, d, x, y) = disagree_graph();
+        let partial = ActivationStep::single(NodeUpdate::new(
+            x,
+            vec![ChannelAction::read_all(Channel::new(d, x))],
+        ));
+        assert!(matches!(
+            check_step(m("REA"), &g, &partial),
+            Err(ModelViolation::Scope { .. })
+        ));
+        let full = ActivationStep::single(NodeUpdate::new(
+            x,
+            vec![
+                ChannelAction::read_all(Channel::new(d, x)),
+                ChannelAction::read_all(Channel::new(y, x)),
+            ],
+        ));
+        assert!(check_step(m("REA"), &g, &full).is_ok());
+    }
+
+    #[test]
+    fn message_policies() {
+        let (g, d, x, _) = disagree_graph();
+        let c = Channel::new(d, x);
+        let mk = |a: ChannelAction| ActivationStep::single(NodeUpdate::new(x, vec![a]));
+        // O: exactly one.
+        assert!(check_step(m("R1O"), &g, &mk(ChannelAction::read_one(c))).is_ok());
+        assert!(check_step(m("R1O"), &g, &mk(ChannelAction::read_count(c, 2))).is_err());
+        assert!(check_step(m("R1O"), &g, &mk(ChannelAction::read_all(c))).is_err());
+        // A: all.
+        assert!(check_step(m("R1A"), &g, &mk(ChannelAction::read_all(c))).is_ok());
+        assert!(check_step(m("R1A"), &g, &mk(ChannelAction::read_one(c))).is_err());
+        // F: at least one.
+        assert!(check_step(m("R1F"), &g, &mk(ChannelAction::read_count(c, 3))).is_ok());
+        assert!(check_step(m("R1F"), &g, &mk(ChannelAction::read_all(c))).is_ok());
+        assert!(check_step(m("R1F"), &g, &mk(ChannelAction::skip(c))).is_err());
+        // S: anything.
+        assert!(check_step(m("R1S"), &g, &mk(ChannelAction::skip(c))).is_ok());
+        assert!(check_step(m("R1S"), &g, &mk(ChannelAction::read_all(c))).is_ok());
+    }
+
+    #[test]
+    fn reliability_forbids_drops() {
+        let (g, d, x, _) = disagree_graph();
+        let c = Channel::new(d, x);
+        let dropping = ActivationStep::single(NodeUpdate::new(x, vec![ChannelAction::drop_one(c)]));
+        assert!(matches!(
+            check_step(m("R1O"), &g, &dropping),
+            Err(ModelViolation::Dropped { .. })
+        ));
+        assert!(check_step(m("U1O"), &g, &dropping).is_ok());
+    }
+
+    #[test]
+    fn foreign_and_duplicate_channels_rejected() {
+        let (g, d, x, y) = disagree_graph();
+        // Channel into a different node.
+        let foreign = ActivationStep::single(NodeUpdate::new(
+            x,
+            vec![ChannelAction::read_one(Channel::new(d, y))],
+        ));
+        assert!(matches!(
+            check_step(m("R1O"), &g, &foreign),
+            Err(ModelViolation::ForeignChannel { .. })
+        ));
+        // Same channel twice.
+        let dup = ActivationStep::single(NodeUpdate::new(
+            x,
+            vec![
+                ChannelAction::read_one(Channel::new(d, x)),
+                ChannelAction::read_one(Channel::new(d, x)),
+            ],
+        ));
+        assert!(matches!(
+            check_step(m("RMO"), &g, &dup),
+            Err(ModelViolation::DuplicateChannel { .. })
+        ));
+    }
+
+    #[test]
+    fn updater_count_checked() {
+        let (g, d, x, y) = disagree_graph();
+        let multi = ActivationStep::simultaneous(vec![
+            NodeUpdate::new(x, vec![ChannelAction::read_all(Channel::new(d, x))]),
+            NodeUpdate::new(y, vec![ChannelAction::read_all(Channel::new(d, y))]),
+        ]);
+        assert!(matches!(
+            check_step(m("R1A"), &g, &multi),
+            Err(ModelViolation::UpdaterCount { .. })
+        ));
+        assert!(check_step_with(m("R1A"), UpdaterCount::Unrestricted, &g, &multi).is_ok());
+        assert!(matches!(
+            check_step_with(m("R1A"), UpdaterCount::Every, &g, &multi),
+            Err(ModelViolation::UpdaterCount { .. })
+        ));
+    }
+
+    #[test]
+    fn scope_multiple_allows_empty() {
+        let (g, _, x, _) = disagree_graph();
+        let bare = ActivationStep::single(NodeUpdate::bare(x));
+        assert!(check_step(m("RMS"), &g, &bare).is_ok());
+        // But E with zero channels is illegal (degree 2).
+        assert!(check_step(m("RES"), &g, &bare).is_err());
+        // And 1 needs exactly one.
+        assert!(check_step(m("R1S"), &g, &bare).is_err());
+    }
+
+    #[test]
+    fn sequence_reports_offending_index() {
+        let (g, d, x, _) = disagree_graph();
+        let ok = ActivationStep::single(NodeUpdate::new(
+            x,
+            vec![ChannelAction::read_one(Channel::new(d, x))],
+        ));
+        let bad = ActivationStep::single(NodeUpdate::bare(x));
+        let seq = vec![ok.clone(), ok, bad];
+        let (t, _) = check_sequence(m("R1O"), &g, &seq).unwrap_err();
+        assert_eq!(t, 2);
+    }
+
+    #[test]
+    fn violations_display() {
+        let v = ModelViolation::Scope { expected: NeighborScope::Every, node: NodeId(3) };
+        assert!(v.to_string().contains("scope"));
+        let v = ModelViolation::UpdaterCount { expected: UpdaterCount::One, got: 2 };
+        assert!(v.to_string().contains("2 nodes"));
+    }
+}

@@ -1,0 +1,128 @@
+//! Property tests for the realization lattice and closure machinery.
+
+use proptest::prelude::*;
+use routelab_core::closure::derive_bounds;
+use routelab_core::edges::{foundational_facts, NegativeFact, PositiveFact};
+use routelab_core::lattice::{CellBound, Strength};
+use routelab_core::model::CommModel;
+
+fn arb_model() -> impl Strategy<Value = CommModel> {
+    prop::sample::select(CommModel::all())
+}
+
+fn arb_bound() -> impl Strategy<Value = CellBound> {
+    (0u8..=4, 0u8..=4).prop_map(|(a, b)| CellBound { lower: a.min(b), upper: a.max(b) })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    #[test]
+    fn tokens_round_trip(b in arb_bound()) {
+        let tok = b.token();
+        prop_assert_eq!(CellBound::from_token(&tok), Some(b), "{}", tok);
+    }
+
+    #[test]
+    fn meet_is_idempotent_commutative_and_refining(a in arb_bound(), b in arb_bound()) {
+        prop_assert_eq!(a.meet(a), a);
+        prop_assert_eq!(a.meet(b), b.meet(a));
+        let m = a.meet(b);
+        prop_assert!(m.refines(a));
+        prop_assert!(m.refines(b));
+    }
+
+    #[test]
+    fn closure_lower_bounds_are_transitive(
+        a in arb_model(),
+        b in arb_model(),
+        c in arb_model(),
+    ) {
+        let bounds = derive_bounds(&foundational_facts());
+        let ab = bounds.get(a, b).lower;
+        let bc = bounds.get(b, c).lower;
+        let ac = bounds.get(a, c).lower;
+        prop_assert!(ac >= ab.min(bc), "{a} {b} {c}: {ac} < min({ab},{bc})");
+    }
+
+    #[test]
+    fn closure_respects_negative_contrapositives(
+        a in arb_model(),
+        b in arb_model(),
+        c in arb_model(),
+    ) {
+        // If B realizes A at ≥ s and C fails A below s, C must fail B too.
+        let bounds = derive_bounds(&foundational_facts());
+        let lower_ab = bounds.get(a, b).lower;
+        let upper_ac = bounds.get(a, c).upper;
+        if upper_ac < lower_ab {
+            prop_assert!(
+                bounds.get(b, c).upper <= upper_ac,
+                "{a} {b} {c}: upper(B,C) not propagated"
+            );
+        }
+    }
+
+    #[test]
+    fn adding_consistent_facts_only_tightens(
+        a in arb_model(),
+        b in arb_model(),
+        strength_level in 1u8..=4,
+    ) {
+        let base = derive_bounds(&foundational_facts());
+        prop_assume!(a != b);
+        let cell = base.get(a, b);
+        // Add a positive fact consistent with the current upper bound.
+        prop_assume!(strength_level <= cell.upper);
+        let mut facts = foundational_facts();
+        facts.positives.push(PositiveFact {
+            realized: a,
+            realizer: b,
+            strength: Strength::from_level(strength_level).expect("1..=4"),
+            source: "synthetic",
+        });
+        // Indirect propagation may expose the synthetic fact as globally
+        // inconsistent, in which case derive_bounds rejects it loudly —
+        // skip those cases, the property is about consistent additions.
+        let Ok(tightened) = std::panic::catch_unwind(|| derive_bounds(&facts)) else {
+            return Ok(());
+        };
+        for x in CommModel::all() {
+            for y in CommModel::all() {
+                prop_assert!(
+                    tightened.get(x, y).refines(base.get(x, y)),
+                    "({x},{y}) loosened"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn adding_consistent_negatives_only_tightens(
+        a in arb_model(),
+        b in arb_model(),
+        max_level in 0u8..=3,
+    ) {
+        let base = derive_bounds(&foundational_facts());
+        prop_assume!(a != b);
+        prop_assume!(max_level >= base.get(a, b).lower);
+        let mut facts = foundational_facts();
+        facts.negatives.push(NegativeFact {
+            realized: a,
+            realizer: b,
+            max_level,
+            source: "synthetic",
+        });
+        let Ok(tightened) = std::panic::catch_unwind(|| derive_bounds(&facts)) else {
+            return Ok(());
+        };
+        for x in CommModel::all() {
+            for y in CommModel::all() {
+                prop_assert!(
+                    tightened.get(x, y).refines(base.get(x, y)),
+                    "({x},{y}) loosened"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,288 @@
+//! One activation step, exactly as in Definition 2.3.
+//!
+//! For each updating node (phase 1) the prescribed channels are processed —
+//! `i = min(f(c), m_c)` messages deleted, ρ set to the last non-dropped one;
+//! (phase 2) the node re-chooses the most preferred feasible extension of
+//! its known routes; (phase 3) if the choice differs from the node's last
+//! announcement, the new route (possibly ε, a withdrawal) is written to
+//! every outgoing channel. With several simultaneous updaters (Example
+//! A.6) all reads complete before any node chooses, and all choices
+//! complete before any announcement is written.
+//!
+//! Export policy: the instances in the paper filter routes solely through
+//! permitted-path sets, so announcements go to every neighbor
+//! ("if prescribed by export policy" with the always-export policy).
+
+use routelab_core::step::{ActivationStep, NodeUpdate};
+use routelab_spp::{NodeId, Route, SppInstance};
+
+use crate::index::ChannelIndex;
+use crate::state::NetworkState;
+
+/// What one step did, for statistics and fairness bookkeeping.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct StepEffect {
+    /// Nodes whose π changed: `(node, old, new)`.
+    pub changed: Vec<(NodeId, Route, Route)>,
+    /// Messages deleted from channels.
+    pub consumed: usize,
+    /// Messages dropped (subset of `consumed`).
+    pub dropped: usize,
+    /// Messages written to channels.
+    pub sent: usize,
+    /// Dense channel ids this step *attended* (targeted with `f ≥ 1`).
+    pub attended: Vec<usize>,
+    /// Dense channel ids on which a message was processed and kept.
+    pub kept_on: Vec<usize>,
+    /// Dense channel ids on which at least one message was dropped.
+    pub dropped_on: Vec<usize>,
+}
+
+/// Executes one activation step, mutating `state`.
+///
+/// # Panics
+///
+/// Panics if an action references a channel absent from `index` — steps are
+/// expected to be validated (e.g. with [`routelab_core::validate`]) first.
+pub fn execute_step(
+    inst: &SppInstance,
+    index: &ChannelIndex,
+    state: &mut NetworkState,
+    step: &ActivationStep,
+) -> StepEffect {
+    let mut effect = StepEffect::default();
+
+    // Phase 1: collect updates of path information (all nodes in U).
+    for update in &step.updates {
+        for action in &update.actions {
+            let cid = index
+                .id(action.channel())
+                .expect("activation step references a channel of the graph");
+            if action.attends() {
+                effect.attended.push(cid);
+            }
+            let outcome = state
+                .queue_mut(cid)
+                .process(action.take(), action.drops().iter().copied());
+            effect.consumed += outcome.consumed;
+            effect.dropped += outcome.dropped;
+            if outcome.dropped > 0 {
+                effect.dropped_on.push(cid);
+            }
+            if let Some(route) = outcome.learned {
+                *state.learned_mut(cid) = route;
+                effect.kept_on.push(cid);
+            }
+        }
+    }
+
+    // Phase 2: choose the most preferred path from the known routes.
+    let mut decisions: Vec<(NodeId, Route)> = Vec::with_capacity(step.updates.len());
+    for update in &step.updates {
+        decisions.push((update.node, choose(inst, index, state, update)));
+    }
+
+    // Phase 3: announce changes.
+    for (v, new_route) in decisions {
+        if &new_route != state.announced(v) {
+            for &out in index.out_channels(v) {
+                state.queue_mut(out).push(new_route.clone());
+                effect.sent += 1;
+            }
+            *state.announced_mut(v) = new_route.clone();
+        }
+        if &new_route != state.chosen(v) {
+            let old = state.chosen(v).clone();
+            effect.changed.push((v, old, new_route.clone()));
+            *state.chosen_mut(v) = new_route;
+        }
+    }
+    effect
+}
+
+/// Definition 2.3 step 3 for one node: the best feasible extension of the
+/// routes known on its incoming channels ((d) for the destination).
+fn choose(
+    inst: &SppInstance,
+    index: &ChannelIndex,
+    state: &NetworkState,
+    update: &NodeUpdate,
+) -> Route {
+    let routes: Vec<Route> = index
+        .in_channels(update.node)
+        .iter()
+        .map(|&cid| state.learned(cid).clone())
+        .collect();
+    inst.choose_best(update.node, routes.iter())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use routelab_core::step::ChannelAction;
+    use routelab_spp::{gadgets, Channel, Path};
+
+    struct Fixture {
+        inst: routelab_spp::SppInstance,
+        index: ChannelIndex,
+        state: NetworkState,
+    }
+
+    fn disagree() -> Fixture {
+        let inst = gadgets::disagree();
+        let index = ChannelIndex::new(inst.graph());
+        let state = NetworkState::initial(&inst, &index);
+        Fixture { inst, index, state }
+    }
+
+    fn activate_all(f: &mut Fixture, name: &str) -> StepEffect {
+        let v = f.inst.node_by_name(name).unwrap();
+        let actions = f
+            .index
+            .in_channels(v)
+            .iter()
+            .map(|&cid| ChannelAction::read_all(f.index.channel(cid)))
+            .collect();
+        let step = ActivationStep::single(NodeUpdate::new(v, actions));
+        execute_step(&f.inst, &f.index, &mut f.state, &step)
+    }
+
+    #[test]
+    fn destination_bootstrap_announces_once() {
+        let mut f = disagree();
+        let e1 = activate_all(&mut f, "d");
+        // d announces (d) to both neighbors; its π was already (d).
+        assert_eq!(e1.sent, 2);
+        assert!(e1.changed.is_empty());
+        assert_eq!(f.state.messages_in_flight(), 2);
+        // Second activation: no change, no announcement.
+        let e2 = activate_all(&mut f, "d");
+        assert_eq!(e2.sent, 0);
+        assert_eq!(f.state.messages_in_flight(), 2);
+    }
+
+    #[test]
+    fn node_learns_and_extends() {
+        let mut f = disagree();
+        activate_all(&mut f, "d");
+        let e = activate_all(&mut f, "x");
+        let x = f.inst.node_by_name("x").unwrap();
+        assert_eq!(f.inst.fmt_route(f.state.chosen(x)), "xd");
+        assert_eq!(e.changed.len(), 1);
+        assert_eq!(e.consumed, 1); // the (d) announcement from d
+        assert_eq!(e.sent, 2); // x announces xd to d and y
+    }
+
+    #[test]
+    fn preference_switch_and_withdrawal_semantics() {
+        let mut f = disagree();
+        activate_all(&mut f, "d");
+        activate_all(&mut f, "x"); // x -> xd, announces
+        activate_all(&mut f, "y"); // y learns d and xd, prefers yxd
+        let y = f.inst.node_by_name("y").unwrap();
+        assert_eq!(f.inst.fmt_route(f.state.chosen(y)), "yxd");
+        // x now reads y's announcement of yxd: the extension xyxd loops, so
+        // x's candidates stay {xd}; no change, no announcement.
+        let e = activate_all(&mut f, "x");
+        assert!(e.changed.is_empty());
+        assert_eq!(e.sent, 0);
+    }
+
+    #[test]
+    fn rho_persists_between_activations() {
+        let mut f = disagree();
+        activate_all(&mut f, "d");
+        activate_all(&mut f, "x");
+        // Activate x again with all channels empty: ρ still holds (d) from
+        // d, so the choice stays xd.
+        let e = activate_all(&mut f, "x");
+        assert!(e.changed.is_empty());
+        assert_eq!(e.consumed, 0);
+        let x = f.inst.node_by_name("x").unwrap();
+        assert_eq!(f.inst.fmt_route(f.state.chosen(x)), "xd");
+    }
+
+    #[test]
+    fn bare_update_rechooses_without_reading() {
+        let mut f = disagree();
+        activate_all(&mut f, "d");
+        let x = f.inst.node_by_name("x").unwrap();
+        // A bare update reads nothing; ρ is all-ε, so x keeps ε.
+        let step = ActivationStep::single(NodeUpdate::bare(x));
+        let e = execute_step(&f.inst, &f.index, &mut f.state, &step);
+        assert!(e.changed.is_empty());
+        assert_eq!(e.consumed, 0);
+        assert_eq!(f.state.messages_in_flight(), 2);
+    }
+
+    #[test]
+    fn simultaneous_updates_read_before_announcing() {
+        // Example A.6 semantics: when x and y activate together after d, both
+        // read (d) and both choose their direct routes in the same step.
+        let mut f = disagree();
+        activate_all(&mut f, "d");
+        let x = f.inst.node_by_name("x").unwrap();
+        let y = f.inst.node_by_name("y").unwrap();
+        let d = f.inst.dest();
+        let step = ActivationStep::simultaneous(vec![
+            NodeUpdate::new(x, vec![ChannelAction::read_all(Channel::new(d, x))]),
+            NodeUpdate::new(y, vec![ChannelAction::read_all(Channel::new(d, y))]),
+        ]);
+        let e = execute_step(&f.inst, &f.index, &mut f.state, &step);
+        assert_eq!(e.changed.len(), 2);
+        assert_eq!(f.inst.fmt_route(f.state.chosen(x)), "xd");
+        assert_eq!(f.inst.fmt_route(f.state.chosen(y)), "yd");
+        // Each announced to both neighbors.
+        assert_eq!(e.sent, 4);
+    }
+
+    #[test]
+    fn unreliable_drop_leaves_rho_unchanged() {
+        let mut f = disagree();
+        activate_all(&mut f, "d");
+        let x = f.inst.node_by_name("x").unwrap();
+        let d = f.inst.dest();
+        let c = Channel::new(d, x);
+        let step = ActivationStep::single(NodeUpdate::new(x, vec![ChannelAction::drop_one(c)]));
+        let e = execute_step(&f.inst, &f.index, &mut f.state, &step);
+        assert_eq!(e.consumed, 1);
+        assert_eq!(e.dropped, 1);
+        assert!(e.kept_on.is_empty());
+        assert_eq!(e.dropped_on.len(), 1);
+        assert!(f.state.chosen(x).is_epsilon());
+        // The message is gone.
+        let cid = f.index.id(c).unwrap();
+        assert!(f.state.queue(cid).is_empty());
+    }
+
+    #[test]
+    fn destination_always_chooses_trivial() {
+        let mut f = disagree();
+        activate_all(&mut f, "d");
+        activate_all(&mut f, "x");
+        // d reads x's announcement; its choice must stay (d).
+        activate_all(&mut f, "d");
+        assert_eq!(
+            f.state.chosen(f.inst.dest()),
+            &Route::path(Path::trivial(f.inst.dest()))
+        );
+    }
+
+    #[test]
+    fn effect_tracks_attended_channels() {
+        let mut f = disagree();
+        let x = f.inst.node_by_name("x").unwrap();
+        let d = f.inst.dest();
+        let y = f.inst.node_by_name("y").unwrap();
+        let step = ActivationStep::single(NodeUpdate::new(
+            x,
+            vec![
+                ChannelAction::read_all(Channel::new(d, x)),
+                ChannelAction::skip(Channel::new(y, x)),
+            ],
+        ));
+        let e = execute_step(&f.inst, &f.index, &mut f.state, &step);
+        assert_eq!(e.attended.len(), 1);
+        assert_eq!(f.index.channel(e.attended[0]), Channel::new(d, x));
+    }
+}

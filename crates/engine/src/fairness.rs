@@ -1,0 +1,178 @@
+//! Finite-prefix fairness checking (Definition 2.4).
+//!
+//! A fair activation sequence lets every node try to read each of its
+//! channels infinitely often, and follows every dropped message with a later
+//! non-dropped one. On finite prefixes we check the natural analogues: a
+//! bounded attendance gap per channel, and "no channel's last processed
+//! message was a drop".
+
+use std::error::Error;
+use std::fmt;
+
+use routelab_core::step::ActivationSeq;
+use routelab_spp::Channel;
+
+use crate::exec::StepEffect;
+use crate::index::ChannelIndex;
+
+/// A fairness violation on a finite prefix.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Unfairness {
+    /// A channel went unattended for longer than the window.
+    Starved { channel: Channel, gap: usize },
+    /// A channel's final processed message was dropped with nothing
+    /// processed afterwards.
+    DanglingDrop { channel: Channel },
+}
+
+impl fmt::Display for Unfairness {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Unfairness::Starved { channel, gap } => {
+                write!(f, "channel {channel} unattended for {gap} steps")
+            }
+            Unfairness::DanglingDrop { channel } => {
+                write!(f, "channel {channel} ends with a dropped message")
+            }
+        }
+    }
+}
+
+impl Error for Unfairness {}
+
+/// The largest attendance gap per channel over a finite sequence (including
+/// the leading gap before the first attendance and the trailing gap after
+/// the last one).
+pub fn attendance_gaps(seq: &ActivationSeq, index: &ChannelIndex) -> Vec<usize> {
+    let mut last = vec![0usize; index.len()];
+    let mut max_gap = vec![0usize; index.len()];
+    for (t, step) in seq.iter().enumerate() {
+        for a in step.actions() {
+            if !a.attends() {
+                continue;
+            }
+            if let Some(cid) = index.id(a.channel()) {
+                max_gap[cid] = max_gap[cid].max(t + 1 - last[cid]);
+                last[cid] = t + 1;
+            }
+        }
+    }
+    for cid in 0..index.len() {
+        max_gap[cid] = max_gap[cid].max(seq.len() + 1 - last[cid]);
+    }
+    max_gap
+}
+
+/// Checks that every channel is attended at least once in every window of
+/// `window` consecutive steps.
+///
+/// # Errors
+///
+/// Returns the first starved channel.
+pub fn check_window(
+    seq: &ActivationSeq,
+    index: &ChannelIndex,
+    window: usize,
+) -> Result<(), Unfairness> {
+    for (cid, &gap) in attendance_gaps(seq, index).iter().enumerate() {
+        if gap > window {
+            return Err(Unfairness::Starved { channel: index.channel(cid), gap });
+        }
+    }
+    Ok(())
+}
+
+/// Checks the drop-fairness analogue on executed effects: no channel's last
+/// processed message may be a drop (every drop must be followed by a later
+/// kept message on the same channel).
+///
+/// # Errors
+///
+/// Returns the first channel ending on a drop.
+pub fn check_drops_resolved(
+    effects: &[StepEffect],
+    index: &ChannelIndex,
+) -> Result<(), Unfairness> {
+    let mut pending_drop = vec![false; index.len()];
+    for e in effects {
+        for &cid in &e.dropped_on {
+            pending_drop[cid] = true;
+        }
+        for &cid in &e.kept_on {
+            pending_drop[cid] = false;
+        }
+    }
+    if let Some(cid) = pending_drop.iter().position(|&p| p) {
+        return Err(Unfairness::DanglingDrop { channel: index.channel(cid) });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use routelab_core::step::{ActivationStep, ChannelAction, NodeUpdate};
+    use routelab_spp::gadgets;
+
+    fn read_step(index: &ChannelIndex, cid: usize) -> ActivationStep {
+        let c = index.channel(cid);
+        ActivationStep::single(NodeUpdate::new(c.to, vec![ChannelAction::read_one(c)]))
+    }
+
+    #[test]
+    fn gaps_measured_correctly() {
+        let inst = gadgets::line2();
+        let index = ChannelIndex::new(inst.graph());
+        // Two channels: (d,v) and (v,d) in some order.
+        let seq = vec![read_step(&index, 0), read_step(&index, 0), read_step(&index, 1)];
+        let gaps = attendance_gaps(&seq, &index);
+        // Channel 0 attended at steps 1 and 2, trailing gap 2 (len 3 + 1 - 2).
+        assert_eq!(gaps[0], 2);
+        // Channel 1 attended at step 3 only: leading gap 3, trailing 1.
+        assert_eq!(gaps[1], 3);
+    }
+
+    #[test]
+    fn window_check() {
+        let inst = gadgets::line2();
+        let index = ChannelIndex::new(inst.graph());
+        let seq = vec![read_step(&index, 0), read_step(&index, 1)];
+        assert!(check_window(&seq, &index, 2).is_ok());
+        assert!(matches!(
+            check_window(&seq, &index, 1),
+            Err(Unfairness::Starved { .. })
+        ));
+        // Skip actions do not count as attendance.
+        let skip = ActivationStep::single(NodeUpdate::new(
+            index.channel(0).to,
+            vec![ChannelAction::skip(index.channel(0))],
+        ));
+        let gaps = attendance_gaps(&vec![skip], &index);
+        assert_eq!(gaps[0], 2); // never attended in a 1-step sequence
+    }
+
+    #[test]
+    fn unattended_channel_detected() {
+        let inst = gadgets::disagree();
+        let index = ChannelIndex::new(inst.graph());
+        let seq = vec![read_step(&index, 0)];
+        let err = check_window(&seq, &index, 1).unwrap_err();
+        assert!(matches!(err, Unfairness::Starved { .. }));
+        assert!(err.to_string().contains("unattended"));
+    }
+
+    #[test]
+    fn drop_resolution() {
+        let inst = gadgets::line2();
+        let index = ChannelIndex::new(inst.graph());
+        let drop_effect = StepEffect { dropped_on: vec![0], ..Default::default() };
+        let keep_effect = StepEffect { kept_on: vec![0], ..Default::default() };
+        // Drop then keep: fine.
+        assert!(check_drops_resolved(&[drop_effect.clone(), keep_effect.clone()], &index).is_ok());
+        // Keep then drop: dangling.
+        let err = check_drops_resolved(&[keep_effect, drop_effect], &index).unwrap_err();
+        assert!(matches!(err, Unfairness::DanglingDrop { .. }));
+        // No drops at all: fine.
+        assert!(check_drops_resolved(&[], &index).is_ok());
+    }
+}

@@ -1,0 +1,116 @@
+//! Dense indexing of a graph's directed channels.
+
+use std::collections::HashMap;
+
+use routelab_spp::{Channel, Graph, NodeId};
+
+/// Assigns a dense id to every directed channel of a graph and precomputes
+/// per-node in/out channel lists.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChannelIndex {
+    channels: Vec<Channel>,
+    ids: HashMap<Channel, usize>,
+    in_of: Vec<Vec<usize>>,
+    out_of: Vec<Vec<usize>>,
+}
+
+impl ChannelIndex {
+    /// Builds the index for a graph.
+    pub fn new(g: &Graph) -> Self {
+        let channels: Vec<Channel> = g.channels().collect();
+        let ids = channels.iter().enumerate().map(|(i, &c)| (c, i)).collect();
+        let mut in_of = vec![Vec::new(); g.node_count()];
+        let mut out_of = vec![Vec::new(); g.node_count()];
+        for (i, c) in channels.iter().enumerate() {
+            out_of[c.from.index()].push(i);
+            in_of[c.to.index()].push(i);
+        }
+        ChannelIndex { channels, ids, in_of, out_of }
+    }
+
+    /// Number of directed channels.
+    pub fn len(&self) -> usize {
+        self.channels.len()
+    }
+
+    /// `true` for a graph without edges.
+    pub fn is_empty(&self) -> bool {
+        self.channels.is_empty()
+    }
+
+    /// The dense id of `c`, if `c` is a channel of the graph.
+    pub fn id(&self, c: Channel) -> Option<usize> {
+        self.ids.get(&c).copied()
+    }
+
+    /// The channel with dense id `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn channel(&self, i: usize) -> Channel {
+        self.channels[i]
+    }
+
+    /// All channels in id order.
+    pub fn channels(&self) -> &[Channel] {
+        &self.channels
+    }
+
+    /// Ids of channels read by `v`, in deterministic (neighbor) order.
+    pub fn in_channels(&self, v: NodeId) -> &[usize] {
+        &self.in_of[v.index()]
+    }
+
+    /// Ids of channels written by `v`, in deterministic (neighbor) order.
+    pub fn out_channels(&self, v: NodeId) -> &[usize] {
+        &self.out_of[v.index()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use routelab_spp::gadgets;
+
+    #[test]
+    fn ids_are_dense_and_bijective() {
+        let inst = gadgets::disagree();
+        let idx = ChannelIndex::new(inst.graph());
+        assert_eq!(idx.len(), 6);
+        assert!(!idx.is_empty());
+        for i in 0..idx.len() {
+            assert_eq!(idx.id(idx.channel(i)), Some(i));
+        }
+        let bogus = Channel::new(NodeId(0), NodeId(0));
+        assert_eq!(idx.id(bogus), None);
+    }
+
+    #[test]
+    fn in_out_lists_cover_all_channels() {
+        let inst = gadgets::fig6();
+        let idx = ChannelIndex::new(inst.graph());
+        let mut seen_in = 0;
+        let mut seen_out = 0;
+        for v in inst.nodes() {
+            seen_in += idx.in_channels(v).len();
+            seen_out += idx.out_channels(v).len();
+            for &i in idx.in_channels(v) {
+                assert_eq!(idx.channel(i).to, v);
+            }
+            for &i in idx.out_channels(v) {
+                assert_eq!(idx.channel(i).from, v);
+            }
+        }
+        assert_eq!(seen_in, idx.len());
+        assert_eq!(seen_out, idx.len());
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = routelab_spp::Graph::new(1);
+        let idx = ChannelIndex::new(&g);
+        assert!(idx.is_empty());
+        assert_eq!(idx.in_channels(NodeId(0)), &[] as &[usize]);
+    }
+}

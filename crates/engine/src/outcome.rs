@@ -1,0 +1,199 @@
+//! Driving a runner to a verdict: convergence, a proven cycle, or a step
+//! limit.
+
+use std::collections::HashMap;
+
+use routelab_spp::Route;
+
+use crate::runner::Runner;
+use crate::schedule::Scheduler;
+
+/// The observed outcome of one concrete run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RunOutcome {
+    /// A quiescent state was reached (all channels empty): the assignment
+    /// can never change again.
+    Converged {
+        /// Steps executed.
+        steps: usize,
+        /// The final assignment π, indexed by node id.
+        assignment: Vec<Route>,
+    },
+    /// The pair (network state, scheduler position) repeated: the run is
+    /// provably periodic from `first_seen` with the given period.
+    CycleDetected {
+        /// Step at which the repeated configuration was first recorded.
+        first_seen: usize,
+        /// Cycle length in steps.
+        period: usize,
+        /// `true` when some π changes within the cycle — a genuine
+        /// oscillation; `false` means periodic churn with a constant
+        /// assignment, which per Definition 2.5 still converges.
+        oscillating: bool,
+    },
+    /// The schedule was exhausted before quiescence (finite scripts).
+    ScheduleExhausted {
+        /// Steps executed.
+        steps: usize,
+    },
+    /// `max_steps` elapsed without a verdict.
+    StepLimit {
+        /// Steps executed.
+        steps: usize,
+    },
+}
+
+/// Drives `runner` with `scheduler` until a verdict or `max_steps`.
+///
+/// Cycle detection is sound because it keys on the pair of state fingerprint
+/// and scheduler fingerprint: if the pair repeats, the future of the run is
+/// exactly the segment between the repetitions, forever.
+pub fn drive<S: Scheduler>(
+    runner: &mut Runner<'_>,
+    scheduler: &mut S,
+    max_steps: usize,
+) -> RunOutcome {
+    // (state fp, scheduler fp) -> (step index, dedup'd trace length)
+    let mut seen: HashMap<(u64, u64), (usize, usize)> = HashMap::new();
+    let mut distinct_assignments = 1; // initial assignment
+
+    for step_no in 0..max_steps {
+        if runner.state().is_quiescent() {
+            return RunOutcome::Converged {
+                steps: step_no,
+                assignment: runner.state().assignment(),
+            };
+        }
+        let key = (runner.state().fingerprint(), scheduler.fingerprint());
+        if let Some(&(first_seen, assignments_then)) = seen.get(&key) {
+            return RunOutcome::CycleDetected {
+                first_seen,
+                period: step_no - first_seen,
+                oscillating: distinct_assignments > assignments_then,
+            };
+        }
+        seen.insert(key, (step_no, distinct_assignments));
+
+        let Some(step) = scheduler.next_step(runner.state()) else {
+            return RunOutcome::ScheduleExhausted { steps: step_no };
+        };
+        let effect = runner.step(&step);
+        if !effect.changed.is_empty() {
+            distinct_assignments += 1;
+        }
+    }
+    if runner.state().is_quiescent() {
+        return RunOutcome::Converged { steps: max_steps, assignment: runner.state().assignment() };
+    }
+    RunOutcome::StepLimit { steps: max_steps }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schedule::{Cyclic, RoundRobin, Scripted};
+    use routelab_core::step::{ActivationStep, ChannelAction, NodeUpdate};
+    use routelab_spp::{gadgets, Channel};
+
+    #[test]
+    fn good_gadget_converges_in_every_model() {
+        let inst = gadgets::good_gadget();
+        for model in routelab_core::model::CommModel::all() {
+            let mut runner = Runner::new(&inst);
+            let mut sched = RoundRobin::new(&inst, model);
+            match drive(&mut runner, &mut sched, 10_000) {
+                RunOutcome::Converged { assignment, .. } => {
+                    let rendered: Vec<String> =
+                        assignment.iter().map(|r| inst.fmt_route(r)).collect();
+                    assert_eq!(rendered, vec!["d", "1d", "2d", "3d"], "{model}");
+                }
+                other => panic!("{model}: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn bad_gadget_cycles_under_round_robin() {
+        // BAD-GADGET has no stable assignment, so the deterministic fair
+        // round-robin run must hit a cycle with π changing inside it.
+        let inst = gadgets::bad_gadget();
+        for model in ["R1O", "RMS", "REA", "REO"] {
+            let mut runner = Runner::new(&inst);
+            let mut sched = RoundRobin::new(&inst, model.parse().unwrap());
+            match drive(&mut runner, &mut sched, 100_000) {
+                RunOutcome::CycleDetected { oscillating, period, .. } => {
+                    assert!(oscillating, "{model}: cycle must oscillate");
+                    assert!(period > 0);
+                }
+                other => panic!("{model}: expected a cycle, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn scripted_exhaustion_reported() {
+        let inst = gadgets::disagree();
+        let x = inst.node_by_name("x").unwrap();
+        let d = inst.dest();
+        let step = ActivationStep::single(NodeUpdate::new(
+            d,
+            vec![ChannelAction::read_one(Channel::new(x, d))],
+        ));
+        let mut runner = Runner::new(&inst);
+        let mut sched = Scripted::new(vec![step]);
+        // After d's bootstrap announcement the network is not quiescent and
+        // the script runs dry.
+        match drive(&mut runner, &mut sched, 100) {
+            RunOutcome::ScheduleExhausted { steps } => assert_eq!(steps, 1),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn cycle_without_pi_change_is_not_oscillating() {
+        // A cyclic schedule of no-op steps (v polling an empty channel while
+        // d never gets to announce): the state repeats but no π ever
+        // changes, so the detected cycle is not an oscillation.
+        let inst = gadgets::line2();
+        let v = inst.node_by_name("v").unwrap();
+        let d = inst.dest();
+        let mut runner = Runner::new(&inst);
+        let mut sched = Cyclic::new(vec![ActivationStep::single(NodeUpdate::new(
+            v,
+            vec![ChannelAction::read_one(Channel::new(d, v))],
+        ))]);
+        match drive(&mut runner, &mut sched, 100) {
+            RunOutcome::CycleDetected { oscillating, period, .. } => {
+                assert!(!oscillating);
+                assert_eq!(period, 1);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn step_limit_when_budget_tiny() {
+        let inst = gadgets::bad_gadget();
+        let mut runner = Runner::new(&inst);
+        let mut sched = RoundRobin::new(&inst, "RMS".parse().unwrap());
+        match drive(&mut runner, &mut sched, 2) {
+            RunOutcome::StepLimit { steps } => assert_eq!(steps, 2),
+            RunOutcome::Converged { .. } => {} // d-first order could quiesce
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn line2_converges_fast() {
+        let inst = gadgets::line2();
+        let mut runner = Runner::new(&inst);
+        let mut sched = RoundRobin::new(&inst, "REA".parse().unwrap());
+        match drive(&mut runner, &mut sched, 100) {
+            RunOutcome::Converged { steps, assignment } => {
+                assert!(steps <= 2 * inst.node_count() + 2);
+                assert_eq!(inst.fmt_route(&assignment[1]), "vd");
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+}

@@ -1,0 +1,405 @@
+//! The concrete executions printed in the paper's Appendix A, as scripted
+//! activation sequences, with the expected per-step route choices.
+//!
+//! Each `a*` function returns a [`PaperRun`] whose `expected` list is the
+//! paper's step table (active node, route it selects); [`verify`] executes
+//! the script and checks every row. The oscillation suffixes of Examples
+//! A.1 and A.2 are provided as cyclic schedules for
+//! [`crate::outcome::drive`].
+
+use routelab_core::step::{ActivationSeq, ActivationStep, ChannelAction, NodeUpdate};
+use routelab_spp::{gadgets, Channel, NodeId, SppInstance};
+
+use crate::index::ChannelIndex;
+use crate::runner::Runner;
+
+/// A scripted execution from the paper with its expected step table.
+#[derive(Debug, Clone)]
+pub struct PaperRun {
+    /// Example name, e.g. `"A.2"`.
+    pub name: &'static str,
+    /// The model the script is legal in.
+    pub model: &'static str,
+    /// The instance (one of the Fig. 5–9 gadgets).
+    pub instance: SppInstance,
+    /// The scripted steps (1-based step `t` is `seq[t-1]`).
+    pub seq: ActivationSeq,
+    /// Per step: the active node's name and the paper-notation route it
+    /// selects (`"ε"` for no route).
+    pub expected: Vec<(&'static str, &'static str)>,
+}
+
+/// An `R1O` step: `node` reads one message from the channel from `from`.
+pub fn r1o_step(inst: &SppInstance, node: &str, from: &str) -> ActivationStep {
+    let v = inst.node_by_name(node).expect("node exists");
+    let u = inst.node_by_name(from).expect("node exists");
+    ActivationStep::single(NodeUpdate::new(v, vec![ChannelAction::read_one(Channel::new(u, v))]))
+}
+
+/// An `REO` step: `node` reads one message from every incoming channel.
+pub fn reo_step(inst: &SppInstance, index: &ChannelIndex, node: &str) -> ActivationStep {
+    let v = inst.node_by_name(node).expect("node exists");
+    let actions = index
+        .in_channels(v)
+        .iter()
+        .map(|&c| ChannelAction::read_one(index.channel(c)))
+        .collect();
+    ActivationStep::single(NodeUpdate::new(v, actions))
+}
+
+/// An `REA` step: `node` reads all messages from every incoming channel.
+pub fn rea_step(inst: &SppInstance, index: &ChannelIndex, node: &str) -> ActivationStep {
+    let v = inst.node_by_name(node).expect("node exists");
+    let actions = index
+        .in_channels(v)
+        .iter()
+        .map(|&c| ChannelAction::read_all(index.channel(c)))
+        .collect();
+    ActivationStep::single(NodeUpdate::new(v, actions))
+}
+
+/// Executes a [`PaperRun`] and checks the paper's step table row by row.
+///
+/// # Errors
+///
+/// Returns a human-readable description of the first mismatching step.
+pub fn verify(run: &PaperRun) -> Result<(), String> {
+    let mut runner = Runner::new(&run.instance);
+    if run.seq.len() != run.expected.len() {
+        return Err(format!(
+            "{}: script has {} steps but {} expectations",
+            run.name,
+            run.seq.len(),
+            run.expected.len()
+        ));
+    }
+    for (t, (step, (node, want))) in run.seq.iter().zip(&run.expected).enumerate() {
+        runner.step(step);
+        let v = run
+            .instance
+            .node_by_name(node)
+            .ok_or_else(|| format!("{}: unknown node {node}", run.name))?;
+        if step.sole_node() != Some(v) {
+            return Err(format!(
+                "{}: step {} activates {:?}, expected {node}",
+                run.name,
+                t + 1,
+                step.sole_node()
+            ));
+        }
+        let got = run.instance.fmt_route(runner.state().chosen(v));
+        if got != *want {
+            return Err(format!(
+                "{}: step {} node {node} chose {got}, paper says {want}",
+                run.name,
+                t + 1
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Example A.1: the R1O bootstrap of DISAGREE plus the 6-step fair cycle
+/// that oscillates forever. Returns `(run, cycle)`; drive the cycle with
+/// [`crate::schedule::Cyclic`] after replaying the run to witness the
+/// oscillation.
+pub fn a1_r1o() -> (PaperRun, ActivationSeq) {
+    let inst = gadgets::disagree();
+    let seq = vec![
+        r1o_step(&inst, "d", "x"), // d activates (empty read) and announces d
+        r1o_step(&inst, "x", "d"), // x -> xd
+        r1o_step(&inst, "y", "d"), // y -> yd
+        r1o_step(&inst, "x", "y"), // x learns yd -> xyd
+        r1o_step(&inst, "y", "x"), // y learns xd -> yxd
+    ];
+    let expected =
+        vec![("d", "d"), ("x", "xd"), ("y", "yd"), ("x", "xyd"), ("y", "yxd")];
+    // The fair cycle: x and y keep exchanging announcements while every
+    // other channel is attended (the d-facing reads are no-ops).
+    let cycle = vec![
+        r1o_step(&inst, "x", "y"),
+        r1o_step(&inst, "y", "x"),
+        r1o_step(&inst, "d", "x"),
+        r1o_step(&inst, "d", "y"),
+        r1o_step(&inst, "x", "d"),
+        r1o_step(&inst, "y", "d"),
+    ];
+    (PaperRun { name: "A.1", model: "R1O", instance: inst, seq, expected }, cycle)
+}
+
+/// Example A.2: the 13-step REO prefix of Fig. 6 (table on p. 23) plus the
+/// 3-step cycle (`v`, `u`, `a`) whose repetition is the DISAGREE-style
+/// oscillation between `u` and `v`.
+pub fn a2_reo() -> (PaperRun, ActivationSeq) {
+    let inst = gadgets::fig6();
+    let index = ChannelIndex::new(inst.graph());
+    let order =
+        ["d", "x", "a", "u", "v", "y", "a", "u", "v", "z", "a", "v", "u"];
+    let seq: ActivationSeq = order.iter().map(|n| reo_step(&inst, &index, n)).collect();
+    let expected = vec![
+        ("d", "d"),
+        ("x", "xd"),
+        ("a", "axd"),
+        ("u", "uaxd"),
+        ("v", "vuaxd"),
+        ("y", "yd"),
+        ("a", "ayd"),
+        ("u", "ε"),
+        ("v", "vayd"),
+        ("z", "zd"),
+        ("a", "azd"),
+        ("v", "vazd"),
+        ("u", "uazd"),
+    ];
+    let cycle = ["v", "u", "a"].iter().map(|n| reo_step(&inst, &index, n)).collect();
+    (PaperRun { name: "A.2", model: "REO", instance: inst, seq, expected }, cycle)
+}
+
+/// Example A.3: the 10-step REO execution of Fig. 7 whose path-assignment
+/// sequence cannot be exactly realized in R1O.
+pub fn a3_reo() -> PaperRun {
+    let inst = gadgets::fig7();
+    let index = ChannelIndex::new(inst.graph());
+    let order = ["d", "b", "u", "v", "a", "u", "v", "s", "s", "s"];
+    let seq: ActivationSeq = order.iter().map(|n| reo_step(&inst, &index, n)).collect();
+    let expected = vec![
+        ("d", "d"),
+        ("b", "bd"),
+        ("u", "ubd"),
+        ("v", "vbd"),
+        ("a", "ad"),
+        ("u", "uad"),
+        ("v", "vad"),
+        ("s", "subd"),
+        ("s", "suad"),
+        ("s", "suad"),
+    ];
+    PaperRun { name: "A.3", model: "REO", instance: inst, seq, expected }
+}
+
+/// Example A.4: the 6-step REA execution of Fig. 8 that R1O cannot realize
+/// with repetition (it can as a subsequence).
+pub fn a4_rea() -> PaperRun {
+    let inst = gadgets::fig8();
+    let index = ChannelIndex::new(inst.graph());
+    let order = ["d", "a", "u", "b", "u", "s"];
+    let seq: ActivationSeq = order.iter().map(|n| rea_step(&inst, &index, n)).collect();
+    let expected = vec![
+        ("d", "d"),
+        ("a", "ad"),
+        ("u", "uad"),
+        ("b", "bd"),
+        ("u", "ubd"),
+        ("s", "subd"),
+    ];
+    PaperRun { name: "A.4", model: "REA", instance: inst, seq, expected }
+}
+
+/// Example A.5: the 8-step REA execution of Fig. 9 that R1S cannot realize
+/// exactly (the same sequence is also a legal REO execution, giving
+/// Prop. 3.13).
+pub fn a5_rea() -> PaperRun {
+    let inst = gadgets::fig9();
+    let index = ChannelIndex::new(inst.graph());
+    let order = ["d", "b", "c", "x", "s", "a", "c", "s"];
+    let seq: ActivationSeq = order.iter().map(|n| rea_step(&inst, &index, n)).collect();
+    let expected = vec![
+        ("d", "d"),
+        ("b", "bd"),
+        ("c", "cbd"),
+        ("x", "xd"),
+        ("s", "scbd"),
+        ("a", "ad"),
+        ("c", "cad"),
+        ("s", "sxd"),
+    ];
+    PaperRun { name: "A.5", model: "REA", instance: inst, seq, expected }
+}
+
+/// Example A.6: DISAGREE under R1A with *multiple* simultaneous updaters —
+/// the polling oscillation impossible with one updater per step. Returns
+/// the instance, the 2-step bootstrap, and the 2-step cycle.
+pub fn a6_multinode() -> (SppInstance, ActivationSeq, ActivationSeq) {
+    let inst = gadgets::disagree();
+    let d = inst.dest();
+    let x = inst.node_by_name("x").expect("x exists");
+    let y = inst.node_by_name("y").expect("y exists");
+    let read_all = |from: NodeId, to: NodeId| ChannelAction::read_all(Channel::new(from, to));
+    // t=1: d activates (processing one of its channels, per R1A).
+    let boot = vec![
+        ActivationStep::single(NodeUpdate::new(d, vec![read_all(x, d)])),
+        // t=2: x and y simultaneously poll their channels from d.
+        ActivationStep::simultaneous(vec![
+            NodeUpdate::new(x, vec![read_all(d, x)]),
+            NodeUpdate::new(y, vec![read_all(d, y)]),
+        ]),
+    ];
+    // t=3,5,7,…: both poll each other; t=4,6,…: both poll d (no-ops). The
+    // destination's own polls are interleaved so that every channel is
+    // attended within the cycle (its reads drain x's and y's announcements
+    // without affecting any route choice).
+    let cycle = vec![
+        ActivationStep::simultaneous(vec![
+            NodeUpdate::new(x, vec![read_all(y, x)]),
+            NodeUpdate::new(y, vec![read_all(x, y)]),
+        ]),
+        ActivationStep::single(NodeUpdate::new(d, vec![read_all(x, d)])),
+        ActivationStep::simultaneous(vec![
+            NodeUpdate::new(x, vec![read_all(d, x)]),
+            NodeUpdate::new(y, vec![read_all(d, y)]),
+        ]),
+        ActivationStep::single(NodeUpdate::new(d, vec![read_all(y, d)])),
+    ];
+    (inst, boot, cycle)
+}
+
+/// All single-node scripted runs with step tables (A.1–A.5).
+pub fn all_runs() -> Vec<PaperRun> {
+    vec![a1_r1o().0, a2_reo().0, a3_reo(), a4_rea(), a5_rea()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::outcome::{drive, RunOutcome};
+    use crate::schedule::Cyclic;
+    use routelab_core::validate::check_sequence;
+
+    #[test]
+    fn every_run_matches_the_paper_table() {
+        for run in all_runs() {
+            verify(&run).unwrap_or_else(|e| panic!("{e}"));
+        }
+    }
+
+    #[test]
+    fn scripts_are_legal_in_their_models() {
+        for run in all_runs() {
+            let model = run.model.parse().unwrap();
+            check_sequence(model, run.instance.graph(), &run.seq)
+                .unwrap_or_else(|(t, e)| panic!("{} step {t}: {e}", run.name));
+        }
+        let (run, cycle) = a1_r1o();
+        check_sequence("R1O".parse().unwrap(), run.instance.graph(), &cycle).unwrap();
+        let (run, cycle) = a2_reo();
+        check_sequence("REO".parse().unwrap(), run.instance.graph(), &cycle).unwrap();
+    }
+
+    #[test]
+    fn a1_oscillates_forever_under_the_fair_cycle() {
+        let (run, cycle) = a1_r1o();
+        let mut runner = Runner::new(&run.instance);
+        runner.run(&run.seq);
+        let mut sched = Cyclic::new(cycle);
+        match drive(&mut runner, &mut sched, 10_000) {
+            RunOutcome::CycleDetected { oscillating, period, .. } => {
+                assert!(oscillating, "A.1 cycle must change path assignments");
+                assert!(period % 6 == 0, "period {period} should be whole cycles");
+            }
+            other => panic!("expected oscillation, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn a2_oscillates_forever_under_the_fair_cycle() {
+        let (run, cycle) = a2_reo();
+        let mut runner = Runner::new(&run.instance);
+        runner.run(&run.seq);
+        let mut sched = Cyclic::new(cycle);
+        match drive(&mut runner, &mut sched, 10_000) {
+            RunOutcome::CycleDetected { oscillating, .. } => {
+                assert!(oscillating, "A.2 cycle must change path assignments");
+            }
+            other => panic!("expected oscillation, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn a2_oscillation_alternates_u_v_between_direct_and_indirect() {
+        // "as u and v alternately activate, they will oscillate between
+        // their direct and indirect routes."
+        let (run, cycle) = a2_reo();
+        let inst = run.instance.clone();
+        let u = inst.node_by_name("u").unwrap();
+        let v = inst.node_by_name("v").unwrap();
+        let mut runner = Runner::new(&run.instance);
+        runner.run(&run.seq);
+        let mut sched = Cyclic::new(cycle);
+        drive(&mut runner, &mut sched, 300);
+        let mut u_routes: Vec<String> = runner
+            .trace()
+            .iter()
+            .skip(run.seq.len())
+            .map(|pi| inst.fmt_route(&pi[u.index()]))
+            .collect();
+        let mut v_routes: Vec<String> = runner
+            .trace()
+            .iter()
+            .skip(run.seq.len())
+            .map(|pi| inst.fmt_route(&pi[v.index()]))
+            .collect();
+        u_routes.sort();
+        u_routes.dedup();
+        v_routes.sort();
+        v_routes.dedup();
+        assert_eq!(u_routes, ["uazd", "uvazd"]);
+        assert_eq!(v_routes, ["vazd", "vuazd"]);
+    }
+
+    #[test]
+    fn a6_multinode_polling_oscillates() {
+        let (inst, boot, cycle) = a6_multinode();
+        let mut runner = Runner::new(&inst);
+        runner.run(&boot);
+        let x = inst.node_by_name("x").unwrap();
+        let y = inst.node_by_name("y").unwrap();
+        assert_eq!(inst.fmt_route(runner.state().chosen(x)), "xd");
+        assert_eq!(inst.fmt_route(runner.state().chosen(y)), "yd");
+        let mut sched = Cyclic::new(cycle);
+        match drive(&mut runner, &mut sched, 1_000) {
+            RunOutcome::CycleDetected { oscillating, .. } => assert!(oscillating),
+            other => panic!("expected oscillation, got {other:?}"),
+        }
+        // The paper's table: x alternates xd / xyd, y alternates yd / yxd.
+        let mut x_routes: Vec<String> = runner
+            .trace()
+            .iter()
+            .skip(boot_len())
+            .map(|pi| inst.fmt_route(&pi[x.index()]))
+            .collect();
+        x_routes.sort();
+        x_routes.dedup();
+        assert_eq!(x_routes, ["xd", "xyd"]);
+    }
+
+    fn boot_len() -> usize {
+        2
+    }
+
+    #[test]
+    fn a3_final_states_differ_between_reo_and_r1o_variant() {
+        // The R1O line of the A.3 table: same first 9 assignments, then s
+        // switches to svbd at t=10 when it finally reads the stale vbd.
+        let run = a3_reo();
+        let inst = run.instance.clone();
+        // Replay the REO script's first 7 steps as R1O-compatible reads
+        // (each touched channel holds at most one message, so reading one
+        // channel at a time reaches the same state), then do the R1O tail.
+        let seq = vec![
+            r1o_step(&inst, "d", "a"),
+            r1o_step(&inst, "b", "d"),
+            r1o_step(&inst, "u", "b"),
+            r1o_step(&inst, "v", "b"),
+            r1o_step(&inst, "a", "d"),
+            r1o_step(&inst, "u", "a"),
+            r1o_step(&inst, "v", "a"),
+            r1o_step(&inst, "s", "u"), // reads ubd -> subd
+            r1o_step(&inst, "s", "u"), // reads uad -> suad
+            r1o_step(&inst, "s", "v"), // reads vbd -> svbd (the extra state)
+        ];
+        let mut runner = Runner::new(&inst);
+        runner.run(&seq);
+        let s = inst.node_by_name("s").unwrap();
+        assert_eq!(inst.fmt_route(runner.state().chosen(s)), "svbd");
+    }
+}

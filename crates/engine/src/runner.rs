@@ -1,0 +1,224 @@
+//! A stateful driver that executes steps and records the path-assignment
+//! trace.
+
+use routelab_core::step::{ActivationSeq, ActivationStep};
+use routelab_spp::SppInstance;
+
+use crate::exec::{execute_step, StepEffect};
+use crate::index::ChannelIndex;
+use crate::state::NetworkState;
+use crate::trace::PathTrace;
+
+/// Cumulative statistics over a run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RunStats {
+    /// Steps executed.
+    pub steps: usize,
+    /// Messages consumed from channels.
+    pub consumed: usize,
+    /// Messages dropped.
+    pub dropped: usize,
+    /// Messages sent.
+    pub sent: usize,
+    /// Steps in which some π changed.
+    pub changing_steps: usize,
+}
+
+/// Owns a [`NetworkState`] for one instance, executes activation steps, and
+/// records the [`PathTrace`] (initial assignment at index 0, then one entry
+/// per step).
+#[derive(Debug, Clone)]
+pub struct Runner<'a> {
+    inst: &'a SppInstance,
+    index: ChannelIndex,
+    state: NetworkState,
+    trace: PathTrace,
+    stats: RunStats,
+    /// Channels whose most recent processing dropped a message with nothing
+    /// delivered since — if the run ends like this, it violates the drop
+    /// half of fairness (Definition 2.4).
+    pending_drop: Vec<bool>,
+}
+
+impl<'a> Runner<'a> {
+    /// A runner in the initial state.
+    pub fn new(inst: &'a SppInstance) -> Self {
+        let index = ChannelIndex::new(inst.graph());
+        let state = NetworkState::initial(inst, &index);
+        let mut trace = PathTrace::new();
+        trace.push(state.assignment());
+        let pending_drop = vec![false; index.len()];
+        Runner { inst, index, state, trace, stats: RunStats::default(), pending_drop }
+    }
+
+    /// The instance under execution.
+    pub fn instance(&self) -> &SppInstance {
+        self.inst
+    }
+
+    /// The channel index (shared with schedulers and transformations).
+    pub fn index(&self) -> &ChannelIndex {
+        &self.index
+    }
+
+    /// The current network state.
+    pub fn state(&self) -> &NetworkState {
+        &self.state
+    }
+
+    /// The recorded trace so far.
+    pub fn trace(&self) -> &PathTrace {
+        &self.trace
+    }
+
+    /// Cumulative statistics.
+    pub fn stats(&self) -> RunStats {
+        self.stats
+    }
+
+    /// Executes one step, recording the resulting assignment.
+    pub fn step(&mut self, step: &ActivationStep) -> StepEffect {
+        let effect = execute_step(self.inst, &self.index, &mut self.state, step);
+        self.trace.push(self.state.assignment());
+        self.stats.steps += 1;
+        self.stats.consumed += effect.consumed;
+        self.stats.dropped += effect.dropped;
+        self.stats.sent += effect.sent;
+        if !effect.changed.is_empty() {
+            self.stats.changing_steps += 1;
+        }
+        for &c in &effect.dropped_on {
+            self.pending_drop[c] = true;
+        }
+        for &c in &effect.kept_on {
+            self.pending_drop[c] = false;
+        }
+        effect
+    }
+
+    /// `true` when some channel's latest processed message was dropped with
+    /// nothing delivered afterwards. A run that *ends* in this state is not
+    /// a prefix of any fair execution: Definition 2.4 requires a later
+    /// non-dropped message on that channel. (With unreliable channels a
+    /// network can reach quiescence this way — converged, but unfairly.)
+    pub fn has_dangling_drops(&self) -> bool {
+        self.pending_drop.iter().any(|&p| p)
+    }
+
+    /// Executes a whole finite sequence.
+    pub fn run(&mut self, seq: &ActivationSeq) -> Vec<StepEffect> {
+        seq.iter().map(|s| self.step(s)).collect()
+    }
+
+    /// Resets to the initial state, clearing trace and statistics.
+    pub fn reset(&mut self) {
+        self.state = NetworkState::initial(self.inst, &self.index);
+        self.trace = PathTrace::new();
+        self.trace.push(self.state.assignment());
+        self.stats = RunStats::default();
+        self.pending_drop = vec![false; self.index.len()];
+    }
+
+    /// Convenience: executes `seq` on a fresh runner and returns the trace.
+    pub fn trace_of(inst: &SppInstance, seq: &ActivationSeq) -> PathTrace {
+        let mut r = Runner::new(inst);
+        r.run(seq);
+        r.trace
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use routelab_core::step::{ChannelAction, NodeUpdate};
+    use routelab_spp::gadgets;
+
+    fn poll_step(inst: &SppInstance, idx: &ChannelIndex, name: &str) -> ActivationStep {
+        let v = inst.node_by_name(name).unwrap();
+        let actions =
+            idx.in_channels(v).iter().map(|&c| ChannelAction::read_all(idx.channel(c))).collect();
+        ActivationStep::single(NodeUpdate::new(v, actions))
+    }
+
+    #[test]
+    fn trace_starts_with_initial_assignment() {
+        let inst = gadgets::disagree();
+        let r = Runner::new(&inst);
+        assert_eq!(r.trace().len(), 1);
+        let pi0 = r.trace().get(0).unwrap();
+        assert_eq!(inst.fmt_route(&pi0[0]), "d");
+        assert_eq!(inst.fmt_route(&pi0[1]), "ε");
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let inst = gadgets::disagree();
+        let mut r = Runner::new(&inst);
+        let idx = r.index().clone();
+        r.step(&poll_step(&inst, &idx, "d"));
+        r.step(&poll_step(&inst, &idx, "x"));
+        let s = r.stats();
+        assert_eq!(s.steps, 2);
+        assert_eq!(s.sent, 4); // d announces twice, x announces twice
+        assert_eq!(s.consumed, 1);
+        assert_eq!(s.changing_steps, 1); // only x's step changed a π
+        assert_eq!(r.trace().len(), 3);
+    }
+
+    #[test]
+    fn reset_restores_everything() {
+        let inst = gadgets::disagree();
+        let mut r = Runner::new(&inst);
+        let idx = r.index().clone();
+        r.step(&poll_step(&inst, &idx, "d"));
+        r.reset();
+        assert_eq!(r.trace().len(), 1);
+        assert_eq!(r.stats(), RunStats::default());
+        assert_eq!(r.state().messages_in_flight(), 0);
+    }
+
+    #[test]
+    fn run_sequence_equals_individual_steps() {
+        let inst = gadgets::disagree();
+        let idx = ChannelIndex::new(inst.graph());
+        let seq = vec![
+            poll_step(&inst, &idx, "d"),
+            poll_step(&inst, &idx, "x"),
+            poll_step(&inst, &idx, "y"),
+        ];
+        let t1 = Runner::trace_of(&inst, &seq);
+        let mut r = Runner::new(&inst);
+        for s in &seq {
+            r.step(s);
+        }
+        assert_eq!(&t1, r.trace());
+        assert_eq!(t1.len(), 4);
+    }
+
+    #[test]
+    fn disagree_converges_under_d_x_y_polling() {
+        // With REA-style polling in order d, x, y the network settles into
+        // the stable solution (d, xd, yxd).
+        let inst = gadgets::disagree();
+        let idx = ChannelIndex::new(inst.graph());
+        let mut r = Runner::new(&inst);
+        for name in ["d", "x", "y", "x", "y", "d"] {
+            r.step(&poll_step(&inst, &idx, name));
+        }
+        let last = r.trace().last().unwrap();
+        let rendered: Vec<String> = last.iter().map(|p| inst.fmt_route(p)).collect();
+        assert_eq!(rendered, vec!["d", "xd", "yxd"]);
+        assert!(r.state().is_quiescent());
+    }
+
+    #[test]
+    fn simple_channel_poll_step_helper_shape() {
+        let inst = gadgets::fig6();
+        let idx = ChannelIndex::new(inst.graph());
+        let s = poll_step(&inst, &idx, "a");
+        // a has 5 neighbors: x, y, z, u, v.
+        assert_eq!(s.actions().count(), 5);
+        // This helper emits a legal REA step.
+        routelab_core::validate::check_step("REA".parse().unwrap(), inst.graph(), &s).unwrap();
+    }
+}

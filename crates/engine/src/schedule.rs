@@ -1,0 +1,616 @@
+//! Schedulers: sources of activation steps.
+//!
+//! * [`Scripted`] — replay a fixed finite sequence (the paper's examples),
+//! * [`Cyclic`] — repeat a finite sequence forever (oscillation witnesses),
+//! * [`RoundRobin`] — the canonical fair schedule for a model,
+//! * [`Periodic`] — per-node activation periods (announcement wait times),
+//! * [`RandomFair`] — randomized schedules with an attendance window that
+//!   keeps finite prefixes fair (Definition 2.4).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use routelab_core::dims::{MessagePolicy, NeighborScope, Reliability};
+use routelab_core::model::CommModel;
+use routelab_core::step::{ActivationStep, ChannelAction, NodeUpdate};
+use routelab_spp::{NodeId, SppInstance};
+
+use crate::index::ChannelIndex;
+use crate::state::NetworkState;
+
+/// A source of activation steps. `None` means the schedule is exhausted
+/// (only finite schedules do this).
+pub trait Scheduler {
+    /// The next step to execute given the current state.
+    fn next_step(&mut self, state: &NetworkState) -> Option<ActivationStep>;
+
+    /// A fingerprint of the scheduler's internal position. Combined with the
+    /// state fingerprint this makes cycle detection sound: a repeated
+    /// `(state, scheduler)` pair proves the run is periodic from there on.
+    /// Schedulers whose future output is not a function of this fingerprint
+    /// (e.g. randomized ones) must return a never-repeating value.
+    fn fingerprint(&self) -> u64;
+}
+
+/// Replays a fixed finite sequence, then stops.
+#[derive(Debug, Clone)]
+pub struct Scripted {
+    steps: Vec<ActivationStep>,
+    pos: usize,
+}
+
+impl Scripted {
+    /// A scheduler replaying `steps` once.
+    pub fn new(steps: Vec<ActivationStep>) -> Self {
+        Scripted { steps, pos: 0 }
+    }
+}
+
+impl Scheduler for Scripted {
+    fn next_step(&mut self, _state: &NetworkState) -> Option<ActivationStep> {
+        let s = self.steps.get(self.pos).cloned();
+        if s.is_some() {
+            self.pos += 1;
+        }
+        s
+    }
+
+    fn fingerprint(&self) -> u64 {
+        self.pos as u64
+    }
+}
+
+/// Repeats a finite sequence forever.
+#[derive(Debug, Clone)]
+pub struct Cyclic {
+    steps: Vec<ActivationStep>,
+    pos: usize,
+}
+
+impl Cyclic {
+    /// A scheduler cycling through `steps`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `steps` is empty.
+    pub fn new(steps: Vec<ActivationStep>) -> Self {
+        assert!(!steps.is_empty(), "a cyclic schedule needs at least one step");
+        Cyclic { steps, pos: 0 }
+    }
+}
+
+impl Scheduler for Cyclic {
+    fn next_step(&mut self, _state: &NetworkState) -> Option<ActivationStep> {
+        let s = self.steps[self.pos].clone();
+        self.pos = (self.pos + 1) % self.steps.len();
+        Some(s)
+    }
+
+    fn fingerprint(&self) -> u64 {
+        self.pos as u64
+    }
+}
+
+/// Builds the canonical action for one channel under a message policy
+/// (always lossless, hence legal for both reliabilities).
+fn canonical_action(policy: MessagePolicy, c: routelab_spp::Channel) -> ChannelAction {
+    match policy {
+        MessagePolicy::One => ChannelAction::read_one(c),
+        // S, F and A all admit "read everything".
+        MessagePolicy::Some | MessagePolicy::Forced | MessagePolicy::All => {
+            ChannelAction::read_all(c)
+        }
+    }
+}
+
+/// The canonical fair schedule for a model: nodes in round-robin order; a
+/// node with scope `1` cycles through its channels one per visit, scopes
+/// `M`/`E` process all channels.
+#[derive(Debug, Clone)]
+pub struct RoundRobin {
+    model: CommModel,
+    index: ChannelIndex,
+    node_count: usize,
+    node_cursor: usize,
+    /// Per-node channel cursor (used when scope is `1`).
+    channel_cursor: Vec<usize>,
+}
+
+impl RoundRobin {
+    /// A round-robin scheduler for `inst` under `model`.
+    pub fn new(inst: &SppInstance, model: CommModel) -> Self {
+        RoundRobin {
+            model,
+            index: ChannelIndex::new(inst.graph()),
+            node_count: inst.node_count(),
+            node_cursor: 0,
+            channel_cursor: vec![0; inst.node_count()],
+        }
+    }
+}
+
+impl Scheduler for RoundRobin {
+    fn next_step(&mut self, _state: &NetworkState) -> Option<ActivationStep> {
+        let v = NodeId(self.node_cursor as u32);
+        self.node_cursor = (self.node_cursor + 1) % self.node_count;
+        let ins = self.index.in_channels(v);
+        let actions = if ins.is_empty() {
+            Vec::new()
+        } else {
+            match self.model.scope {
+                NeighborScope::One => {
+                    let k = self.channel_cursor[v.index()] % ins.len();
+                    self.channel_cursor[v.index()] = (k + 1) % ins.len();
+                    vec![canonical_action(self.model.messages, self.index.channel(ins[k]))]
+                }
+                NeighborScope::Multiple | NeighborScope::Every => ins
+                    .iter()
+                    .map(|&c| canonical_action(self.model.messages, self.index.channel(c)))
+                    .collect(),
+            }
+        };
+        Some(ActivationStep::single(NodeUpdate::new(v, actions)))
+    }
+
+    fn fingerprint(&self) -> u64 {
+        let mut fp = self.node_cursor as u64;
+        for &c in &self.channel_cursor {
+            fp = fp.wrapping_mul(31).wrapping_add(c as u64);
+        }
+        fp
+    }
+}
+
+/// Discrete-time periodic scheduler: node `i` activates every `periods[i]`
+/// ticks (earliest-deadline order, ties by node id), processing channels
+/// like [`RoundRobin`]. Models per-node announcement wait times — the knob
+/// the paper's related-work section discusses for BGP: longer waits can
+/// either slow convergence (routes are discovered late) or speed it up
+/// (fewer spurious transient announcements).
+#[derive(Debug, Clone)]
+pub struct Periodic {
+    model: CommModel,
+    index: ChannelIndex,
+    next_fire: Vec<u64>,
+    periods: Vec<u64>,
+    channel_cursor: Vec<usize>,
+}
+
+impl Periodic {
+    /// A periodic scheduler with one activation period per node.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `periods` does not have one non-zero entry per node.
+    pub fn new(inst: &SppInstance, model: CommModel, periods: Vec<u64>) -> Self {
+        assert_eq!(periods.len(), inst.node_count(), "one period per node");
+        assert!(periods.iter().all(|&p| p > 0), "periods must be positive");
+        Periodic {
+            model,
+            index: ChannelIndex::new(inst.graph()),
+            next_fire: periods.clone(),
+            periods,
+            channel_cursor: vec![0; inst.node_count()],
+        }
+    }
+
+    /// All nodes share the same period — equivalent to round-robin order.
+    pub fn uniform(inst: &SppInstance, model: CommModel, period: u64) -> Self {
+        Periodic::new(inst, model, vec![period; inst.node_count()])
+    }
+}
+
+impl Scheduler for Periodic {
+    fn next_step(&mut self, _state: &NetworkState) -> Option<ActivationStep> {
+        let i = (0..self.next_fire.len())
+            .min_by_key(|&i| (self.next_fire[i], i))
+            .expect("at least one node");
+        self.next_fire[i] += self.periods[i];
+        let v = NodeId(i as u32);
+        let ins = self.index.in_channels(v);
+        let actions = if ins.is_empty() {
+            Vec::new()
+        } else {
+            match self.model.scope {
+                NeighborScope::One => {
+                    let k = self.channel_cursor[i] % ins.len();
+                    self.channel_cursor[i] = (k + 1) % ins.len();
+                    vec![canonical_action(self.model.messages, self.index.channel(ins[k]))]
+                }
+                NeighborScope::Multiple | NeighborScope::Every => ins
+                    .iter()
+                    .map(|&c| canonical_action(self.model.messages, self.index.channel(c)))
+                    .collect(),
+            }
+        };
+        Some(ActivationStep::single(NodeUpdate::new(v, actions)))
+    }
+
+    fn fingerprint(&self) -> u64 {
+        // Normalize fire times by their minimum: the schedule's future only
+        // depends on the relative offsets, which recur — making cycle
+        // detection possible despite absolute time growing forever.
+        let base = self.next_fire.iter().copied().min().unwrap_or(0);
+        let mut fp = 0u64;
+        for &n in &self.next_fire {
+            fp = fp.wrapping_mul(1_000_003).wrapping_add(n - base);
+        }
+        for &c in &self.channel_cursor {
+            fp = fp.wrapping_mul(31).wrapping_add(c as u64);
+        }
+        fp
+    }
+}
+
+/// Randomized fair scheduler: picks random nodes, random legal actions, and
+/// forces attendance of any channel starved longer than `window` steps, so
+/// every finite prefix of length `≥ window · |C|` attends every channel.
+/// With unreliable models each read is dropped with probability `drop_prob`,
+/// except that a channel never suffers two consecutive drops (a cheap
+/// finite-prefix analogue of Definition 2.4's drop fairness).
+#[derive(Debug)]
+pub struct RandomFair {
+    model: CommModel,
+    index: ChannelIndex,
+    rng: StdRng,
+    drop_prob: f64,
+    window: usize,
+    step_no: usize,
+    last_attended: Vec<usize>,
+    just_dropped: Vec<bool>,
+}
+
+impl RandomFair {
+    /// Creates a randomized fair scheduler.
+    pub fn new(inst: &SppInstance, model: CommModel, seed: u64) -> Self {
+        let index = ChannelIndex::new(inst.graph());
+        let n = index.len();
+        RandomFair {
+            model,
+            index,
+            rng: StdRng::seed_from_u64(seed),
+            drop_prob: 0.3,
+            window: 8 * n.max(1),
+            step_no: 0,
+            last_attended: vec![0; n],
+            just_dropped: vec![false; n],
+        }
+    }
+
+    /// Sets the per-read drop probability (only effective for `U` models).
+    pub fn with_drop_prob(mut self, p: f64) -> Self {
+        self.drop_prob = p;
+        self
+    }
+
+    /// Sets the attendance window.
+    pub fn with_window(mut self, w: usize) -> Self {
+        self.window = w.max(1);
+        self
+    }
+
+    fn action_for(&mut self, cid: usize, queue_len: usize, must_attend: bool) -> ChannelAction {
+        let c = self.index.channel(cid);
+        let take_all = |n: usize| n as u32;
+        let action = match self.model.messages {
+            MessagePolicy::One => ChannelAction::read_one(c),
+            MessagePolicy::All => ChannelAction::read_all(c),
+            MessagePolicy::Forced => {
+                if self.rng.gen_bool(0.5) {
+                    ChannelAction::read_all(c)
+                } else {
+                    ChannelAction::read_count(c, 1 + self.rng.gen_range(0..3))
+                }
+            }
+            MessagePolicy::Some => match self.rng.gen_range(0..3) {
+                0 => ChannelAction::read_all(c),
+                1 => {
+                    let lo = if must_attend { 1 } else { 0 };
+                    ChannelAction::read_count(c, self.rng.gen_range(lo..4))
+                }
+                _ => ChannelAction::read_one(c),
+            },
+        };
+        // Only a genuine read attempt counts as attendance (Definition 2.4).
+        if action.attends() {
+            self.last_attended[cid] = self.step_no;
+        }
+        // Unreliable models: maybe drop everything that is taken.
+        if self.model.reliability == Reliability::Unreliable
+            && !self.just_dropped[cid]
+            && queue_len > 0
+            && self.rng.gen_bool(self.drop_prob)
+        {
+            let k = match action.take() {
+                routelab_core::step::Take::All => take_all(queue_len),
+                routelab_core::step::Take::Count(k) => k.min(take_all(queue_len)),
+            };
+            if k > 0 {
+                let drops = (1..=k).collect();
+                if let Ok(a) = ChannelAction::new(c, action.take(), drops) {
+                    self.just_dropped[cid] = true;
+                    return a;
+                }
+            }
+        }
+        self.just_dropped[cid] = false;
+        action
+    }
+}
+
+impl Scheduler for RandomFair {
+    fn next_step(&mut self, state: &NetworkState) -> Option<ActivationStep> {
+        self.step_no += 1;
+        // Starvation check: force the most starved channel if over window.
+        let forced = (0..self.index.len())
+            .max_by_key(|&c| self.step_no - self.last_attended[c])
+            .filter(|&c| self.step_no - self.last_attended[c] >= self.window);
+        let v = match forced {
+            Some(c) => self.index.channel(c).to,
+            None => NodeId(self.rng.gen_range(0..state.assignment().len()) as u32),
+        };
+        let ins: Vec<usize> = self.index.in_channels(v).to_vec();
+        let actions = if ins.is_empty() {
+            Vec::new()
+        } else {
+            let chosen: Vec<usize> = match self.model.scope {
+                NeighborScope::Every => ins.clone(),
+                NeighborScope::One => {
+                    let c = forced.unwrap_or_else(|| ins[self.rng.gen_range(0..ins.len())]);
+                    vec![c]
+                }
+                NeighborScope::Multiple => {
+                    let mut subset: Vec<usize> =
+                        ins.iter().copied().filter(|_| self.rng.gen_bool(0.5)).collect();
+                    if let Some(c) = forced {
+                        if !subset.contains(&c) {
+                            subset.push(c);
+                        }
+                    }
+                    subset
+                }
+            };
+            chosen
+                .into_iter()
+                .map(|cid| {
+                    let qlen = state.queue(cid).len();
+                    self.action_for(cid, qlen, forced == Some(cid))
+                })
+                .collect()
+        };
+        Some(ActivationStep::single(NodeUpdate::new(v, actions)))
+    }
+
+    fn fingerprint(&self) -> u64 {
+        // Randomized: never claim periodicity.
+        self.step_no as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use routelab_core::validate::check_step;
+    use routelab_spp::gadgets;
+
+    #[test]
+    fn scripted_replays_then_stops() {
+        let inst = gadgets::line2();
+        let idx = ChannelIndex::new(inst.graph());
+        let state = NetworkState::initial(&inst, &idx);
+        let step = ActivationStep::single(NodeUpdate::bare(inst.dest()));
+        let mut s = Scripted::new(vec![step.clone(), step.clone()]);
+        assert!(s.next_step(&state).is_some());
+        assert_eq!(s.fingerprint(), 1);
+        assert!(s.next_step(&state).is_some());
+        assert!(s.next_step(&state).is_none());
+    }
+
+    #[test]
+    fn cyclic_wraps() {
+        let inst = gadgets::line2();
+        let idx = ChannelIndex::new(inst.graph());
+        let state = NetworkState::initial(&inst, &idx);
+        let step = ActivationStep::single(NodeUpdate::bare(inst.dest()));
+        let mut s = Cyclic::new(vec![step.clone(), step]);
+        for _ in 0..5 {
+            assert!(s.next_step(&state).is_some());
+        }
+        assert_eq!(s.fingerprint(), 1); // 5 mod 2
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one step")]
+    fn cyclic_rejects_empty() {
+        let _ = Cyclic::new(vec![]);
+    }
+
+    #[test]
+    fn round_robin_emits_legal_steps_for_every_model() {
+        for (name, inst) in gadgets::corpus() {
+            let idx = ChannelIndex::new(inst.graph());
+            let state = NetworkState::initial(&inst, &idx);
+            for model in CommModel::all() {
+                let mut rr = RoundRobin::new(&inst, model);
+                for k in 0..3 * inst.node_count() {
+                    let step = rr.next_step(&state).unwrap();
+                    check_step(model, inst.graph(), &step).unwrap_or_else(|e| {
+                        panic!("{name} {model} step {k}: {e}")
+                    });
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn round_robin_scope_one_cycles_channels() {
+        let inst = gadgets::disagree();
+        let idx = ChannelIndex::new(inst.graph());
+        let state = NetworkState::initial(&inst, &idx);
+        let mut rr = RoundRobin::new(&inst, "R1O".parse().unwrap());
+        // Collect the channels x reads over several rounds.
+        let x = inst.node_by_name("x").unwrap();
+        let mut seen = std::collections::BTreeSet::new();
+        for _ in 0..3 * inst.node_count() {
+            let step = rr.next_step(&state).unwrap();
+            if step.sole_node() == Some(x) {
+                for a in step.actions() {
+                    seen.insert(a.channel());
+                }
+            }
+        }
+        assert_eq!(seen.len(), 2, "x must cycle through both in-channels");
+    }
+
+    #[test]
+    fn periodic_uniform_matches_round_robin_order() {
+        let inst = gadgets::disagree();
+        let idx = ChannelIndex::new(inst.graph());
+        let state = NetworkState::initial(&inst, &idx);
+        let mut p = Periodic::uniform(&inst, "REA".parse().unwrap(), 1);
+        let mut rr = RoundRobin::new(&inst, "REA".parse().unwrap());
+        for _ in 0..9 {
+            assert_eq!(
+                p.next_step(&state).unwrap().sole_node(),
+                rr.next_step(&state).unwrap().sole_node()
+            );
+        }
+    }
+
+    #[test]
+    fn periodic_respects_relative_rates() {
+        let inst = gadgets::disagree();
+        let idx = ChannelIndex::new(inst.graph());
+        let state = NetworkState::initial(&inst, &idx);
+        // d fires every tick, x every 2, y every 4.
+        let mut p = Periodic::new(&inst, "RMS".parse().unwrap(), vec![1, 2, 4]);
+        let mut counts = [0usize; 3];
+        for _ in 0..28 {
+            let v = p.next_step(&state).unwrap().sole_node().unwrap();
+            counts[v.index()] += 1;
+        }
+        // Rates 1 : 1/2 : 1/4 over 28 steps -> 16 : 8 : 4.
+        assert_eq!(counts, [16, 8, 4]);
+    }
+
+    #[test]
+    fn periodic_steps_are_legal_and_fair() {
+        let inst = gadgets::fig6();
+        let idx = ChannelIndex::new(inst.graph());
+        let state = NetworkState::initial(&inst, &idx);
+        for model in ["R1O", "RMS", "REA"] {
+            let model: CommModel = model.parse().unwrap();
+            let periods: Vec<u64> = (0..inst.node_count() as u64).map(|i| 1 + i % 3).collect();
+            let mut p = Periodic::new(&inst, model, periods);
+            let mut seq = Vec::new();
+            for _ in 0..200 {
+                let s = p.next_step(&state).unwrap();
+                check_step(model, inst.graph(), &s).unwrap();
+                seq.push(s);
+            }
+            crate::fairness::check_window(&seq, &idx, 80).unwrap();
+        }
+    }
+
+    #[test]
+    fn periodic_fingerprint_recurs_for_cycle_detection() {
+        let inst = gadgets::disagree();
+        let idx = ChannelIndex::new(inst.graph());
+        let state = NetworkState::initial(&inst, &idx);
+        let mut p = Periodic::new(&inst, "REA".parse().unwrap(), vec![1, 2, 2]);
+        let mut seen = std::collections::HashSet::new();
+        let mut recurred = false;
+        for _ in 0..50 {
+            recurred |= !seen.insert(p.fingerprint());
+            p.next_step(&state);
+        }
+        assert!(recurred, "normalized fingerprints must recur");
+    }
+
+    #[test]
+    #[should_panic(expected = "one period per node")]
+    fn periodic_validates_period_count() {
+        let inst = gadgets::disagree();
+        let _ = Periodic::new(&inst, "RMS".parse().unwrap(), vec![1]);
+    }
+
+    #[test]
+    fn random_fair_emits_legal_steps_for_every_model() {
+        let inst = gadgets::fig6();
+        let idx = ChannelIndex::new(inst.graph());
+        let state = NetworkState::initial(&inst, &idx);
+        for model in CommModel::all() {
+            let mut s = RandomFair::new(&inst, model, 7);
+            for k in 0..100 {
+                let step = s.next_step(&state).unwrap();
+                check_step(model, inst.graph(), &step)
+                    .unwrap_or_else(|e| panic!("{model} step {k}: {e}"));
+            }
+        }
+    }
+
+    #[test]
+    fn random_fair_attends_every_channel_within_window() {
+        let inst = gadgets::fig6();
+        let idx = ChannelIndex::new(inst.graph());
+        let state = NetworkState::initial(&inst, &idx);
+        let window = 40;
+        let mut s = RandomFair::new(&inst, "RMS".parse().unwrap(), 3).with_window(window);
+        let mut last = vec![0usize; idx.len()];
+        for t in 1..=2_000 {
+            let step = s.next_step(&state).unwrap();
+            for a in step.actions() {
+                if a.attends() {
+                    last[idx.id(a.channel()).unwrap()] = t;
+                }
+            }
+            for (c, &l) in last.iter().enumerate() {
+                // One channel is force-attended per step, so when many
+                // starve at once the unluckiest can wait one extra slot per
+                // channel (plus bookkeeping offsets).
+                assert!(
+                    t - l <= window + 2 * idx.len(),
+                    "channel {c} starved for {} steps",
+                    t - l
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn random_fair_never_drops_twice_in_a_row() {
+        let inst = gadgets::disagree();
+        let mut runner = crate::runner::Runner::new(&inst);
+        let mut s =
+            RandomFair::new(&inst, "UMS".parse().unwrap(), 11).with_drop_prob(0.9);
+        let idx = runner.index().clone();
+        let mut last_was_drop = vec![false; idx.len()];
+        for _ in 0..500 {
+            let step = s.next_step(runner.state()).unwrap();
+            for a in step.actions() {
+                let cid = idx.id(a.channel()).unwrap();
+                let drops_now =
+                    !a.is_lossless() && runner.state().queue(cid).len() > 0;
+                if drops_now {
+                    assert!(!last_was_drop[cid], "two consecutive drops on {cid}");
+                }
+                if a.attends() {
+                    last_was_drop[cid] = drops_now;
+                }
+            }
+            runner.step(&step);
+        }
+    }
+
+    #[test]
+    fn random_fair_is_deterministic_per_seed() {
+        let inst = gadgets::disagree();
+        let idx = ChannelIndex::new(inst.graph());
+        let state = NetworkState::initial(&inst, &idx);
+        let mut a = RandomFair::new(&inst, "RMS".parse().unwrap(), 42);
+        let mut b = RandomFair::new(&inst, "RMS".parse().unwrap(), 42);
+        for _ in 0..50 {
+            assert_eq!(a.next_step(&state), b.next_step(&state));
+        }
+    }
+}

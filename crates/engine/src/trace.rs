@@ -1,0 +1,246 @@
+//! Path-assignment traces and the realization relations of Definition 3.2.
+
+use routelab_spp::{Route, SppInstance};
+
+/// A sequence of global path assignments `π(0), π(1), …`, one per executed
+/// step plus the initial assignment at index 0. Each assignment is indexed
+/// by node id.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct PathTrace {
+    assignments: Vec<Vec<Route>>,
+}
+
+impl PathTrace {
+    /// An empty trace.
+    pub fn new() -> Self {
+        PathTrace::default()
+    }
+
+    /// Appends an assignment.
+    pub fn push(&mut self, pi: Vec<Route>) {
+        self.assignments.push(pi);
+    }
+
+    /// Number of recorded assignments.
+    pub fn len(&self) -> usize {
+        self.assignments.len()
+    }
+
+    /// `true` when nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.assignments.is_empty()
+    }
+
+    /// The `t`-th assignment.
+    pub fn get(&self, t: usize) -> Option<&Vec<Route>> {
+        self.assignments.get(t)
+    }
+
+    /// The final assignment, if any.
+    pub fn last(&self) -> Option<&Vec<Route>> {
+        self.assignments.last()
+    }
+
+    /// Iterates over assignments in time order.
+    pub fn iter(&self) -> impl Iterator<Item = &Vec<Route>> {
+        self.assignments.iter()
+    }
+
+    /// Collapses consecutive duplicate assignments (the "stutter-free"
+    /// skeleton used when checking realization with repetition).
+    pub fn dedup(&self) -> PathTrace {
+        let mut out = PathTrace::new();
+        for pi in &self.assignments {
+            if out.last() != Some(pi) {
+                out.push(pi.clone());
+            }
+        }
+        out
+    }
+
+    /// Renders a trace with instance names, one line per step.
+    pub fn render(&self, inst: &SppInstance) -> String {
+        let mut out = String::new();
+        for (t, pi) in self.assignments.iter().enumerate() {
+            let cells: Vec<String> = pi.iter().map(|r| inst.fmt_route(r)).collect();
+            out.push_str(&format!("t={t}: ({})\n", cells.join(", ")));
+        }
+        out
+    }
+}
+
+impl FromIterator<Vec<Route>> for PathTrace {
+    fn from_iter<I: IntoIterator<Item = Vec<Route>>>(iter: I) -> Self {
+        PathTrace { assignments: iter.into_iter().collect() }
+    }
+}
+
+/// The relation between a base trace and a candidate realization
+/// (Definition 3.2), strongest first.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum TraceRelation {
+    /// No relation holds.
+    None,
+    /// The base is a subsequence of the candidate.
+    Subsequence,
+    /// The candidate is the base with assignments repeated.
+    Repetition,
+    /// The traces are identical.
+    Exact,
+}
+
+/// `π'` exactly realizes `π`: the sequences are identical.
+pub fn is_exact(base: &PathTrace, candidate: &PathTrace) -> bool {
+    base == candidate
+}
+
+/// `π'` realizes `π` with repetition: `π'` is obtained from `π` by replacing
+/// each assignment with one or more consecutive copies.
+pub fn is_repetition(base: &PathTrace, candidate: &PathTrace) -> bool {
+    if base.is_empty() {
+        return candidate.is_empty();
+    }
+    // Dynamic program over "which base block are we inside": needed because
+    // adjacent equal base entries make the block boundaries ambiguous.
+    let n = base.len();
+    let mut in_block = vec![false; n];
+    let mut before_first = true;
+    for pi in candidate.iter() {
+        let mut next = vec![false; n];
+        let mut any = false;
+        for t in 0..n {
+            let can_continue = in_block[t];
+            let can_start = if t == 0 { before_first } else { in_block[t - 1] };
+            if (can_continue || can_start) && pi == base.get(t).expect("t < n") {
+                next[t] = true;
+                any = true;
+            }
+        }
+        before_first = false;
+        in_block = next;
+        if !any {
+            return false;
+        }
+    }
+    !before_first && in_block[n - 1]
+}
+
+/// `π'` realizes `π` as a subsequence: `π` is a subsequence of `π'`.
+pub fn is_subsequence(base: &PathTrace, candidate: &PathTrace) -> bool {
+    let mut t = 0;
+    for pi in candidate.iter() {
+        if t < base.len() && pi == base.get(t).expect("t < len") {
+            t += 1;
+        }
+    }
+    t == base.len()
+}
+
+/// The strongest relation of Definition 3.2 that holds between `base` and
+/// `candidate`.
+pub fn strongest_relation(base: &PathTrace, candidate: &PathTrace) -> TraceRelation {
+    if is_exact(base, candidate) {
+        TraceRelation::Exact
+    } else if is_repetition(base, candidate) {
+        TraceRelation::Repetition
+    } else if is_subsequence(base, candidate) {
+        TraceRelation::Subsequence
+    } else {
+        TraceRelation::None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use routelab_spp::Path;
+
+    fn pi(tag: u32) -> Vec<Route> {
+        // Distinct single-node assignments keyed by tag.
+        vec![Route::from(Path::from_ids([tag]).unwrap())]
+    }
+
+    fn trace(tags: &[u32]) -> PathTrace {
+        tags.iter().map(|&t| pi(t)).collect()
+    }
+
+    #[test]
+    fn exact_relation() {
+        assert!(is_exact(&trace(&[1, 2, 3]), &trace(&[1, 2, 3])));
+        assert!(!is_exact(&trace(&[1, 2]), &trace(&[1, 2, 3])));
+    }
+
+    #[test]
+    fn repetition_relation() {
+        let base = trace(&[1, 2, 3]);
+        assert!(is_repetition(&base, &trace(&[1, 2, 3])));
+        assert!(is_repetition(&base, &trace(&[1, 1, 2, 3, 3, 3])));
+        // Missing an element of the base.
+        assert!(!is_repetition(&base, &trace(&[1, 3])));
+        // Extra foreign state.
+        assert!(!is_repetition(&base, &trace(&[1, 2, 9, 3])));
+        // Order matters.
+        assert!(!is_repetition(&base, &trace(&[2, 1, 3])));
+        // Truncated candidate.
+        assert!(!is_repetition(&base, &trace(&[1, 2])));
+        // Repetition must handle equal adjacent base entries.
+        let stutter = trace(&[1, 1, 2]);
+        assert!(is_repetition(&stutter, &trace(&[1, 1, 2])));
+        assert!(is_repetition(&stutter, &trace(&[1, 1, 1, 2])));
+    }
+
+    #[test]
+    fn subsequence_relation() {
+        let base = trace(&[1, 3]);
+        assert!(is_subsequence(&base, &trace(&[1, 2, 3])));
+        assert!(is_subsequence(&base, &trace(&[1, 3])));
+        assert!(!is_subsequence(&base, &trace(&[3, 1])));
+        assert!(!is_subsequence(&base, &trace(&[1, 2])));
+        assert!(is_subsequence(&trace(&[]), &trace(&[1])));
+    }
+
+    #[test]
+    fn strongest_relation_ranks() {
+        let base = trace(&[1, 2]);
+        assert_eq!(strongest_relation(&base, &trace(&[1, 2])), TraceRelation::Exact);
+        assert_eq!(
+            strongest_relation(&base, &trace(&[1, 1, 2])),
+            TraceRelation::Repetition
+        );
+        assert_eq!(
+            strongest_relation(&base, &trace(&[1, 9, 2])),
+            TraceRelation::Subsequence
+        );
+        assert_eq!(strongest_relation(&base, &trace(&[2, 1])), TraceRelation::None);
+        assert!(TraceRelation::Exact > TraceRelation::Repetition);
+        assert!(TraceRelation::Repetition > TraceRelation::Subsequence);
+        assert!(TraceRelation::Subsequence > TraceRelation::None);
+    }
+
+    #[test]
+    fn dedup_collapses_stutter() {
+        let t = trace(&[1, 1, 2, 2, 2, 1]);
+        assert_eq!(t.dedup(), trace(&[1, 2, 1]));
+        assert!(PathTrace::new().dedup().is_empty());
+    }
+
+    #[test]
+    fn accessors() {
+        let t = trace(&[1, 2]);
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+        assert_eq!(t.get(1), Some(&pi(2)));
+        assert_eq!(t.get(2), None);
+        assert_eq!(t.last(), Some(&pi(2)));
+        assert_eq!(t.iter().count(), 2);
+    }
+
+    #[test]
+    fn render_includes_epsilon() {
+        let inst = routelab_spp::gadgets::line2();
+        let mut t = PathTrace::new();
+        t.push(vec![Route::empty(), Route::empty()]);
+        let s = t.render(&inst);
+        assert!(s.contains('ε'), "{s}");
+    }
+}

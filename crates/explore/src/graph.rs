@@ -1,0 +1,275 @@
+//! Reachable-state-graph construction and SCC decomposition.
+
+use std::collections::HashMap;
+
+use routelab_core::model::CommModel;
+use routelab_engine::exec::execute_step;
+use routelab_engine::index::ChannelIndex;
+use routelab_engine::state::NetworkState;
+use routelab_spp::SppInstance;
+
+use crate::effects::{all_steps, Spec};
+
+/// Bounds for exhaustive exploration.
+#[derive(Debug, Clone, Copy)]
+pub struct ExploreConfig {
+    /// Maximum queue length; transitions that would exceed it are cut (and
+    /// recorded, downgrading any "always converges" verdict).
+    pub channel_cap: usize,
+    /// Maximum number of distinct states.
+    pub max_states: usize,
+    /// Maximum canonical steps enumerated per state.
+    pub max_steps_per_state: usize,
+}
+
+impl Default for ExploreConfig {
+    fn default() -> Self {
+        ExploreConfig { channel_cap: 3, max_states: 150_000, max_steps_per_state: 10_000 }
+    }
+}
+
+/// A labeled transition of the state graph.
+#[derive(Debug, Clone)]
+pub struct EdgeLabel {
+    /// Target state index.
+    pub to: usize,
+    /// Dense channel ids the step attends.
+    pub attended: Vec<usize>,
+    /// Channels on which a message was learned (kept).
+    pub kept: Vec<usize>,
+    /// Channels on which at least one message was dropped.
+    pub dropped: Vec<usize>,
+    /// `true` when the step changes some π.
+    pub changes_pi: bool,
+    /// The canonical step generating this transition (for witness replay).
+    pub step: crate::effects::CanonicalStep,
+}
+
+/// The explored portion of a model's state graph.
+#[derive(Debug, Clone)]
+pub struct StateGraph {
+    /// States, index 0 = initial.
+    pub states: Vec<NetworkState>,
+    /// Fingerprint of each state's path assignment π (not the full state).
+    pub pi_fp: Vec<u64>,
+    /// Outgoing edges per state (state-preserving self-loops elided).
+    pub edges: Vec<Vec<EdgeLabel>>,
+    /// `true` when some transition was cut by the channel cap or the state
+    /// or per-state step budget — absence verdicts are then bounded.
+    pub truncated: bool,
+}
+
+fn pi_fingerprint(state: &NetworkState) -> u64 {
+    use std::hash::{Hash, Hasher};
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    state.assignment().hash(&mut h);
+    h.finish()
+}
+
+/// Builds the reachable state graph of `inst` under `model`.
+///
+/// For reliable all-messages models (`R1A`/`RMA`/`REA`) states are built
+/// modulo the queue-to-newest-message abstraction, which is a bisimulation
+/// there and keeps the polling state spaces finite without truncation.
+pub fn build(inst: &SppInstance, model: CommModel, cfg: &ExploreConfig) -> StateGraph {
+    build_spec(inst, Spec::Uniform(model), cfg)
+}
+
+/// Builds the reachable state graph for a uniform or heterogeneous model.
+pub fn build_spec(inst: &SppInstance, spec: Spec<'_>, cfg: &ExploreConfig) -> StateGraph {
+    let collapse = spec.collapsible();
+    let index = ChannelIndex::new(inst.graph());
+    let initial = NetworkState::initial(inst, &index);
+    let mut ids: HashMap<NetworkState, usize> = HashMap::new();
+    ids.insert(initial.clone(), 0);
+    let mut g = StateGraph {
+        states: vec![initial],
+        pi_fp: Vec::new(),
+        edges: vec![Vec::new()],
+        truncated: false,
+    };
+    g.pi_fp.push(pi_fingerprint(&g.states[0]));
+
+    let mut frontier = vec![0usize];
+    while let Some(si) = frontier.pop() {
+        let state = g.states[si].clone();
+        let (steps, capped) =
+            all_steps(spec, &index, &state, inst.node_count(), cfg.max_steps_per_state);
+        g.truncated |= capped;
+        for cs in steps {
+            let activation = cs.to_activation(spec, &index);
+            let mut next = state.clone();
+            let effect = execute_step(inst, &index, &mut next, &activation);
+            if collapse {
+                // Exact abstraction for R·A models: only the newest queued
+                // message can ever be learned.
+                next.collapse_queues_to_newest();
+            }
+            if next == state {
+                continue; // state-preserving: handled by noop annotations
+            }
+            if next.max_queue_len() > cfg.channel_cap {
+                g.truncated = true;
+                continue;
+            }
+            let ti = match ids.get(&next) {
+                Some(&t) => t,
+                None => {
+                    if g.states.len() >= cfg.max_states {
+                        g.truncated = true;
+                        continue;
+                    }
+                    let t = g.states.len();
+                    ids.insert(next.clone(), t);
+                    g.pi_fp.push(pi_fingerprint(&next));
+                    g.states.push(next);
+                    g.edges.push(Vec::new());
+                    frontier.push(t);
+                    t
+                }
+            };
+            g.edges[si].push(EdgeLabel {
+                to: ti,
+                attended: cs.attended(spec),
+                kept: effect.kept_on.clone(),
+                dropped: effect.dropped_on.clone(),
+                changes_pi: !effect.changed.is_empty(),
+                step: cs.clone(),
+            });
+        }
+    }
+    g
+}
+
+/// Tarjan's strongly connected components (iterative). Components are
+/// returned in reverse topological order; singleton components without a
+/// self-edge are included (callers filter).
+pub fn sccs(g: &StateGraph) -> Vec<Vec<usize>> {
+    let n = g.states.len();
+    let mut index_of = vec![usize::MAX; n];
+    let mut low = vec![0usize; n];
+    let mut on_stack = vec![false; n];
+    let mut stack: Vec<usize> = Vec::new();
+    let mut next_index = 0usize;
+    let mut out = Vec::new();
+
+    // Iterative DFS frames: (node, edge cursor).
+    for root in 0..n {
+        if index_of[root] != usize::MAX {
+            continue;
+        }
+        let mut call: Vec<(usize, usize)> = vec![(root, 0)];
+        while let Some(&(v, cursor)) = call.last() {
+            if cursor == 0 {
+                index_of[v] = next_index;
+                low[v] = next_index;
+                next_index += 1;
+                stack.push(v);
+                on_stack[v] = true;
+            }
+            if cursor < g.edges[v].len() {
+                call.last_mut().expect("nonempty").1 += 1;
+                let w = g.edges[v][cursor].to;
+                if index_of[w] == usize::MAX {
+                    call.push((w, 0));
+                } else if on_stack[w] {
+                    low[v] = low[v].min(index_of[w]);
+                }
+            } else {
+                call.pop();
+                if let Some(&(parent, _)) = call.last() {
+                    low[parent] = low[parent].min(low[v]);
+                }
+                if low[v] == index_of[v] {
+                    let mut comp = Vec::new();
+                    loop {
+                        let w = stack.pop().expect("tarjan stack nonempty");
+                        on_stack[w] = false;
+                        comp.push(w);
+                        if w == v {
+                            break;
+                        }
+                    }
+                    out.push(comp);
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use routelab_spp::gadgets;
+
+    #[test]
+    fn line2_graph_is_tiny_and_complete() {
+        let inst = gadgets::line2();
+        let g = build(&inst, "REA".parse().unwrap(), &ExploreConfig::default());
+        assert!(!g.truncated);
+        // Initial, d-announced, v-learned, v-announcement-consumed…
+        assert!(g.states.len() <= 8, "{}", g.states.len());
+        // From the converged terminal state there are no outgoing edges.
+        let terminal = g
+            .states
+            .iter()
+            .position(|s| s.is_quiescent())
+            .expect("line2 reaches quiescence");
+        assert!(g.edges[terminal].is_empty());
+    }
+
+    #[test]
+    fn disagree_r1o_graph_has_cycles() {
+        let inst = gadgets::disagree();
+        let g = build(&inst, "R1O".parse().unwrap(), &ExploreConfig::default());
+        // Divergent schedules can pump any queue past any cap (e.g. x keeps
+        // announcing while d never reads), so truncation is expected here;
+        // the oscillating SCC must still be inside the explored region.
+        assert!(g.truncated);
+        let comps = sccs(&g);
+        let biggest = comps.iter().map(Vec::len).max().unwrap();
+        assert!(biggest > 1, "R1O on DISAGREE must contain a nontrivial SCC");
+    }
+
+    #[test]
+    fn disagree_rma_graph_is_acyclic_besides_terminals() {
+        let inst = gadgets::disagree();
+        let g = build(&inst, "RMA".parse().unwrap(), &ExploreConfig::default());
+        assert!(!g.truncated);
+        for comp in sccs(&g) {
+            if comp.len() > 1 {
+                // Any multi-state SCC must keep π constant (checked fully in
+                // oscillation.rs; here ensure π fp equality).
+                let fp = g.pi_fp[comp[0]];
+                assert!(comp.iter().all(|&s| g.pi_fp[s] == fp));
+            }
+        }
+    }
+
+    #[test]
+    fn truncation_reported_on_tiny_caps() {
+        let inst = gadgets::disagree();
+        let cfg = ExploreConfig { channel_cap: 1, max_states: 4, max_steps_per_state: 4 };
+        let g = build(&inst, "RMS".parse().unwrap(), &cfg);
+        assert!(g.truncated);
+        assert!(g.states.len() <= 4);
+    }
+
+    #[test]
+    fn scc_decomposition_covers_all_states() {
+        let inst = gadgets::disagree();
+        let g = build(&inst, "REO".parse().unwrap(), &ExploreConfig::default());
+        let comps = sccs(&g);
+        let total: usize = comps.iter().map(Vec::len).sum();
+        assert_eq!(total, g.states.len());
+        // Each state appears exactly once.
+        let mut seen = vec![false; g.states.len()];
+        for c in &comps {
+            for &s in c {
+                assert!(!seen[s]);
+                seen[s] = true;
+            }
+        }
+    }
+}

@@ -1,0 +1,471 @@
+//! Fair-oscillation detection on the explored state graph.
+//!
+//! An infinite fair execution eventually stays inside one strongly connected
+//! component of the state graph, using its edges infinitely often. It is an
+//! *oscillation* (per Definition 2.5) when π keeps changing there. The
+//! component admits a fair tour (Definition 2.4) when
+//!
+//! 1. every channel is attended by some internal edge, or can be attended by
+//!    a state-preserving step at some member state (an empty-queue read —
+//!    such self-loops are elided from the graph and reconstructed here), and
+//! 2. every channel that some internal edge drops on is also kept on by some
+//!    internal edge (so dropped messages are always followed by delivered
+//!    ones when the tour rotates through all edges).
+//!
+//! Soundness: if no reachable SCC passes the π-changing + fairness test and
+//! exploration was not truncated, **no** fair execution oscillates — the
+//! algorithm converges on every fair activation sequence of the model.
+
+use std::collections::HashMap;
+
+use routelab_core::dims::NeighborScope;
+use routelab_core::hetero::HeteroModel;
+use routelab_core::model::CommModel;
+use routelab_engine::index::ChannelIndex;
+use routelab_engine::state::NetworkState;
+use routelab_spp::SppInstance;
+
+use crate::effects::Spec;
+use crate::graph::{build_spec, ExploreConfig, StateGraph};
+
+/// Outcome of exhaustive oscillation analysis.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Verdict {
+    /// A fair oscillation exists: a reachable SCC changes π and admits a
+    /// fair tour.
+    CanOscillate {
+        /// States explored.
+        states: usize,
+        /// Size of the witnessing SCC.
+        scc_size: usize,
+    },
+    /// Exploration was exhaustive and no fair oscillating SCC exists: every
+    /// fair activation sequence converges.
+    AlwaysConverges {
+        /// States explored.
+        states: usize,
+    },
+    /// No oscillation found, but exploration was truncated (channel cap,
+    /// state cap or per-state step cap): convergence holds only within the
+    /// bound.
+    NoOscillationWithinBound {
+        /// States explored.
+        states: usize,
+    },
+}
+
+/// `true` when channel `c` can be attended at `state` without changing it:
+/// its queue is empty, its reader has nothing pending to announce, and — for
+/// scope `E`, where the reader must process *all* its channels — every queue
+/// into the reader is empty.
+fn noop_attendable(
+    spec: Spec<'_>,
+    index: &ChannelIndex,
+    state: &NetworkState,
+    c: usize,
+) -> bool {
+    let reader = index.channel(c).to;
+    if !state.queue(c).is_empty() || state.chosen(reader) != state.announced(reader) {
+        return false;
+    }
+    match spec.scope(reader) {
+        NeighborScope::Every => {
+            index.in_channels(reader).iter().all(|&cc| state.queue(cc).is_empty())
+        }
+        _ => true,
+    }
+}
+
+/// SCC decomposition restricted to the states of `nodes` and to edges the
+/// filter admits. Returns components as state lists.
+fn sccs_restricted(
+    g: &StateGraph,
+    nodes: &[usize],
+    edge_ok: &dyn Fn(usize, usize) -> bool,
+) -> Vec<Vec<usize>> {
+    let mut in_set = vec![false; g.states.len()];
+    for &s in nodes {
+        in_set[s] = true;
+    }
+    #[derive(Clone, Copy, PartialEq)]
+    struct Info {
+        index: usize,
+        low: usize,
+    }
+    let mut info: HashMap<usize, Info> = HashMap::new();
+    let mut on_stack: HashMap<usize, bool> = HashMap::new();
+    let mut stack: Vec<usize> = Vec::new();
+    let mut next_index = 0usize;
+    let mut out = Vec::new();
+
+    for &root in nodes {
+        if info.contains_key(&root) {
+            continue;
+        }
+        let mut call: Vec<(usize, usize)> = vec![(root, 0)];
+        while let Some(&(v, cursor)) = call.last() {
+            if cursor == 0 {
+                info.insert(v, Info { index: next_index, low: next_index });
+                next_index += 1;
+                stack.push(v);
+                on_stack.insert(v, true);
+            }
+            if cursor < g.edges[v].len() {
+                call.last_mut().expect("nonempty").1 += 1;
+                let e = &g.edges[v][cursor];
+                if !in_set[e.to] || !edge_ok(v, cursor) {
+                    continue;
+                }
+                let w = e.to;
+                match info.get(&w) {
+                    None => call.push((w, 0)),
+                    Some(wi) => {
+                        if on_stack.get(&w).copied().unwrap_or(false) {
+                            let low = info[&v].low.min(wi.index);
+                            info.get_mut(&v).expect("visited").low = low;
+                        }
+                    }
+                }
+            } else {
+                call.pop();
+                let vi = info[&v];
+                if let Some(&(parent, _)) = call.last() {
+                    let low = info[&parent].low.min(vi.low);
+                    info.get_mut(&parent).expect("visited").low = low;
+                }
+                if vi.low == vi.index {
+                    let mut comp = Vec::new();
+                    loop {
+                        let w = stack.pop().expect("tarjan stack nonempty");
+                        on_stack.insert(w, false);
+                        comp.push(w);
+                        if w == v {
+                            break;
+                        }
+                    }
+                    out.push(comp);
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Finds the first reachable component witnessing a fair oscillation.
+///
+/// Drop fairness needs *iterative refinement* (as in Streett acceptance):
+/// if a component drops on a channel it never delivers on, a fair walk must
+/// eventually avoid those dropping edges, so they are removed and the
+/// component re-decomposed until either a component passes every condition
+/// or nothing is left.
+pub(crate) fn find_fair_scc(
+    inst: &SppInstance,
+    spec: Spec<'_>,
+    g: &StateGraph,
+) -> Option<Vec<usize>> {
+    let index = ChannelIndex::new(inst.graph());
+    let channel_count = index.len();
+
+    // Work items: (candidate state set, set of banned (state, edge idx)).
+    let all_nodes: Vec<usize> = (0..g.states.len()).collect();
+    let mut work: Vec<(Vec<usize>, std::collections::HashSet<(usize, usize)>)> =
+        vec![(all_nodes, std::collections::HashSet::new())];
+
+    while let Some((nodes, banned)) = work.pop() {
+        let edge_ok = |s: usize, ei: usize| !banned.contains(&(s, ei));
+        for comp in sccs_restricted(g, &nodes, &edge_ok) {
+            let mut member = vec![false; g.states.len()];
+            for &s in &comp {
+                member[s] = true;
+            }
+            // Internal (non-banned) edges as (state, edge index).
+            let mut internal: Vec<(usize, usize)> = Vec::new();
+            for &s in &comp {
+                for (ei, e) in g.edges[s].iter().enumerate() {
+                    if member[e.to] && edge_ok(s, ei) {
+                        internal.push((s, ei));
+                    }
+                }
+            }
+            if internal.is_empty() {
+                continue;
+            }
+            let edge = |&(s, ei): &(usize, usize)| &g.edges[s][ei];
+            // 1. π must change within the component (anti-monotone: a
+            //    π-constant component stays π-constant in every sub-walk).
+            let pi0 = g.pi_fp[comp[0]];
+            let pi_changes = comp.iter().any(|&s| g.pi_fp[s] != pi0)
+                || internal.iter().map(edge).any(|e| e.changes_pi);
+            if !pi_changes {
+                continue;
+            }
+            // 2. Every channel attended (anti-monotone likewise).
+            let all_attended = (0..channel_count).all(|c| {
+                internal.iter().map(edge).any(|e| e.attended.contains(&c))
+                    || comp.iter().any(|&s| noop_attendable(spec, &index, &g.states[s], c))
+            });
+            if !all_attended {
+                continue;
+            }
+            // 3. Drop fairness: channels dropped on but never delivered on
+            //    must not be dropped infinitely often — remove their
+            //    dropping edges and re-decompose.
+            let offending: Vec<usize> = (0..channel_count)
+                .filter(|c| {
+                    internal.iter().map(edge).any(|e| e.dropped.contains(c))
+                        && !internal.iter().map(edge).any(|e| e.kept.contains(c))
+                })
+                .collect();
+            if offending.is_empty() {
+                return Some(comp);
+            }
+            let mut banned2 = banned.clone();
+            for &(s, ei) in &internal {
+                if g.edges[s][ei].dropped.iter().any(|c| offending.contains(c)) {
+                    banned2.insert((s, ei));
+                }
+            }
+            work.push((comp, banned2));
+        }
+    }
+    None
+}
+
+/// Analyzes a prebuilt graph.
+pub fn analyze_graph(
+    inst: &SppInstance,
+    spec: Spec<'_>,
+    g: &StateGraph,
+) -> Verdict {
+    if let Some(comp) = find_fair_scc(inst, spec, g) {
+        return Verdict::CanOscillate { states: g.states.len(), scc_size: comp.len() };
+    }
+    if g.truncated {
+        Verdict::NoOscillationWithinBound { states: g.states.len() }
+    } else {
+        Verdict::AlwaysConverges { states: g.states.len() }
+    }
+}
+
+/// Builds the graph and analyzes it.
+pub fn analyze(inst: &SppInstance, model: CommModel, cfg: &ExploreConfig) -> Verdict {
+    analyze_spec(inst, Spec::Uniform(model), cfg)
+}
+
+/// Builds the graph and analyzes it for a heterogeneous model (the paper's
+/// open "mixed configuration" question, Sec. 5).
+pub fn analyze_hetero(inst: &SppInstance, model: &HeteroModel, cfg: &ExploreConfig) -> Verdict {
+    analyze_spec(inst, Spec::Hetero(model), cfg)
+}
+
+/// Builds the graph and analyzes it for any model view.
+pub fn analyze_spec(inst: &SppInstance, spec: Spec<'_>, cfg: &ExploreConfig) -> Verdict {
+    let g = build_spec(inst, spec, cfg);
+    analyze_graph(inst, spec, &g)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use routelab_spp::gadgets;
+
+    fn verdict(inst: &routelab_spp::SppInstance, model: &str) -> Verdict {
+        analyze(inst, model.parse().unwrap(), &ExploreConfig::default())
+    }
+
+    #[test]
+    fn example_a1_disagree_oscillates_in_r1o_and_friends() {
+        let inst = gadgets::disagree();
+        for model in ["R1O", "RMO", "R1F", "RMF"] {
+            assert!(
+                matches!(verdict(&inst, model), Verdict::CanOscillate { .. }),
+                "{model} must admit the DISAGREE oscillation"
+            );
+        }
+        // The S-policy models have much larger effect spaces; a channel cap
+        // of 2 still contains the DISAGREE oscillation (the witness cycle
+        // never queues more than two messages) and keeps the graph small.
+        let tight = ExploreConfig { channel_cap: 2, ..ExploreConfig::default() };
+        for model in ["R1S", "RMS", "RES"] {
+            let v = analyze(&inst, model.parse().unwrap(), &tight);
+            assert!(
+                matches!(v, Verdict::CanOscillate { .. }),
+                "{model} must admit the DISAGREE oscillation (got {v:?})"
+            );
+        }
+    }
+
+    #[test]
+    fn example_a1_disagree_cannot_oscillate_in_weak_models() {
+        // Theorem 3.8's five models: DISAGREE always converges there.
+        let inst = gadgets::disagree();
+        for model in ["REO", "REF", "R1A", "RMA", "REA"] {
+            assert!(
+                matches!(verdict(&inst, model), Verdict::AlwaysConverges { .. }),
+                "{model} must force DISAGREE to converge (got {:?})",
+                verdict(&inst, model)
+            );
+        }
+    }
+
+    #[test]
+    fn example_a2_fig6_separates_reo_ref_from_polling() {
+        // Theorem 3.9: Fig. 6 oscillates in REO and REF but not in the
+        // polling models. REA is checked here (≈19k states); R1A and RMA
+        // share a ≈650k-state space and are covered by the release-only
+        // test below and by `exp-examples`.
+        let inst = gadgets::fig6();
+        let cfg = ExploreConfig { channel_cap: 3, ..ExploreConfig::default() };
+        for model in ["REO", "REF"] {
+            let v = analyze(&inst, model.parse().unwrap(), &cfg);
+            assert!(
+                matches!(v, Verdict::CanOscillate { .. }),
+                "{model} must admit the Fig. 6 oscillation (got {v:?})"
+            );
+        }
+        let v = analyze(&inst, "REA".parse().unwrap(), &cfg);
+        assert!(
+            matches!(v, Verdict::AlwaysConverges { .. }),
+            "REA must force Fig. 6 to converge (got {v:?})"
+        );
+    }
+
+    #[test]
+    #[cfg_attr(
+        debug_assertions,
+        ignore = "≈650k-state exploration; run with `cargo test --release` or `exp-examples a2`"
+    )]
+    fn example_a2_fig6_polling_r1a_rma_converge_exhaustively() {
+        let inst = gadgets::fig6();
+        let cfg =
+            ExploreConfig { channel_cap: 3, max_states: 1_500_000, max_steps_per_state: 20_000 };
+        for model in ["R1A", "RMA"] {
+            let v = analyze(&inst, model.parse().unwrap(), &cfg);
+            assert!(
+                matches!(v, Verdict::AlwaysConverges { .. }),
+                "{model} must force Fig. 6 to converge (got {v:?})"
+            );
+        }
+    }
+
+    #[test]
+    fn bad_gadget_oscillates_even_when_polling() {
+        // BAD-GADGET has no stable assignment at all: even REA oscillates.
+        let inst = gadgets::bad_gadget();
+        for model in ["REA", "R1A", "REO", "R1O"] {
+            assert!(
+                matches!(verdict(&inst, model), Verdict::CanOscillate { .. }),
+                "{model} must oscillate on BAD-GADGET"
+            );
+        }
+    }
+
+    #[test]
+    fn good_gadget_always_converges() {
+        let inst = gadgets::good_gadget();
+        for model in ["R1O", "REO", "REA", "RMA", "R1S"] {
+            assert!(
+                matches!(verdict(&inst, model), Verdict::AlwaysConverges { .. }),
+                "{model} must converge on GOOD-GADGET"
+            );
+        }
+    }
+
+    #[test]
+    fn line2_trivially_converges_in_every_model() {
+        let inst = gadgets::line2();
+        for model in routelab_core::model::CommModel::all() {
+            let v = verdict(&inst, &model.to_string());
+            assert!(
+                matches!(v, Verdict::AlwaysConverges { .. }),
+                "{model}: {v:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn unreliable_channels_preserve_disagree_oscillation() {
+        // Prop 3.3(1): U1O exactly realizes R1O, so the oscillation
+        // survives; drop fairness is satisfiable.
+        let inst = gadgets::disagree();
+        assert!(matches!(verdict(&inst, "U1O"), Verdict::CanOscillate { .. }));
+    }
+
+    #[test]
+    fn hetero_uniform_matches_uniform_analysis() {
+        // A HeteroModel built uniformly must reproduce the CommModel
+        // verdicts exactly.
+        let inst = gadgets::disagree();
+        let cfg = ExploreConfig::default();
+        for model in ["R1O", "REA", "RMS", "U1O", "UEA"] {
+            let m: CommModel = model.parse().unwrap();
+            let h = HeteroModel::uniform(inst.node_count(), m);
+            let uniform = analyze(&inst, m, &cfg);
+            let hetero = analyze_hetero(&inst, &h, &cfg);
+            assert_eq!(
+                std::mem::discriminant(&uniform),
+                std::mem::discriminant(&hetero),
+                "{model}: {uniform:?} vs {hetero:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn hetero_one_polling_disputant_is_not_enough() {
+        // Paper Sec. 5 open question, answered: on DISAGREE, letting only x
+        // poll (while y stays event-driven) still admits a fair oscillation;
+        // both disputants must poll to force convergence.
+        use routelab_core::dims::{MessagePolicy, NeighborScope};
+        use routelab_core::hetero::NodeModel;
+        let inst = gadgets::disagree();
+        let x = inst.node_by_name("x").unwrap();
+        let y = inst.node_by_name("y").unwrap();
+        let cfg = ExploreConfig::default();
+        let poll = NodeModel { scope: NeighborScope::Every, messages: MessagePolicy::All };
+
+        let mut one = HeteroModel::uniform(inst.node_count(), "R1O".parse().unwrap());
+        one.set_node(x, poll);
+        assert!(matches!(
+            analyze_hetero(&inst, &one, &cfg),
+            Verdict::CanOscillate { .. }
+        ));
+
+        let mut both = HeteroModel::uniform(inst.node_count(), "R1O".parse().unwrap());
+        both.set_node(x, poll);
+        both.set_node(y, poll);
+        assert!(matches!(
+            analyze_hetero(&inst, &both, &cfg),
+            Verdict::AlwaysConverges { .. }
+        ));
+    }
+
+    #[test]
+    fn hetero_lossy_channels_do_not_break_polling_convergence() {
+        // Mixed reliability on DISAGREE: even with every channel lossy,
+        // poll-all keeps the instance convergent (cf. exp-beyond: UEA
+        // cannot oscillate DISAGREE).
+        use routelab_spp::Channel;
+        let inst = gadgets::disagree();
+        let x = inst.node_by_name("x").unwrap();
+        let y = inst.node_by_name("y").unwrap();
+        let cfg = ExploreConfig::default();
+        let mut h = HeteroModel::uniform(inst.node_count(), "REA".parse().unwrap());
+        h.set_lossy(Channel::new(x, y));
+        h.set_lossy(Channel::new(y, x));
+        assert!(matches!(
+            analyze_hetero(&inst, &h, &cfg),
+            Verdict::AlwaysConverges { .. }
+        ));
+    }
+
+    #[test]
+    fn truncated_exploration_downgrades_verdict() {
+        let inst = gadgets::good_gadget();
+        let cfg = ExploreConfig { channel_cap: 1, max_states: 16, max_steps_per_state: 8 };
+        let v = analyze(&inst, "REA".parse().unwrap(), &cfg);
+        assert!(
+            matches!(v, Verdict::NoOscillationWithinBound { .. }),
+            "{v:?}"
+        );
+    }
+}

@@ -1,0 +1,325 @@
+//! Exhaustive search for an activation sequence of a model inducing a given
+//! path-assignment trace (used to verify Examples A.3–A.5 mechanically).
+
+use std::collections::HashMap;
+
+use routelab_core::model::CommModel;
+use routelab_core::step::{ActivationSeq, ActivationStep};
+use routelab_engine::exec::execute_step;
+use routelab_engine::index::ChannelIndex;
+use routelab_engine::state::NetworkState;
+use routelab_engine::trace::PathTrace;
+use routelab_spp::SppInstance;
+
+use crate::effects::{all_steps, Spec};
+use crate::graph::ExploreConfig;
+
+/// Which Definition 3.2 relation the found sequence must induce.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SearchGoal {
+    /// The induced trace equals the target exactly.
+    Exact,
+    /// The induced trace is the target with entries repeated.
+    Repetition,
+    /// The target is a subsequence of the induced trace.
+    Subsequence,
+}
+
+/// Search outcome.
+#[derive(Debug, Clone)]
+pub enum SearchResult {
+    /// A witnessing activation sequence.
+    Found(ActivationSeq),
+    /// Exhaustively impossible within the configured channel cap.
+    Impossible {
+        /// Distinct (state, progress) pairs visited.
+        visited: usize,
+    },
+    /// The search hit a budget before deciding.
+    BoundExceeded {
+        /// Distinct (state, progress) pairs visited.
+        visited: usize,
+    },
+}
+
+impl SearchResult {
+    /// `true` for [`SearchResult::Found`].
+    pub fn is_found(&self) -> bool {
+        matches!(self, SearchResult::Found(_))
+    }
+
+    /// `true` for [`SearchResult::Impossible`].
+    pub fn is_impossible(&self) -> bool {
+        matches!(self, SearchResult::Impossible { .. })
+    }
+}
+
+/// Searches for an activation sequence of `model` whose trace realizes
+/// `target` per `goal`. The search is exhaustive over canonical step
+/// effects with memoization on (state, matched-prefix-length); when it
+/// terminates without budget pressure, a negative answer is a proof (within
+/// the channel cap).
+///
+/// For [`SearchGoal::Exact`] and [`SearchGoal::Repetition`], the target is
+/// treated as a *converged* execution (as in Examples A.3–A.5): activation
+/// sequences are infinite and fair, so after matching the last entry the
+/// realization must be able to drain every outstanding message without ever
+/// changing π — acceptance therefore requires reaching a quiescent state
+/// whose assignment is the target's last entry. This is precisely the
+/// argument of Example A.3: "the outstanding messages must be processed;
+/// this causes π_s(10) = svbd". A subsequence realization constrains only a
+/// finite prefix, so it accepts as soon as the whole target has appeared.
+pub fn search(
+    inst: &SppInstance,
+    model: CommModel,
+    target: &PathTrace,
+    goal: SearchGoal,
+    cfg: &ExploreConfig,
+) -> SearchResult {
+    let index = ChannelIndex::new(inst.graph());
+    let initial = NetworkState::initial(inst, &index);
+    if target.is_empty() || target.get(0) != Some(&initial.assignment()) {
+        return SearchResult::Impossible { visited: 0 };
+    }
+    let last = target.len() - 1;
+    let must_settle = matches!(goal, SearchGoal::Exact | SearchGoal::Repetition);
+    let accepts = |state: &NetworkState, progress: usize| {
+        progress == last && (!must_settle || state.is_quiescent())
+    };
+    if accepts(&initial, 0) {
+        return SearchResult::Found(Vec::new());
+    }
+
+    // DFS with memoized (state, progress) pairs and parent links for
+    // witness reconstruction.
+    type Key = (NetworkState, usize);
+    let mut parent: HashMap<Key, Option<(Key, ActivationStep)>> = HashMap::new();
+    let start: Key = (initial, 0);
+    parent.insert(start.clone(), None);
+    let mut stack = vec![start];
+    let mut truncated = false;
+
+    while let Some(key) = stack.pop() {
+        let (state, progress) = &key;
+        let (steps, capped) =
+            all_steps(Spec::Uniform(model), &index, state, inst.node_count(), cfg.max_steps_per_state);
+        truncated |= capped;
+        for cs in steps {
+            let activation = cs.to_activation(Spec::Uniform(model), &index);
+            let mut next = state.clone();
+            execute_step(inst, &index, &mut next, &activation);
+            if next.max_queue_len() > cfg.channel_cap {
+                truncated = true;
+                continue;
+            }
+            let pi = next.assignment();
+            let at_last = *progress == last;
+            let next_progress = match goal {
+                SearchGoal::Exact => {
+                    if at_last {
+                        // Settling phase: the infinite tail of the base is
+                        // constant, so every extra entry must repeat it.
+                        if Some(&pi) != target.get(last) {
+                            continue;
+                        }
+                        last
+                    } else if Some(&pi) == target.get(progress + 1) {
+                        progress + 1
+                    } else {
+                        continue;
+                    }
+                }
+                SearchGoal::Repetition => {
+                    if Some(&pi) == target.get(progress + 1) {
+                        progress + 1
+                    } else if Some(&pi) == target.get(*progress) {
+                        *progress
+                    } else {
+                        continue;
+                    }
+                }
+                SearchGoal::Subsequence => {
+                    if Some(&pi) == target.get(progress + 1) {
+                        progress + 1
+                    } else {
+                        *progress
+                    }
+                }
+            };
+            let next_key: Key = (next, next_progress);
+            if parent.contains_key(&next_key) {
+                continue;
+            }
+            parent.insert(next_key.clone(), Some((key.clone(), activation.clone())));
+            if accepts(&next_key.0, next_progress) {
+                return SearchResult::Found(reconstruct(&parent, next_key));
+            }
+            if parent.len() >= cfg.max_states {
+                return SearchResult::BoundExceeded { visited: parent.len() };
+            }
+            stack.push(next_key);
+        }
+    }
+    if truncated {
+        SearchResult::BoundExceeded { visited: parent.len() }
+    } else {
+        SearchResult::Impossible { visited: parent.len() }
+    }
+}
+
+fn reconstruct(
+    parent: &HashMap<(NetworkState, usize), Option<((NetworkState, usize), ActivationStep)>>,
+    mut key: (NetworkState, usize),
+) -> ActivationSeq {
+    let mut seq = Vec::new();
+    while let Some(Some((prev, step))) = parent.get(&key) {
+        seq.push(step.clone());
+        key = prev.clone();
+    }
+    seq.reverse();
+    seq
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use routelab_core::validate::check_sequence;
+    use routelab_engine::paper_runs;
+    use routelab_engine::runner::Runner;
+    use routelab_engine::trace::{is_repetition, is_subsequence};
+
+    fn target_of(run: &paper_runs::PaperRun) -> PathTrace {
+        Runner::trace_of(&run.instance, &run.seq)
+    }
+
+    fn cfg() -> ExploreConfig {
+        ExploreConfig { channel_cap: 6, max_states: 2_000_000, max_steps_per_state: 50_000 }
+    }
+
+    /// The candidate equals the target followed by settle steps repeating
+    /// the final assignment (the infinite tail of a converged execution).
+    fn exact_then_settled(target: &PathTrace, cand: &PathTrace) -> bool {
+        cand.len() >= target.len()
+            && (0..target.len()).all(|t| cand.get(t) == target.get(t))
+            && (target.len()..cand.len()).all(|t| cand.get(t) == target.last())
+    }
+
+    #[test]
+    fn a3_trace_exactly_realizable_in_its_own_model() {
+        let run = paper_runs::a3_reo();
+        let target = target_of(&run);
+        let res = search(&run.instance, "REO".parse().unwrap(), &target, SearchGoal::Exact, &cfg());
+        let SearchResult::Found(seq) = res else { panic!("{res:?}") };
+        let cand = Runner::trace_of(&run.instance, &seq);
+        assert!(exact_then_settled(&target, &cand), "{}", cand.render(&run.instance));
+        check_sequence("REO".parse().unwrap(), run.instance.graph(), &seq).unwrap();
+    }
+
+    #[test]
+    fn proposition_3_10_a3_not_exact_in_r1o() {
+        // Example A.3: the REO execution cannot be exactly realized in R1O.
+        let run = paper_runs::a3_reo();
+        let target = target_of(&run);
+        let res = search(&run.instance, "R1O".parse().unwrap(), &target, SearchGoal::Exact, &cfg());
+        assert!(res.is_impossible(), "{res:?}");
+    }
+
+    #[test]
+    fn a3_is_subsequence_realizable_in_r1o() {
+        let run = paper_runs::a3_reo();
+        let target = target_of(&run);
+        let res =
+            search(&run.instance, "R1O".parse().unwrap(), &target, SearchGoal::Subsequence, &cfg());
+        let SearchResult::Found(seq) = res else { panic!("{res:?}") };
+        let cand = Runner::trace_of(&run.instance, &seq);
+        assert!(is_subsequence(&target, &cand));
+        check_sequence("R1O".parse().unwrap(), run.instance.graph(), &seq).unwrap();
+    }
+
+    #[test]
+    fn proposition_3_11_a4_not_repetition_in_r1o() {
+        // Example A.4: the REA execution cannot be realized with repetition
+        // in R1O…
+        let run = paper_runs::a4_rea();
+        let target = target_of(&run);
+        let res =
+            search(&run.instance, "R1O".parse().unwrap(), &target, SearchGoal::Repetition, &cfg());
+        assert!(res.is_impossible(), "{res:?}");
+        // …but it is realizable as a subsequence (the paper's remark).
+        let res =
+            search(&run.instance, "R1O".parse().unwrap(), &target, SearchGoal::Subsequence, &cfg());
+        let SearchResult::Found(seq) = res else { panic!("{res:?}") };
+        let cand = Runner::trace_of(&run.instance, &seq);
+        assert!(is_subsequence(&target, &cand));
+    }
+
+    #[test]
+    fn proposition_3_12_a5_not_exact_in_r1s() {
+        // Example A.5: the REA execution cannot be exactly realized in R1S.
+        let run = paper_runs::a5_rea();
+        let target = target_of(&run);
+        let res = search(&run.instance, "R1S".parse().unwrap(), &target, SearchGoal::Exact, &cfg());
+        assert!(res.is_impossible(), "{res:?}");
+    }
+
+    #[test]
+    fn a5_exactly_realizable_in_queueing_model() {
+        // RMS exactly realizes REA (Fig. 3), so the A.5 trace must be
+        // exactly inducible in RMS.
+        let run = paper_runs::a5_rea();
+        let target = target_of(&run);
+        let res = search(&run.instance, "RMS".parse().unwrap(), &target, SearchGoal::Exact, &cfg());
+        let SearchResult::Found(seq) = res else { panic!("{res:?}") };
+        let cand = Runner::trace_of(&run.instance, &seq);
+        assert!(exact_then_settled(&target, &cand), "{}", cand.render(&run.instance));
+        check_sequence("RMS".parse().unwrap(), run.instance.graph(), &seq).unwrap();
+    }
+
+    #[test]
+    fn a4_repetition_realizable_in_r1s() {
+        // R1S realizes REA with repetition (Fig. 3 row REA col R1S = 3).
+        let run = paper_runs::a4_rea();
+        let target = target_of(&run);
+        let res =
+            search(&run.instance, "R1S".parse().unwrap(), &target, SearchGoal::Repetition, &cfg());
+        let SearchResult::Found(seq) = res else { panic!("{res:?}") };
+        let cand = Runner::trace_of(&run.instance, &seq);
+        assert!(is_repetition(&target, &cand));
+    }
+
+    #[test]
+    fn mismatched_initial_assignment_is_impossible() {
+        let run = paper_runs::a4_rea();
+        let mut bogus = PathTrace::new();
+        bogus.push(vec![routelab_spp::Route::empty(); run.instance.node_count()]);
+        let res =
+            search(&run.instance, "REA".parse().unwrap(), &bogus, SearchGoal::Exact, &cfg());
+        assert!(res.is_impossible());
+    }
+
+    #[test]
+    fn forever_initial_assignment_is_unfair_hence_impossible() {
+        // A base trace that never leaves the initial assignment cannot be
+        // realized by any *fair* execution: the destination must eventually
+        // announce and its neighbors must adopt a route.
+        let run = paper_runs::a4_rea();
+        let target = {
+            let mut t = PathTrace::new();
+            let index = ChannelIndex::new(run.instance.graph());
+            t.push(NetworkState::initial(&run.instance, &index).assignment());
+            t
+        };
+        let res = search(&run.instance, "REA".parse().unwrap(), &target, SearchGoal::Exact, &cfg());
+        assert!(res.is_impossible(), "{res:?}");
+    }
+
+    #[test]
+    fn bound_exceeded_reported() {
+        let run = paper_runs::a3_reo();
+        let target = target_of(&run);
+        let tight = ExploreConfig { channel_cap: 6, max_states: 3, max_steps_per_state: 50_000 };
+        let res =
+            search(&run.instance, "RMS".parse().unwrap(), &target, SearchGoal::Exact, &tight);
+        assert!(matches!(res, SearchResult::BoundExceeded { .. }), "{res:?}");
+    }
+}

@@ -1,0 +1,314 @@
+//! Composition of foundational transformations (the positive half of
+//! Sec. 3.4): realize a sequence of one model inside any other model by
+//! chaining transformations along the strongest foundational path.
+
+use routelab_core::dims::{MessagePolicy, NeighborScope, Reliability};
+use routelab_core::lattice::Strength;
+use routelab_core::model::CommModel;
+use routelab_core::step::ActivationSeq;
+use routelab_spp::SppInstance;
+
+use crate::transform::{self, TransformError, TransformOutput};
+
+/// Which constructive algorithm realizes a foundational edge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TransformKind {
+    /// Prop 3.3: the sequence is already legal in the stronger model.
+    Identity,
+    /// Prop 3.4: pad `wMS` updates with `f = 0` reads to scope `E`.
+    Pad,
+    /// Thm 3.5: split `wMy` updates into ordered single-channel updates.
+    Split,
+    /// Prop 3.6 (reliable): the R1S→R1O flagging construction.
+    Flag,
+    /// Prop 3.6 (unreliable): drop all but the used message.
+    Elide,
+    /// Thm 3.7: coalesce U1O drops into R1S batch reads.
+    Coalesce,
+}
+
+/// A foundational positive edge with its transformation.
+#[derive(Debug, Clone, Copy)]
+pub struct Edge {
+    /// The realized (source) model.
+    pub realized: CommModel,
+    /// The realizing (target) model.
+    pub realizer: CommModel,
+    /// The strength the construction guarantees.
+    pub strength: Strength,
+    /// The algorithm.
+    pub kind: TransformKind,
+}
+
+/// All foundational edges with their transformation kinds. The `(realized,
+/// realizer, strength)` triples coincide exactly with
+/// [`routelab_core::edges::foundational_facts`] (checked by a test).
+pub fn foundational_edges() -> Vec<Edge> {
+    use MessagePolicy as P;
+    use NeighborScope as S;
+    use Reliability as R;
+    let m = CommModel::new;
+    let mut out = Vec::new();
+    // Prop 3.3(1): Rxy inside Uxy.
+    for x in S::ALL {
+        for y in P::ALL {
+            out.push(Edge {
+                realized: m(R::Reliable, x, y),
+                realizer: m(R::Unreliable, x, y),
+                strength: Strength::Exact,
+                kind: TransformKind::Identity,
+            });
+        }
+    }
+    for w in R::ALL {
+        for x in S::ALL {
+            // Prop 3.3(2) and (3).
+            for (a, b) in [(P::Forced, P::Some), (P::One, P::Forced), (P::All, P::Forced)] {
+                out.push(Edge {
+                    realized: m(w, x, a),
+                    realizer: m(w, x, b),
+                    strength: Strength::Exact,
+                    kind: TransformKind::Identity,
+                });
+            }
+        }
+        for y in P::ALL {
+            // Prop 3.3(4).
+            for a in [S::One, S::Every] {
+                out.push(Edge {
+                    realized: m(w, a, y),
+                    realizer: m(w, S::Multiple, y),
+                    strength: Strength::Exact,
+                    kind: TransformKind::Identity,
+                });
+            }
+            // Thm 3.5.
+            out.push(Edge {
+                realized: m(w, S::Multiple, y),
+                realizer: m(w, S::One, y),
+                strength: Strength::Repetition,
+                kind: TransformKind::Split,
+            });
+        }
+        // Prop 3.4.
+        out.push(Edge {
+            realized: m(w, S::Multiple, P::Some),
+            realizer: m(w, S::Every, P::Some),
+            strength: Strength::Exact,
+            kind: TransformKind::Pad,
+        });
+    }
+    // Prop 3.6.
+    out.push(Edge {
+        realized: m(R::Reliable, S::One, P::Some),
+        realizer: m(R::Reliable, S::One, P::One),
+        strength: Strength::Subsequence,
+        kind: TransformKind::Flag,
+    });
+    out.push(Edge {
+        realized: m(R::Unreliable, S::One, P::Some),
+        realizer: m(R::Unreliable, S::One, P::One),
+        strength: Strength::Repetition,
+        kind: TransformKind::Elide,
+    });
+    // Thm 3.7.
+    out.push(Edge {
+        realized: m(R::Unreliable, S::One, P::One),
+        realizer: m(R::Reliable, S::One, P::Some),
+        strength: Strength::Exact,
+        kind: TransformKind::Coalesce,
+    });
+    out
+}
+
+/// Applies one edge's transformation.
+///
+/// # Errors
+///
+/// Propagates [`TransformError`] from the underlying algorithm.
+pub fn apply_edge(
+    edge: &Edge,
+    inst: &SppInstance,
+    seq: &ActivationSeq,
+) -> Result<TransformOutput, TransformError> {
+    match edge.kind {
+        TransformKind::Identity => transform::identity(inst, seq),
+        TransformKind::Pad => transform::pad_m_to_e(inst, seq),
+        TransformKind::Split => transform::split_m_to_1(inst, seq, edge.realizer.messages),
+        TransformKind::Flag => transform::flag_r1s_to_r1o(inst, seq),
+        TransformKind::Elide => transform::elide_u1s_to_u1o(inst, seq),
+        TransformKind::Coalesce => transform::coalesce_u1o_to_r1s(inst, seq),
+    }
+}
+
+/// Finds the strongest chain of foundational edges realizing `from` inside
+/// `to` (maximum bottleneck strength, then fewest edges), or `None` when no
+/// positive chain exists (e.g. realizing `R1O` inside `REA`).
+pub fn plan(from: CommModel, to: CommModel) -> Option<Vec<Edge>> {
+    if from == to {
+        return Some(Vec::new());
+    }
+    let edges = foundational_edges();
+    // Bellman-Ford over (bottleneck strength desc, path length asc).
+    let n = 24;
+    let mut best: Vec<Option<(u8, usize)>> = vec![None; n];
+    let mut pred: Vec<Option<Edge>> = vec![None; n];
+    best[from.index()] = Some((4, 0));
+    for _ in 0..n {
+        let mut changed = false;
+        for e in &edges {
+            let Some((b, l)) = best[e.realized.index()] else { continue };
+            let cand = (b.min(e.strength.level()), l + 1);
+            let better = match best[e.realizer.index()] {
+                None => true,
+                Some((ob, ol)) => cand.0 > ob || (cand.0 == ob && cand.1 < ol),
+            };
+            if better {
+                best[e.realizer.index()] = Some(cand);
+                pred[e.realizer.index()] = Some(*e);
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    best[to.index()]?;
+    // Reconstruct.
+    let mut path = Vec::new();
+    let mut cur = to;
+    while cur != from {
+        let e = pred[cur.index()].expect("predecessor exists on reachable node");
+        path.push(e);
+        cur = e.realized;
+    }
+    path.reverse();
+    Some(path)
+}
+
+/// Realizes `seq` (legal in `from`) inside `to` along the strongest
+/// foundational chain. Returns `None` when no positive chain exists.
+///
+/// # Errors
+///
+/// Propagates [`TransformError`] from the underlying algorithms.
+pub fn realize(
+    inst: &SppInstance,
+    seq: &ActivationSeq,
+    from: CommModel,
+    to: CommModel,
+) -> Result<Option<TransformOutput>, TransformError> {
+    let Some(path) = plan(from, to) else { return Ok(None) };
+    let mut cur = TransformOutput {
+        seq: seq.clone(),
+        claimed: Strength::Exact,
+        lossless: true,
+    };
+    for edge in &path {
+        let next = apply_edge(edge, inst, &cur.seq)?;
+        cur = TransformOutput {
+            seq: next.seq,
+            claimed: cur.claimed.min(next.claimed),
+            lossless: cur.lossless && next.lossless,
+        };
+    }
+    Ok(Some(cur))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use routelab_core::edges::foundational_facts;
+
+    #[test]
+    fn edges_match_core_facts() {
+        let edges = foundational_edges();
+        let facts = foundational_facts();
+        assert_eq!(edges.len(), facts.positives.len());
+        for e in &edges {
+            assert!(
+                facts.positives.iter().any(|p| p.realized == e.realized
+                    && p.realizer == e.realizer
+                    && p.strength == e.strength),
+                "edge {} -> {} not in core facts",
+                e.realized,
+                e.realizer
+            );
+        }
+    }
+
+    #[test]
+    fn plan_matches_closure_lower_bounds() {
+        // The bottleneck strength of the best plan must equal the positive
+        // closure's lower bound for every pair with a plan; pairs without a
+        // plan must have lower bound 0 (only negatives/unknowns there).
+        let bounds =
+            routelab_core::closure::derive_bounds(&foundational_facts());
+        for a in CommModel::all() {
+            for b in CommModel::all() {
+                if a == b {
+                    continue;
+                }
+                let lower = bounds.get(a, b).lower;
+                match plan(a, b) {
+                    Some(path) => {
+                        let bottleneck =
+                            path.iter().map(|e| e.strength.level()).min().unwrap_or(4);
+                        assert_eq!(
+                            bottleneck, lower,
+                            "plan {a} -> {b}: bottleneck {bottleneck} vs closure {lower}"
+                        );
+                    }
+                    None => {
+                        assert_eq!(lower, 0, "{a} -> {b}: closure says {lower} but no plan");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn plan_is_empty_for_same_model() {
+        let m: CommModel = "RMS".parse().unwrap();
+        assert_eq!(plan(m, m).unwrap().len(), 0);
+    }
+
+    #[test]
+    fn no_plan_into_weak_models() {
+        // R1O cannot be realized in the polling models (Thm 3.8): there must
+        // be no positive chain.
+        let r1o: CommModel = "R1O".parse().unwrap();
+        for weak in ["REO", "REF", "R1A", "RMA", "REA"] {
+            assert!(plan(r1o, weak.parse().unwrap()).is_none(), "{weak}");
+        }
+    }
+
+    #[test]
+    fn ums_realizes_everything_exactly() {
+        let ums: CommModel = "UMS".parse().unwrap();
+        for a in CommModel::all() {
+            if a == ums {
+                continue;
+            }
+            let path = plan(a, ums).unwrap_or_else(|| panic!("no plan {a} -> UMS"));
+            let bottleneck = path.iter().map(|e| e.strength.level()).min().unwrap();
+            assert_eq!(bottleneck, 4, "{a} -> UMS should be exact");
+        }
+    }
+
+    #[test]
+    fn paths_are_well_formed_chains() {
+        for a in CommModel::all() {
+            for b in CommModel::all() {
+                if let Some(path) = plan(a, b) {
+                    let mut cur = a;
+                    for e in &path {
+                        assert_eq!(e.realized, cur);
+                        cur = e.realizer;
+                    }
+                    assert_eq!(cur, b);
+                }
+            }
+        }
+    }
+}

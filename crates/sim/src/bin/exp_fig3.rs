@@ -1,0 +1,27 @@
+//! Experiment E1: regenerate **Figure 3** — the ability of reliable-channel
+//! models to realize all 24 models — from the foundational results, and
+//! compare cell-by-cell with the published table.
+
+use routelab_core::closure::derive_bounds;
+use routelab_core::edges::foundational_facts;
+use routelab_core::model::CommModel;
+use routelab_core::paper::{compare, figure3, CellVerdict};
+
+fn main() {
+    let facts = foundational_facts();
+    let bounds = derive_bounds(&facts);
+    println!("Figure 3 (computed): entry (row A, col B) = B's ability to realize A");
+    println!("4 exact | 3 repetition | 2 subsequence | -1 no oscillation preservation");
+    println!(">=k / <=k bounds | . unknown | - diagonal\n");
+    println!("{}", bounds.render(&CommModel::all_reliable()));
+
+    let cmp = compare(&bounds, &figure3());
+    println!("Comparison with the published Figure 3:");
+    println!("{cmp}");
+    let ok = cmp.count(CellVerdict::Conflict) == 0 && cmp.count(CellVerdict::Looser) == 0;
+    println!(
+        "verdict: {}",
+        if ok { "REPRODUCED (no conflicts, nothing weaker than published)" } else { "MISMATCH" }
+    );
+    std::process::exit(if ok { 0 } else { 1 });
+}

@@ -1,0 +1,23 @@
+//! Experiment E2: regenerate **Figure 4** — the ability of unreliable-channel
+//! models to realize all 24 models — and compare with the published table.
+
+use routelab_core::closure::derive_bounds;
+use routelab_core::edges::foundational_facts;
+use routelab_core::model::CommModel;
+use routelab_core::paper::{compare, figure4, CellVerdict};
+
+fn main() {
+    let bounds = derive_bounds(&foundational_facts());
+    println!("Figure 4 (computed): entry (row A, col B) = B's ability to realize A\n");
+    println!("{}", bounds.render(&CommModel::all_unreliable()));
+
+    let cmp = compare(&bounds, &figure4());
+    println!("Comparison with the published Figure 4:");
+    println!("{cmp}");
+    let ok = cmp.count(CellVerdict::Conflict) == 0 && cmp.count(CellVerdict::Looser) == 0;
+    println!(
+        "verdict: {}",
+        if ok { "REPRODUCED (no conflicts, nothing weaker than published)" } else { "MISMATCH" }
+    );
+    std::process::exit(if ok { 0 } else { 1 });
+}

@@ -1,0 +1,34 @@
+//! Experiment harness: Monte-Carlo simulation, the oscillation survey, and
+//! the binaries that regenerate every table and figure of the paper
+//! (see DESIGN.md §4 for the experiment index).
+//!
+//! * [`table`] — plain-text table rendering for experiment reports,
+//! * [`survey`] — which models admit fair oscillations on which instances
+//!   (exhaustive model checking combined with realization transfer, exactly
+//!   the paper's Sec. 3.5 reasoning),
+//! * [`montecarlo`] — randomized-schedule convergence statistics across
+//!   models and instance families (the E11 extension experiment).
+//!
+//! # Example
+//!
+//! ```
+//! use routelab_sim::montecarlo::{run_cell, CellConfig};
+//! use routelab_spp::gadgets;
+//!
+//! let cell = run_cell(&gadgets::good_gadget(), "RMS".parse().unwrap(), &CellConfig {
+//!     runs: 10,
+//!     max_steps: 5_000,
+//!     seed: 1,
+//!     drop_prob: 0.2,
+//! });
+//! assert_eq!(cell.converged, 10); // no dispute wheel: always converges
+//! ```
+
+pub mod beyond;
+pub mod montecarlo;
+pub mod survey;
+pub mod table;
+
+pub use montecarlo::{run_cell, run_grid, CellConfig, CellStats};
+pub use survey::{survey_instance, SurveyEntry, SurveyOutcome};
+pub use table::Table;

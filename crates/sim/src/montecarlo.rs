@@ -1,0 +1,224 @@
+//! Monte-Carlo convergence experiments (DESIGN.md experiment E11).
+//!
+//! For an instance and a communication model, run many randomized fair
+//! schedules and record how often and how fast the algorithm converges, and
+//! how many messages it spends. Instances without a dispute wheel must show
+//! 100 % convergence in every model; instances with one separate the models
+//! the way the paper's taxonomy predicts.
+
+use crossbeam::thread;
+use routelab_core::model::CommModel;
+use routelab_spp::solve::is_stable;
+use routelab_engine::outcome::{drive, RunOutcome};
+use routelab_engine::runner::Runner;
+use routelab_engine::schedule::RandomFair;
+use routelab_spp::SppInstance;
+
+/// Configuration of one experiment cell (instance × model).
+#[derive(Debug, Clone, Copy)]
+pub struct CellConfig {
+    /// Independent randomized runs.
+    pub runs: usize,
+    /// Step budget per run.
+    pub max_steps: usize,
+    /// Base RNG seed (run `i` uses `seed + i`).
+    pub seed: u64,
+    /// Per-read drop probability for unreliable models.
+    pub drop_prob: f64,
+}
+
+impl Default for CellConfig {
+    fn default() -> Self {
+        CellConfig { runs: 50, max_steps: 20_000, seed: 0, drop_prob: 0.25 }
+    }
+}
+
+/// Aggregated results of one cell.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct CellStats {
+    /// Runs performed.
+    pub runs: usize,
+    /// Runs that reached quiescence along a fair prefix.
+    pub converged: usize,
+    /// Runs that reached quiescence only by *unfairly* dropping the final
+    /// message on some channel (possible with unreliable channels; such
+    /// executions are excluded by Definition 2.4).
+    pub converged_unfairly: usize,
+    /// Mean steps to convergence (over fairly converged runs).
+    pub mean_steps: f64,
+    /// Mean messages sent per run (all runs).
+    pub mean_messages: f64,
+    /// Mean messages dropped per run (all runs).
+    pub mean_dropped: f64,
+    /// Quiescent runs (fair or not) whose final assignment is a *stable*
+    /// path assignment of the instance — with loss, a network can go quiet
+    /// on an inconsistent assignment built from stale information.
+    pub stable_outcome: usize,
+}
+
+impl CellStats {
+    /// Fraction of runs that converged.
+    pub fn convergence_rate(&self) -> f64 {
+        if self.runs == 0 {
+            0.0
+        } else {
+            self.converged as f64 / self.runs as f64
+        }
+    }
+}
+
+/// Runs one cell sequentially.
+pub fn run_cell(inst: &SppInstance, model: CommModel, cfg: &CellConfig) -> CellStats {
+    let mut stats = CellStats { runs: cfg.runs, ..CellStats::default() };
+    let mut steps_sum = 0usize;
+    for i in 0..cfg.runs {
+        let mut runner = Runner::new(inst);
+        let mut sched =
+            RandomFair::new(inst, model, cfg.seed.wrapping_add(i as u64))
+                .with_drop_prob(cfg.drop_prob);
+        match drive(&mut runner, &mut sched, cfg.max_steps) {
+            RunOutcome::Converged { steps, assignment } => {
+                if runner.has_dangling_drops() {
+                    stats.converged_unfairly += 1;
+                } else {
+                    stats.converged += 1;
+                    steps_sum += steps;
+                }
+                if is_stable(inst, &assignment) {
+                    stats.stable_outcome += 1;
+                }
+            }
+            RunOutcome::CycleDetected { .. }
+            | RunOutcome::StepLimit { .. }
+            | RunOutcome::ScheduleExhausted { .. } => {}
+        }
+        stats.mean_messages += runner.stats().sent as f64;
+        stats.mean_dropped += runner.stats().dropped as f64;
+    }
+    if stats.converged > 0 {
+        stats.mean_steps = steps_sum as f64 / stats.converged as f64;
+    }
+    if cfg.runs > 0 {
+        stats.mean_messages /= cfg.runs as f64;
+        stats.mean_dropped /= cfg.runs as f64;
+    }
+    stats
+}
+
+/// Runs a grid of cells (one per model) in parallel with scoped threads.
+pub fn run_grid(
+    inst: &SppInstance,
+    models: &[CommModel],
+    cfg: &CellConfig,
+) -> Vec<(CommModel, CellStats)> {
+    let mut out: Vec<(CommModel, CellStats)> = Vec::with_capacity(models.len());
+    thread::scope(|s| {
+        let handles: Vec<_> = models
+            .iter()
+            .map(|&m| s.spawn(move |_| (m, run_cell(inst, m, cfg))))
+            .collect();
+        for h in handles {
+            out.push(h.join().expect("simulation thread panicked"));
+        }
+    })
+    .expect("crossbeam scope");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use routelab_spp::gadgets;
+
+    fn quick() -> CellConfig {
+        CellConfig { runs: 12, max_steps: 6_000, seed: 7, drop_prob: 0.25 }
+    }
+
+    #[test]
+    fn wheel_free_instances_always_converge() {
+        let inst = gadgets::good_gadget();
+        for model in ["R1O", "RMS", "REA"] {
+            let stats = run_cell(&inst, model.parse().unwrap(), &quick());
+            assert_eq!(stats.converged, stats.runs, "{model}: {stats:?}");
+            assert_eq!(stats.converged_unfairly, 0, "{model}: {stats:?}");
+            assert!(stats.mean_steps > 0.0);
+        }
+        // With lossy channels every run still quiesces, but a random
+        // schedule usually ends some channel on a dropped message, which the
+        // harness reports as unfair quiescence — and the resulting frozen
+        // assignment need not even be stable (stale routes).
+        for model in ["UMS", "U1O"] {
+            let stats = run_cell(&inst, model.parse().unwrap(), &quick());
+            assert_eq!(
+                stats.converged + stats.converged_unfairly,
+                stats.runs,
+                "{model}: {stats:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn bad_gadget_never_converges() {
+        // No stable assignment exists, so no run can reach quiescence.
+        let inst = gadgets::bad_gadget();
+        for model in ["RMS", "REA"] {
+            let stats = run_cell(&inst, model.parse().unwrap(), &quick());
+            assert_eq!(stats.converged, 0, "{model}: {stats:?}");
+        }
+    }
+
+    #[test]
+    fn bad_gadget_unreliable_quiescence_is_always_unfair() {
+        // With lossy channels BAD-GADGET *can* go quiet — by dropping the
+        // final message on some channel, which Definition 2.4 forbids. The
+        // harness classifies those runs separately.
+        let inst = gadgets::bad_gadget();
+        let stats = run_cell(&inst, "UMS".parse().unwrap(), &quick());
+        assert_eq!(stats.converged, 0, "{stats:?}");
+        assert!(stats.converged_unfairly > 0, "{stats:?}");
+    }
+
+    #[test]
+    fn disagree_polling_always_converges_randomized() {
+        // RMA guarantees convergence on DISAGREE (Example A.1): every
+        // randomized fair run must reach quiescence.
+        let inst = gadgets::disagree();
+        let stats = run_cell(&inst, "RMA".parse().unwrap(), &quick());
+        assert_eq!(stats.converged, stats.runs, "{stats:?}");
+    }
+
+    #[test]
+    fn stats_are_deterministic_per_seed() {
+        let inst = gadgets::disagree();
+        let a = run_cell(&inst, "RMS".parse().unwrap(), &quick());
+        let b = run_cell(&inst, "RMS".parse().unwrap(), &quick());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn grid_matches_cells() {
+        let inst = gadgets::good_gadget();
+        let models: Vec<CommModel> = vec!["R1O".parse().unwrap(), "REA".parse().unwrap()];
+        let grid = run_grid(&inst, &models, &quick());
+        assert_eq!(grid.len(), 2);
+        for (m, stats) in grid {
+            assert_eq!(stats, run_cell(&inst, m, &quick()));
+        }
+    }
+
+    #[test]
+    fn unreliable_runs_record_drops() {
+        let inst = gadgets::good_gadget();
+        let stats = run_cell(&inst, "UMS".parse().unwrap(), &quick());
+        assert!(stats.mean_dropped > 0.0, "{stats:?}");
+        let reliable = run_cell(&inst, "RMS".parse().unwrap(), &quick());
+        assert_eq!(reliable.mean_dropped, 0.0);
+    }
+
+    #[test]
+    fn convergence_rate_helper() {
+        let s = CellStats { runs: 10, converged: 7, ..CellStats::default() };
+        assert!((s.convergence_rate() - 0.7).abs() < 1e-9);
+        assert_eq!(CellStats::default().convergence_rate(), 0.0);
+    }
+}

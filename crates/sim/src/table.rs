@@ -1,0 +1,105 @@
+//! Minimal plain-text table rendering for experiment reports.
+
+use std::fmt;
+
+/// A simple left-padded text table.
+///
+/// ```
+/// use routelab_sim::table::Table;
+/// let mut t = Table::new(vec!["model".into(), "verdict".into()]);
+/// t.row(vec!["R1O".into(), "oscillates".into()]);
+/// let s = t.to_string();
+/// assert!(s.contains("R1O"));
+/// assert!(s.lines().count() >= 3); // header, rule, row
+/// ```
+#[derive(Debug, Clone)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// A table with the given column headers.
+    pub fn new(header: Vec<String>) -> Self {
+        Table { header, rows: Vec::new() }
+    }
+
+    /// Appends a row; short rows are padded with empty cells.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row has more cells than the header has columns.
+    pub fn row(&mut self, mut cells: Vec<String>) {
+        assert!(cells.len() <= self.header.len(), "row wider than header");
+        cells.resize(self.header.len(), String::new());
+        self.rows.push(cells);
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// `true` when no data row was added.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let cols = self.header.len();
+        let mut width = vec![0usize; cols];
+        for (i, h) in self.header.iter().enumerate() {
+            width[i] = h.chars().count();
+        }
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                width[i] = width[i].max(c.chars().count());
+            }
+        }
+        let write_row = |f: &mut fmt::Formatter<'_>, cells: &[String]| -> fmt::Result {
+            for (i, c) in cells.iter().enumerate() {
+                if i > 0 {
+                    write!(f, "  ")?;
+                }
+                write!(f, "{c:>w$}", w = width[i])?;
+            }
+            writeln!(f)
+        };
+        write_row(f, &self.header)?;
+        let rule: Vec<String> = width.iter().map(|&w| "-".repeat(w)).collect();
+        write_row(f, &rule)?;
+        for row in &self.rows {
+            write_row(f, row)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = Table::new(vec!["a".into(), "long-header".into()]);
+        t.row(vec!["xxxx".into(), "1".into()]);
+        t.row(vec!["y".into()]);
+        let s = t.to_string();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        // All lines have equal width.
+        let w = lines[0].chars().count();
+        assert!(lines.iter().all(|l| l.chars().count() == w), "{s}");
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "row wider than header")]
+    fn wide_rows_rejected() {
+        let mut t = Table::new(vec!["a".into()]);
+        t.row(vec!["1".into(), "2".into()]);
+    }
+}

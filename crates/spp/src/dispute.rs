@@ -1,0 +1,383 @@
+//! Dispute wheels and the dispute digraph.
+//!
+//! Example A.1 recalls the Griffin–Shepherd–Wilfong result that multiple
+//! stable solutions imply a *dispute wheel*, and that the absence of a
+//! dispute wheel is the broadest known sufficient condition for convergence.
+//! This module provides:
+//!
+//! * [`find_dispute_wheel`] — exact dispute-wheel detection via a cycle
+//!   search over `(pivot node, spoke path)` states,
+//! * [`dispute_digraph`] / [`digraph_is_acyclic`] — a lightweight
+//!   *single-hop* dispute digraph in the spirit of GSW 2002: its acyclicity
+//!   rules out every wheel whose rims extend the next spoke by one hop (the
+//!   DISAGREE/BAD-GADGET pattern); longer rims are decided by the exact
+//!   detector.
+
+use std::collections::HashMap;
+
+use crate::graph::NodeId;
+use crate::instance::SppInstance;
+use crate::path::Path;
+
+/// One pivot of a dispute wheel.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WheelPivot {
+    /// The pivot node `u_i`.
+    pub node: NodeId,
+    /// The spoke path `Q_i ∈ P_{u_i}`.
+    pub spoke: Path,
+    /// The full rim path `R_i Q_{i+1} ∈ P_{u_i}`, weakly preferred to the
+    /// spoke (`λ(R_i Q_{i+1}) ≤ λ(Q_i)`).
+    pub rim: Path,
+}
+
+/// A dispute wheel: a cyclic sequence of pivots.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DisputeWheel {
+    /// Pivots in wheel order; pivot `i`'s rim ends with pivot `i+1`'s spoke.
+    pub pivots: Vec<WheelPivot>,
+}
+
+impl DisputeWheel {
+    /// Renders the wheel with instance names for diagnostics.
+    pub fn display(&self, inst: &SppInstance) -> String {
+        let parts: Vec<String> = self
+            .pivots
+            .iter()
+            .map(|p| {
+                format!(
+                    "{}[spoke {} rim {}]",
+                    inst.name(p.node),
+                    inst.fmt_path(&p.spoke),
+                    inst.fmt_path(&p.rim)
+                )
+            })
+            .collect();
+        parts.join(" -> ")
+    }
+
+    /// Structural sanity check (used by tests): every rim is permitted at its
+    /// pivot, weakly preferred to the spoke, and ends with the next pivot's
+    /// spoke.
+    pub fn verify(&self, inst: &SppInstance) -> bool {
+        if self.pivots.is_empty() {
+            return false;
+        }
+        for (i, p) in self.pivots.iter().enumerate() {
+            let next = &self.pivots[(i + 1) % self.pivots.len()];
+            let (Some(spoke_rank), Some(rim_rank)) =
+                (inst.rank(p.node, &p.spoke), inst.rank(p.node, &p.rim))
+            else {
+                return false;
+            };
+            if rim_rank > spoke_rank {
+                return false;
+            }
+            // The rim must be R_i · Q_{i+1} with a non-empty R_i.
+            if !p.rim.has_suffix(&next.spoke) || p.rim.len() == next.spoke.len() {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+/// State of the wheel search: a `(node, spoke)` pair.
+type SpokeState = (NodeId, Path);
+
+/// Finds a dispute wheel if one exists (exact, polynomial in the number of
+/// permitted paths).
+///
+/// The search graph has a state per `(node u, spoke Q ∈ P_u)` and an arc
+/// `(u, Q_u) → (w, Q_w)` whenever some permitted path `W ∈ P_u` has proper
+/// suffix `Q_w` and `λ_u(W) ≤ λ_u(Q_u)`; any cycle is exactly a dispute
+/// wheel, and vice versa.
+pub fn find_dispute_wheel(inst: &SppInstance) -> Option<DisputeWheel> {
+    let states: Vec<SpokeState> = inst
+        .nodes()
+        .filter(|&v| v != inst.dest())
+        .flat_map(|v| inst.permitted(v).iter().map(move |rp| (v, rp.path.clone())))
+        .collect();
+    let index: HashMap<&SpokeState, usize> =
+        states.iter().enumerate().map(|(i, s)| (s, i)).collect();
+
+    // Arcs, labeled with the rim path that witnesses them.
+    let mut arcs: Vec<Vec<(usize, Path)>> = vec![Vec::new(); states.len()];
+    for (si, (u, spoke)) in states.iter().enumerate() {
+        let spoke_rank = inst.rank(*u, spoke).expect("spokes are permitted");
+        for rp in inst.permitted(*u) {
+            if rp.rank > spoke_rank {
+                continue;
+            }
+            let w_path = &rp.path;
+            // Every proper suffix of W starting strictly after u and before d
+            // is a candidate next spoke Q_w at node w.
+            for start in 1..w_path.len() - 1 {
+                let w = w_path.as_slice()[start];
+                let q = w_path.suffix(start);
+                if let Some(&ti) = index.get(&(w, q.clone())) {
+                    arcs[si].push((ti, w_path.clone()));
+                }
+            }
+        }
+    }
+
+    // DFS cycle detection, recovering the cycle and its rim labels.
+    #[derive(Clone, Copy, PartialEq)]
+    enum Mark {
+        White,
+        Gray,
+        Black,
+    }
+    let mut mark = vec![Mark::White; states.len()];
+    let mut stack: Vec<(usize, usize)> = Vec::new(); // (state, next arc index)
+    let mut path_states: Vec<usize> = Vec::new();
+    let mut path_rims: Vec<Path> = Vec::new();
+
+    for root in 0..states.len() {
+        if mark[root] != Mark::White {
+            continue;
+        }
+        mark[root] = Mark::Gray;
+        stack.push((root, 0));
+        path_states.push(root);
+        while let Some(&(s, next)) = stack.last() {
+            if next < arcs[s].len() {
+                let (t, rim) = arcs[s][next].clone();
+                stack.last_mut().expect("stack is non-empty").1 += 1;
+                match mark[t] {
+                    Mark::Gray => {
+                        // Cycle found: states from t's position in path.
+                        let pos = path_states
+                            .iter()
+                            .position(|&x| x == t)
+                            .expect("gray states are on the path");
+                        let mut pivots = Vec::new();
+                        for (k, &si) in path_states[pos..].iter().enumerate() {
+                            let (node, spoke) = states[si].clone();
+                            let rim = if pos + k + 1 < path_states.len() {
+                                path_rims[pos + k].clone()
+                            } else {
+                                rim.clone() // closing arc
+                            };
+                            pivots.push(WheelPivot { node, spoke, rim });
+                        }
+                        return Some(DisputeWheel { pivots });
+                    }
+                    Mark::White => {
+                        mark[t] = Mark::Gray;
+                        path_rims.push(rim);
+                        stack.push((t, 0));
+                        path_states.push(t);
+                    }
+                    Mark::Black => {}
+                }
+            } else {
+                mark[s] = Mark::Black;
+                stack.pop();
+                path_states.pop();
+                path_rims.pop();
+            }
+        }
+    }
+    None
+}
+
+/// `true` when the instance has no dispute wheel — the broadest known
+/// sufficient condition for convergence of every fair execution.
+pub fn is_wheel_free(inst: &SppInstance) -> bool {
+    find_dispute_wheel(inst).is_none()
+}
+
+/// A node of the dispute digraph: a permitted path at some node.
+pub type PathNode = (NodeId, Path);
+
+/// Arc kinds of the dispute digraph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DisputeArc {
+    /// `P → vP`: `v` may extend `P` (both permitted).
+    Transmission,
+    /// `P → Q`: adopting the extension `vP` at `v` displaces the
+    /// less-preferred `Q ∈ P_v`.
+    Dispute,
+}
+
+/// The single-hop dispute digraph: vertices are `(owner, permitted path)`
+/// pairs, arcs as in [`DisputeArc`] — a lightweight diagnostic in the spirit
+/// of GSW 2002 covering one-hop rims; [`find_dispute_wheel`] is the exact
+/// detector.
+#[derive(Debug, Clone)]
+pub struct DisputeDigraph {
+    /// Vertices in deterministic order.
+    pub vertices: Vec<PathNode>,
+    /// Adjacency: `edges[i]` lists `(target, kind)`.
+    pub edges: Vec<Vec<(usize, DisputeArc)>>,
+}
+
+/// Builds the dispute digraph of an instance.
+pub fn dispute_digraph(inst: &SppInstance) -> DisputeDigraph {
+    let vertices: Vec<PathNode> = inst
+        .nodes()
+        .flat_map(|v| inst.permitted(v).iter().map(move |rp| (v, rp.path.clone())))
+        .collect();
+    let index: HashMap<&PathNode, usize> =
+        vertices.iter().enumerate().map(|(i, p)| (p, i)).collect();
+    let mut edges: Vec<Vec<(usize, DisputeArc)>> = vec![Vec::new(); vertices.len()];
+
+    for (i, (u, p)) in vertices.iter().enumerate() {
+        for &v in inst.graph().neighbors(*u) {
+            let Ok(vp) = p.prepend(v) else { continue };
+            let Some(vp_rank) = inst.rank(v, &vp) else { continue };
+            // Transmission arc: P → vP.
+            if let Some(&j) = index.get(&(v, vp.clone())) {
+                edges[i].push((j, DisputeArc::Transmission));
+            }
+            // Dispute arcs: P → Q for every Q ∈ P_v weakly less preferred
+            // than vP (v switching to vP displaces Q; weak preference covers
+            // the same-next-hop ties Sec. 2.1 allows, making acyclicity a
+            // complete test for single-hop wheels).
+            for rq in inst.permitted(v) {
+                if rq.rank >= vp_rank && rq.path != vp {
+                    if let Some(&j) = index.get(&(v, rq.path.clone())) {
+                        edges[i].push((j, DisputeArc::Dispute));
+                    }
+                }
+            }
+        }
+    }
+    DisputeDigraph { vertices, edges }
+}
+
+/// `true` if the single-hop dispute digraph has no cycle.
+///
+/// Acyclicity rules out every dispute wheel whose rims extend the next spoke
+/// by exactly one hop (the DISAGREE/BAD-GADGET pattern). Wheels with longer
+/// rims — whose interior extensions need not be permitted at intermediate
+/// nodes — are invisible to this digraph; use [`find_dispute_wheel`] for the
+/// exact decision.
+pub fn digraph_is_acyclic(g: &DisputeDigraph) -> bool {
+    // Iterative three-color DFS.
+    #[derive(Clone, Copy, PartialEq)]
+    enum Mark {
+        White,
+        Gray,
+        Black,
+    }
+    let mut mark = vec![Mark::White; g.vertices.len()];
+    for root in 0..g.vertices.len() {
+        if mark[root] != Mark::White {
+            continue;
+        }
+        let mut stack = vec![(root, 0usize)];
+        mark[root] = Mark::Gray;
+        while let Some(&(s, next)) = stack.last() {
+            if next < g.edges[s].len() {
+                let (t, _) = g.edges[s][next];
+                stack.last_mut().expect("stack is non-empty").1 += 1;
+                match mark[t] {
+                    Mark::Gray => return false,
+                    Mark::White => {
+                        mark[t] = Mark::Gray;
+                        stack.push((t, 0));
+                    }
+                    Mark::Black => {}
+                }
+            } else {
+                mark[s] = Mark::Black;
+                stack.pop();
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gadgets;
+
+    #[test]
+    fn disagree_has_a_wheel() {
+        let inst = gadgets::disagree();
+        let wheel = find_dispute_wheel(&inst).expect("DISAGREE has a dispute wheel");
+        assert!(wheel.verify(&inst), "{}", wheel.display(&inst));
+        assert_eq!(wheel.pivots.len(), 2);
+    }
+
+    #[test]
+    fn bad_gadget_has_a_wheel() {
+        let inst = gadgets::bad_gadget();
+        let wheel = find_dispute_wheel(&inst).expect("BAD-GADGET has a dispute wheel");
+        assert!(wheel.verify(&inst), "{}", wheel.display(&inst));
+        assert_eq!(wheel.pivots.len(), 3);
+    }
+
+    #[test]
+    fn good_gadget_is_wheel_free() {
+        assert!(is_wheel_free(&gadgets::good_gadget()));
+        assert!(is_wheel_free(&gadgets::line2()));
+    }
+
+    #[test]
+    fn fig6_fig7_fig8_fig9_wheel_status() {
+        // FIG6 contains a DISAGREE-like u/v dispute (the REO oscillation in
+        // Example A.2 exploits it); FIG7–FIG9 carry no wheel (their
+        // executions converge in every model — only *realizability* differs).
+        assert!(!is_wheel_free(&gadgets::fig6()));
+        assert!(is_wheel_free(&gadgets::fig7()));
+        assert!(is_wheel_free(&gadgets::fig8()));
+        assert!(is_wheel_free(&gadgets::fig9()));
+    }
+
+    #[test]
+    fn digraph_agrees_with_wheel_detector_on_corpus() {
+        for (name, inst) in gadgets::corpus() {
+            let acyclic = digraph_is_acyclic(&dispute_digraph(&inst));
+            let wheel_free = is_wheel_free(&inst);
+            // Acyclicity is sufficient for wheel-freedom.
+            if acyclic {
+                assert!(wheel_free, "{name}: acyclic digraph but wheel found");
+            }
+            // On this corpus the two coincide exactly.
+            assert_eq!(acyclic, wheel_free, "{name}");
+        }
+    }
+
+    #[test]
+    fn digraph_structure_on_disagree() {
+        let inst = gadgets::disagree();
+        let g = dispute_digraph(&inst);
+        // Vertices: (d), xd, xyd, yd, yxd.
+        assert_eq!(g.vertices.len(), 5);
+        let has_dispute_arc = g
+            .edges
+            .iter()
+            .flatten()
+            .any(|(_, k)| *k == DisputeArc::Dispute);
+        assert!(has_dispute_arc);
+    }
+
+    #[test]
+    fn wheel_display_mentions_pivots() {
+        let inst = gadgets::disagree();
+        let wheel = find_dispute_wheel(&inst).unwrap();
+        let s = wheel.display(&inst);
+        assert!(s.contains("spoke"), "{s}");
+        assert!(s.contains("rim"), "{s}");
+    }
+
+    #[test]
+    fn verify_rejects_malformed_wheel() {
+        let inst = gadgets::disagree();
+        let x = inst.node_by_name("x").unwrap();
+        let bogus = DisputeWheel {
+            pivots: vec![WheelPivot {
+                node: x,
+                spoke: inst.parse_path("xd").unwrap(),
+                rim: inst.parse_path("xd").unwrap(), // rim must strictly extend next spoke
+            }],
+        };
+        assert!(!bogus.verify(&inst));
+        assert!(!DisputeWheel { pivots: vec![] }.verify(&inst));
+    }
+}

@@ -1,0 +1,407 @@
+//! The instance corpus used in the paper and in the SPP literature.
+//!
+//! * [`disagree`] — Fig. 5 / Example A.1 (two stable solutions; oscillates in
+//!   R1O but not in REO, REF, R1A, RMA, REA),
+//! * [`fig6`] — Fig. 6 / Example A.2 (oscillates in REO and REF but not in
+//!   the polling models),
+//! * [`fig7`] — Fig. 7 / Example A.3 (REO execution not exactly realizable in
+//!   R1O),
+//! * [`fig8`] — Fig. 8 / Example A.4 (REA execution not realizable with
+//!   repetition in R1O),
+//! * [`fig9`] — Fig. 9 / Example A.5 (REA execution not exactly realizable in
+//!   R1S),
+//! * [`bad_gadget`] — the classic unsolvable, always-divergent instance of
+//!   Griffin–Shepherd–Wilfong,
+//! * [`good_gadget`] — the same topology with safe (shortest-path-style)
+//!   preferences.
+//!
+//! The preference lists for [`fig6`] are reconstructed from the prose and the
+//! step tables of Example A.2 (the figure itself lists them next to each
+//! node); the module tests plus `routelab-engine`'s paper-table conformance
+//! tests pin the reconstruction to every π value printed in the paper.
+
+use crate::instance::{SppBuilder, SppInstance};
+
+fn must(r: Result<SppInstance, crate::SppError>) -> SppInstance {
+    r.expect("gadget definitions are statically valid")
+}
+
+/// DISAGREE (Fig. 5, Example A.1; originally from Griffin–Shepherd–Wilfong).
+///
+/// `x`: `xyd > xd`; `y`: `yxd > yd`. Two stable solutions:
+/// `(d, xyd, yd)` and `(d, xd, yxd)`.
+pub fn disagree() -> SppInstance {
+    let mut b = SppBuilder::new();
+    let d = b.node("d");
+    b.node("x");
+    b.node("y");
+    must_steps(&mut b, &[("x", "d"), ("y", "d"), ("x", "y")]);
+    b.dest(d).expect("d exists");
+    b.prefer_named("x", &["xyd", "xd"]).expect("paths valid");
+    b.prefer_named("y", &["yxd", "yd"]).expect("paths valid");
+    must(b.build())
+}
+
+fn must_steps(b: &mut SppBuilder, edges: &[(&str, &str)]) {
+    for (a, c) in edges {
+        b.edge(a, c).expect("edge endpoints exist");
+    }
+}
+
+/// The Fig. 6 instance of Example A.2.
+///
+/// Seven nodes `d, x, y, z, a, u, v`. Spokes `x`, `y`, `z` only route
+/// directly; `a` prefers `azd > ayd > axd`; `u` refuses every path containing
+/// `y` and prefers `uvazd > uazd > uaxd`; `v` prefers
+/// `vuazd > vazd > vuayd > vuaxd > vayd`.
+///
+/// Oscillates in REO and REF but converges in R1A, RMA, REA.
+pub fn fig6() -> SppInstance {
+    let mut b = SppBuilder::new();
+    let d = b.node("d");
+    for n in ["x", "y", "z", "a", "u", "v"] {
+        b.node(n);
+    }
+    must_steps(
+        &mut b,
+        &[
+            ("x", "d"),
+            ("y", "d"),
+            ("z", "d"),
+            ("a", "x"),
+            ("a", "y"),
+            ("a", "z"),
+            ("u", "a"),
+            ("v", "a"),
+            ("u", "v"),
+        ],
+    );
+    b.dest(d).expect("d exists");
+    b.prefer_named("x", &["xd"]).expect("paths valid");
+    b.prefer_named("y", &["yd"]).expect("paths valid");
+    b.prefer_named("z", &["zd"]).expect("paths valid");
+    b.prefer_named("a", &["azd", "ayd", "axd"]).expect("paths valid");
+    b.prefer_named("u", &["uvazd", "uazd", "uaxd"]).expect("paths valid");
+    b.prefer_named("v", &["vuazd", "vazd", "vuayd", "vuaxd", "vayd"])
+        .expect("paths valid");
+    must(b.build())
+}
+
+/// The Fig. 7 instance of Example A.3.
+///
+/// Six nodes `d, a, b, u, v, s`. `u`: `uad > ubd`; `v`: `vad > vbd`;
+/// `s`: `subd > svbd > suad`.
+///
+/// Carries an REO execution that no R1O execution realizes exactly.
+pub fn fig7() -> SppInstance {
+    let mut b = SppBuilder::new();
+    let d = b.node("d");
+    for n in ["a", "b", "u", "v", "s"] {
+        b.node(n);
+    }
+    must_steps(
+        &mut b,
+        &[("a", "d"), ("b", "d"), ("u", "a"), ("u", "b"), ("v", "a"), ("v", "b"), ("s", "u"), ("s", "v")],
+    );
+    b.dest(d).expect("d exists");
+    b.prefer_named("a", &["ad"]).expect("paths valid");
+    b.prefer_named("b", &["bd"]).expect("paths valid");
+    b.prefer_named("u", &["uad", "ubd"]).expect("paths valid");
+    b.prefer_named("v", &["vad", "vbd"]).expect("paths valid");
+    b.prefer_named("s", &["subd", "svbd", "suad"]).expect("paths valid");
+    must(b.build())
+}
+
+/// The Fig. 8 instance of Example A.4.
+///
+/// Five nodes `d, a, b, u, s`; permitted paths `ad, bd, ubd, uad, suad,
+/// subd` with `ubd > uad` at `u` and `suad > subd` at `s`.
+///
+/// Carries an REA execution that no R1O execution realizes with repetition
+/// (though it is realizable as a subsequence).
+pub fn fig8() -> SppInstance {
+    let mut b = SppBuilder::new();
+    let d = b.node("d");
+    for n in ["a", "b", "u", "s"] {
+        b.node(n);
+    }
+    must_steps(&mut b, &[("a", "d"), ("b", "d"), ("u", "a"), ("u", "b"), ("s", "u")]);
+    b.dest(d).expect("d exists");
+    b.prefer_named("a", &["ad"]).expect("paths valid");
+    b.prefer_named("b", &["bd"]).expect("paths valid");
+    b.prefer_named("u", &["ubd", "uad"]).expect("paths valid");
+    b.prefer_named("s", &["suad", "subd"]).expect("paths valid");
+    must(b.build())
+}
+
+/// The Fig. 9 instance of Example A.5.
+///
+/// Six nodes `d, a, b, x, c, s`; permitted paths `ad, bd, xd, cad, cbd,
+/// scad, scbd, sxd` with `scbd > sxd > scad` at `s` and `cad > cbd` at `c`.
+///
+/// Carries an REA (also REO) execution that no R1S execution realizes
+/// exactly.
+pub fn fig9() -> SppInstance {
+    let mut b = SppBuilder::new();
+    let d = b.node("d");
+    for n in ["a", "b", "x", "c", "s"] {
+        b.node(n);
+    }
+    must_steps(
+        &mut b,
+        &[("a", "d"), ("b", "d"), ("x", "d"), ("c", "a"), ("c", "b"), ("s", "c"), ("s", "x")],
+    );
+    b.dest(d).expect("d exists");
+    b.prefer_named("a", &["ad"]).expect("paths valid");
+    b.prefer_named("b", &["bd"]).expect("paths valid");
+    b.prefer_named("x", &["xd"]).expect("paths valid");
+    b.prefer_named("c", &["cad", "cbd"]).expect("paths valid");
+    b.prefer_named("s", &["scbd", "sxd", "scad"]).expect("paths valid");
+    must(b.build())
+}
+
+/// BAD-GADGET (Griffin–Shepherd–Wilfong): no stable path assignment exists;
+/// the routing algorithm can never converge in any model.
+///
+/// Nodes `1, 2, 3` around `d`; node `i`: `i (i+1) d > i d` cyclically.
+pub fn bad_gadget() -> SppInstance {
+    let mut b = SppBuilder::new();
+    let d = b.node("d");
+    for n in ["1", "2", "3"] {
+        b.node(n);
+    }
+    must_steps(&mut b, &[("1", "d"), ("2", "d"), ("3", "d"), ("1", "2"), ("2", "3"), ("3", "1")]);
+    b.dest(d).expect("d exists");
+    b.prefer_named("1", &["12d", "1d"]).expect("paths valid");
+    b.prefer_named("2", &["23d", "2d"]).expect("paths valid");
+    b.prefer_named("3", &["31d", "3d"]).expect("paths valid");
+    must(b.build())
+}
+
+/// GOOD-GADGET: BAD-GADGET's topology with safe preferences (every node
+/// prefers its direct route). Has a unique stable solution and no dispute
+/// wheel; every fair execution converges in every model.
+pub fn good_gadget() -> SppInstance {
+    let mut b = SppBuilder::new();
+    let d = b.node("d");
+    for n in ["1", "2", "3"] {
+        b.node(n);
+    }
+    must_steps(&mut b, &[("1", "d"), ("2", "d"), ("3", "d"), ("1", "2"), ("2", "3"), ("3", "1")]);
+    b.dest(d).expect("d exists");
+    b.prefer_named("1", &["1d", "12d"]).expect("paths valid");
+    b.prefer_named("2", &["2d", "23d"]).expect("paths valid");
+    b.prefer_named("3", &["3d", "31d"]).expect("paths valid");
+    must(b.build())
+}
+
+/// A simple two-node line `v — d`: the smallest nontrivial instance, handy in
+/// unit tests.
+pub fn line2() -> SppInstance {
+    let mut b = SppBuilder::new();
+    let d = b.node("d");
+    b.node("v");
+    must_steps(&mut b, &[("v", "d")]);
+    b.dest(d).expect("d exists");
+    b.prefer_named("v", &["vd"]).expect("paths valid");
+    must(b.build())
+}
+
+/// The generalized BAD-GADGET: `n ≥ 3` nodes around `d`, node `i` preferring
+/// the route through its clockwise neighbor over its direct route.
+///
+/// For odd `n` the instance has no stable path assignment at all (the
+/// classic parity argument: around the ring, indirect choices force an
+/// alternation that cannot close); for even `n` alternating direct/indirect
+/// assignments are stable. `wheel(3)` is exactly [`bad_gadget`].
+///
+/// # Panics
+///
+/// Panics if `n < 3`.
+pub fn wheel(n: usize) -> SppInstance {
+    assert!(n >= 3, "a wheel needs at least three rim nodes");
+    let mut b = SppBuilder::new();
+    let d = b.node("d");
+    let rim: Vec<_> = (1..=n).map(|i| b.node(&format!("{i}"))).collect();
+    for (i, &v) in rim.iter().enumerate() {
+        b.edge_between(v, d).expect("edge endpoints exist");
+        b.edge_between(v, rim[(i + 1) % n]).expect("edge endpoints exist");
+    }
+    b.dest(d).expect("d exists");
+    for (i, &v) in rim.iter().enumerate() {
+        let next = rim[(i + 1) % n];
+        b.prefer(v, [vec![v, next, d], vec![v, d]]).expect("paths valid");
+    }
+    must(b.build())
+}
+
+/// `k` independent DISAGREE pairs sharing one destination: nodes `xi`, `yi`
+/// with the Fig. 5 preferences. The instance has exactly `2^k` stable path
+/// assignments and `2k + 1` nodes — a scaling family for the solver and the
+/// explorer.
+///
+/// # Panics
+///
+/// Panics if `k == 0`.
+pub fn disagree_chain(k: usize) -> SppInstance {
+    assert!(k >= 1, "need at least one DISAGREE pair");
+    let mut b = SppBuilder::new();
+    let d = b.node("d");
+    for i in 1..=k {
+        let x = b.node(&format!("x{i}"));
+        let y = b.node(&format!("y{i}"));
+        b.edge_between(x, d).expect("edge endpoints exist");
+        b.edge_between(y, d).expect("edge endpoints exist");
+        b.edge_between(x, y).expect("edge endpoints exist");
+        b.prefer(x, [vec![x, y, d], vec![x, d]]).expect("paths valid");
+        b.prefer(y, [vec![y, x, d], vec![y, d]]).expect("paths valid");
+    }
+    b.dest(d).expect("d exists");
+    must(b.build())
+}
+
+/// Every gadget above, labeled, for corpus-wide experiments.
+pub fn corpus() -> Vec<(&'static str, SppInstance)> {
+    vec![
+        ("DISAGREE", disagree()),
+        ("FIG6", fig6()),
+        ("FIG7", fig7()),
+        ("FIG8", fig8()),
+        ("FIG9", fig9()),
+        ("BAD-GADGET", bad_gadget()),
+        ("GOOD-GADGET", good_gadget()),
+        ("LINE2", line2()),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_gadgets_validate() {
+        for (name, inst) in corpus() {
+            assert!(inst.validate().is_ok(), "{name} failed validation");
+        }
+    }
+
+    #[test]
+    fn disagree_shape() {
+        let g = disagree();
+        assert_eq!(g.node_count(), 3);
+        assert_eq!(g.graph().edge_count(), 3);
+        let x = g.node_by_name("x").unwrap();
+        assert_eq!(g.fmt_path(&g.permitted(x)[0].path), "xyd");
+    }
+
+    #[test]
+    fn fig6_preferences_match_prose() {
+        let g = fig6();
+        let a = g.node_by_name("a").unwrap();
+        let prefs: Vec<String> =
+            g.permitted(a).iter().map(|rp| g.fmt_path(&rp.path)).collect();
+        assert_eq!(prefs, ["azd", "ayd", "axd"]);
+        // u refuses every path containing y.
+        let u = g.node_by_name("u").unwrap();
+        let y = g.node_by_name("y").unwrap();
+        assert!(g.permitted(u).iter().all(|rp| !rp.path.contains(y)));
+    }
+
+    #[test]
+    fn fig7_s_ordering() {
+        let g = fig7();
+        let s = g.node_by_name("s").unwrap();
+        let subd = g.parse_path("subd").unwrap();
+        let svbd = g.parse_path("svbd").unwrap();
+        let suad = g.parse_path("suad").unwrap();
+        assert!(g.rank(s, &subd).unwrap() < g.rank(s, &svbd).unwrap());
+        assert!(g.rank(s, &svbd).unwrap() < g.rank(s, &suad).unwrap());
+    }
+
+    #[test]
+    fn fig8_orderings_match_paper() {
+        let g = fig8();
+        let u = g.node_by_name("u").unwrap();
+        let s = g.node_by_name("s").unwrap();
+        let ubd = g.parse_path("ubd").unwrap();
+        let uad = g.parse_path("uad").unwrap();
+        assert!(g.rank(u, &ubd).unwrap() < g.rank(u, &uad).unwrap());
+        let suad = g.parse_path("suad").unwrap();
+        let subd = g.parse_path("subd").unwrap();
+        assert!(g.rank(s, &suad).unwrap() < g.rank(s, &subd).unwrap());
+    }
+
+    #[test]
+    fn fig9_orderings_match_paper() {
+        let g = fig9();
+        let s = g.node_by_name("s").unwrap();
+        let c = g.node_by_name("c").unwrap();
+        let scbd = g.parse_path("scbd").unwrap();
+        let sxd = g.parse_path("sxd").unwrap();
+        let scad = g.parse_path("scad").unwrap();
+        assert!(g.rank(s, &scbd).unwrap() < g.rank(s, &sxd).unwrap());
+        assert!(g.rank(s, &sxd).unwrap() < g.rank(s, &scad).unwrap());
+        let cad = g.parse_path("cad").unwrap();
+        let cbd = g.parse_path("cbd").unwrap();
+        assert!(g.rank(c, &cad).unwrap() < g.rank(c, &cbd).unwrap());
+    }
+
+    #[test]
+    fn wheel_3_is_bad_gadget() {
+        assert_eq!(wheel(3), bad_gadget());
+    }
+
+    #[test]
+    fn wheel_solvability_follows_parity() {
+        use crate::solve::enumerate_stable_assignments;
+        for n in 3..=6 {
+            let inst = wheel(n);
+            assert!(inst.validate().is_ok(), "wheel({n})");
+            let solutions = enumerate_stable_assignments(&inst, 10_000_000).unwrap();
+            if n % 2 == 0 {
+                assert!(!solutions.is_empty(), "wheel({n}) must be solvable");
+            } else {
+                assert!(solutions.is_empty(), "wheel({n}) must be unsolvable");
+            }
+        }
+    }
+
+    #[test]
+    fn wheels_always_carry_a_dispute_wheel() {
+        for n in 3..=6 {
+            assert!(!crate::dispute::is_wheel_free(&wheel(n)), "wheel({n})");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least three")]
+    fn tiny_wheel_rejected() {
+        let _ = wheel(2);
+    }
+
+    #[test]
+    fn disagree_chain_has_exponentially_many_solutions() {
+        use crate::solve::enumerate_stable_assignments;
+        for k in 1..=3 {
+            let inst = disagree_chain(k);
+            assert_eq!(inst.node_count(), 2 * k + 1);
+            let solutions = enumerate_stable_assignments(&inst, 10_000_000).unwrap();
+            assert_eq!(solutions.len(), 1 << k, "disagree_chain({k})");
+        }
+        assert_eq!(disagree_chain(1).graph().edge_count(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn empty_chain_rejected() {
+        let _ = disagree_chain(0);
+    }
+
+    #[test]
+    fn corpus_names_unique() {
+        let c = corpus();
+        for (i, (n, _)) in c.iter().enumerate() {
+            assert!(c[i + 1..].iter().all(|(m, _)| m != n));
+        }
+    }
+}

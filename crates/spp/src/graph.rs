@@ -1,0 +1,318 @@
+//! Undirected network graphs and directed communication channels.
+//!
+//! An SPP instance lives on an undirected graph `G = (V, E)`; for each edge
+//! `{u, v}` the set of communication channels contains both directed channels
+//! `(u, v)` and `(v, u)` (Sec. 2.1 of the paper).
+
+use std::fmt;
+
+use crate::error::SppError;
+
+/// Identifier of a node in an instance graph.
+///
+/// Nodes are dense indices `0..n`; human-readable names are kept by
+/// [`crate::SppInstance`].
+///
+/// ```
+/// use routelab_spp::NodeId;
+/// let v = NodeId(3);
+/// assert_eq!(v.index(), 3);
+/// assert_eq!(v.to_string(), "3");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// The node id as a usize index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl From<u32> for NodeId {
+    fn from(v: u32) -> Self {
+        NodeId(v)
+    }
+}
+
+/// A directed communication channel `(from, to)`.
+///
+/// Channel `(u, v)` carries announcements written by `u` and read by `v`.
+///
+/// ```
+/// use routelab_spp::{Channel, NodeId};
+/// let c = Channel::new(NodeId(0), NodeId(1));
+/// assert_eq!(c.reverse(), Channel::new(NodeId(1), NodeId(0)));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Channel {
+    /// Writing endpoint.
+    pub from: NodeId,
+    /// Reading endpoint.
+    pub to: NodeId,
+}
+
+impl Channel {
+    /// Creates the directed channel `(from, to)`.
+    pub fn new(from: NodeId, to: NodeId) -> Self {
+        Channel { from, to }
+    }
+
+    /// The channel in the opposite direction.
+    pub fn reverse(self) -> Self {
+        Channel { from: self.to, to: self.from }
+    }
+}
+
+impl fmt::Display for Channel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}->{})", self.from, self.to)
+    }
+}
+
+/// An undirected graph over dense node ids.
+///
+/// ```
+/// use routelab_spp::{Graph, NodeId};
+/// let mut g = Graph::new(3);
+/// g.add_edge(NodeId(0), NodeId(1)).unwrap();
+/// g.add_edge(NodeId(1), NodeId(2)).unwrap();
+/// assert!(g.has_edge(NodeId(1), NodeId(0)));
+/// assert_eq!(g.neighbors(NodeId(1)), &[NodeId(0), NodeId(2)]);
+/// assert_eq!(g.channels().count(), 4);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Graph {
+    /// Sorted adjacency list per node.
+    adjacency: Vec<Vec<NodeId>>,
+}
+
+impl Graph {
+    /// Creates a graph with `n` isolated nodes.
+    pub fn new(n: usize) -> Self {
+        Graph { adjacency: vec![Vec::new(); n] }
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.adjacency.len()
+    }
+
+    /// Number of undirected edges.
+    pub fn edge_count(&self) -> usize {
+        self.adjacency.iter().map(Vec::len).sum::<usize>() / 2
+    }
+
+    /// Adds a node and returns its id.
+    pub fn add_node(&mut self) -> NodeId {
+        self.adjacency.push(Vec::new());
+        NodeId((self.adjacency.len() - 1) as u32)
+    }
+
+    /// Iterates over all node ids in increasing order.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.adjacency.len() as u32).map(NodeId)
+    }
+
+    /// Returns `true` if `v` is a node of this graph.
+    pub fn contains(&self, v: NodeId) -> bool {
+        v.index() < self.adjacency.len()
+    }
+
+    fn check(&self, v: NodeId) -> Result<(), SppError> {
+        if self.contains(v) {
+            Ok(())
+        } else {
+            Err(SppError::UnknownNode { node: v, node_count: self.adjacency.len() })
+        }
+    }
+
+    /// Adds the undirected edge `{a, b}`.
+    ///
+    /// Adding an existing edge is a no-op.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SppError::SelfLoop`] if `a == b`, or
+    /// [`SppError::UnknownNode`] if either endpoint is out of range.
+    pub fn add_edge(&mut self, a: NodeId, b: NodeId) -> Result<(), SppError> {
+        self.check(a)?;
+        self.check(b)?;
+        if a == b {
+            return Err(SppError::SelfLoop { node: a });
+        }
+        for (x, y) in [(a, b), (b, a)] {
+            let adj = &mut self.adjacency[x.index()];
+            if let Err(pos) = adj.binary_search(&y) {
+                adj.insert(pos, y);
+            }
+        }
+        Ok(())
+    }
+
+    /// Returns `true` if the undirected edge `{a, b}` is present.
+    pub fn has_edge(&self, a: NodeId, b: NodeId) -> bool {
+        self.contains(a)
+            && self.contains(b)
+            && self.adjacency[a.index()].binary_search(&b).is_ok()
+    }
+
+    /// The sorted neighbors of `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is not a node of this graph.
+    pub fn neighbors(&self, v: NodeId) -> &[NodeId] {
+        &self.adjacency[v.index()]
+    }
+
+    /// Node degree.
+    pub fn degree(&self, v: NodeId) -> usize {
+        self.adjacency[v.index()].len()
+    }
+
+    /// All directed channels, in deterministic `(from, to)` order.
+    ///
+    /// For each undirected edge both directions are produced (Sec. 2.1).
+    pub fn channels(&self) -> impl Iterator<Item = Channel> + '_ {
+        self.nodes().flat_map(move |from| {
+            self.neighbors(from).iter().map(move |&to| Channel { from, to })
+        })
+    }
+
+    /// All channels read by `v` (one per neighbor), in neighbor order.
+    pub fn in_channels(&self, v: NodeId) -> impl Iterator<Item = Channel> + '_ {
+        self.neighbors(v).iter().map(move |&u| Channel { from: u, to: v })
+    }
+
+    /// All channels written by `v` (one per neighbor), in neighbor order.
+    pub fn out_channels(&self, v: NodeId) -> impl Iterator<Item = Channel> + '_ {
+        self.neighbors(v).iter().map(move |&u| Channel { from: v, to: u })
+    }
+
+    /// The set of nodes that can reach `root` along edges, including `root`.
+    pub fn reachable_from(&self, root: NodeId) -> Vec<bool> {
+        let mut seen = vec![false; self.node_count()];
+        if !self.contains(root) {
+            return seen;
+        }
+        let mut stack = vec![root];
+        seen[root.index()] = true;
+        while let Some(v) = stack.pop() {
+            for &u in self.neighbors(v) {
+                if !seen[u.index()] {
+                    seen[u.index()] = true;
+                    stack.push(u);
+                }
+            }
+        }
+        seen
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn triangle() -> Graph {
+        let mut g = Graph::new(3);
+        g.add_edge(NodeId(0), NodeId(1)).unwrap();
+        g.add_edge(NodeId(1), NodeId(2)).unwrap();
+        g.add_edge(NodeId(2), NodeId(0)).unwrap();
+        g
+    }
+
+    #[test]
+    fn edges_are_symmetric() {
+        let g = triangle();
+        for a in g.nodes() {
+            for b in g.nodes() {
+                assert_eq!(g.has_edge(a, b), g.has_edge(b, a));
+            }
+        }
+        assert_eq!(g.edge_count(), 3);
+    }
+
+    #[test]
+    fn duplicate_edge_is_noop() {
+        let mut g = triangle();
+        g.add_edge(NodeId(0), NodeId(1)).unwrap();
+        assert_eq!(g.edge_count(), 3);
+        assert_eq!(g.degree(NodeId(0)), 2);
+    }
+
+    #[test]
+    fn self_loop_rejected() {
+        let mut g = Graph::new(2);
+        assert_eq!(
+            g.add_edge(NodeId(1), NodeId(1)),
+            Err(SppError::SelfLoop { node: NodeId(1) })
+        );
+    }
+
+    #[test]
+    fn out_of_range_rejected() {
+        let mut g = Graph::new(2);
+        assert!(matches!(
+            g.add_edge(NodeId(0), NodeId(7)),
+            Err(SppError::UnknownNode { .. })
+        ));
+    }
+
+    #[test]
+    fn channels_cover_both_directions() {
+        let g = triangle();
+        let chans: Vec<Channel> = g.channels().collect();
+        assert_eq!(chans.len(), 6);
+        for c in &chans {
+            assert!(chans.contains(&c.reverse()));
+        }
+    }
+
+    #[test]
+    fn in_and_out_channels() {
+        let g = triangle();
+        let ins: Vec<Channel> = g.in_channels(NodeId(0)).collect();
+        assert_eq!(
+            ins,
+            vec![
+                Channel::new(NodeId(1), NodeId(0)),
+                Channel::new(NodeId(2), NodeId(0))
+            ]
+        );
+        let outs: Vec<Channel> = g.out_channels(NodeId(0)).collect();
+        assert!(outs.iter().all(|c| c.from == NodeId(0)));
+    }
+
+    #[test]
+    fn reachability() {
+        let mut g = Graph::new(4);
+        g.add_edge(NodeId(0), NodeId(1)).unwrap();
+        // Node 2 and 3 isolated from 0.
+        g.add_edge(NodeId(2), NodeId(3)).unwrap();
+        let seen = g.reachable_from(NodeId(0));
+        assert_eq!(seen, vec![true, true, false, false]);
+    }
+
+    #[test]
+    fn add_node_grows_graph() {
+        let mut g = Graph::new(0);
+        let a = g.add_node();
+        let b = g.add_node();
+        assert_eq!((a, b), (NodeId(0), NodeId(1)));
+        g.add_edge(a, b).unwrap();
+        assert!(g.has_edge(a, b));
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Channel::new(NodeId(2), NodeId(5)).to_string(), "(2->5)");
+        assert_eq!(NodeId(7).to_string(), "7");
+    }
+}

@@ -1,0 +1,629 @@
+//! SPP instances: a graph, a destination, and per-node ranked permitted paths.
+//!
+//! An instance of the Stable Paths Problem (Sec. 2.1) consists of an
+//! undirected graph `G = (V, E)`, a destination `d`, and for every node `v` a
+//! set of permitted paths `P_v` with a ranking function
+//! `λ_v : P_v → ℕ` (lower rank = more preferred). Ties in rank are forbidden
+//! unless the tied paths share a next hop.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::error::SppError;
+use crate::graph::{Channel, Graph, NodeId};
+use crate::path::{Path, Route};
+
+/// A permitted path together with its rank (lower = more preferred).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct RankedPath {
+    /// The permitted path.
+    pub path: Path,
+    /// The value of the ranking function `λ_v` on this path.
+    pub rank: u32,
+}
+
+/// An immutable, validated SPP instance.
+///
+/// Build one with [`SppBuilder`]:
+///
+/// ```
+/// use routelab_spp::SppBuilder;
+///
+/// let mut b = SppBuilder::new();
+/// let d = b.node("d");
+/// let x = b.node("x");
+/// b.edge_between(x, d)?;
+/// b.dest(d)?;
+/// b.prefer(x, [vec![x, d]])?;
+/// let inst = b.build()?;
+/// assert_eq!(inst.permitted(x).len(), 1);
+/// # Ok::<(), routelab_spp::SppError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SppInstance {
+    graph: Graph,
+    dest: NodeId,
+    names: Vec<String>,
+    /// Per node, sorted by increasing rank (most preferred first).
+    permitted: Vec<Vec<RankedPath>>,
+}
+
+impl SppInstance {
+    /// The underlying undirected graph.
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// The destination node `d`.
+    pub fn dest(&self) -> NodeId {
+        self.dest
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.graph.node_count()
+    }
+
+    /// All node ids in increasing order.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.graph.nodes()
+    }
+
+    /// All directed channels in deterministic order.
+    pub fn channels(&self) -> Vec<Channel> {
+        self.graph.channels().collect()
+    }
+
+    /// Human-readable name of `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    pub fn name(&self, v: NodeId) -> &str {
+        &self.names[v.index()]
+    }
+
+    /// Looks a node up by name.
+    pub fn node_by_name(&self, name: &str) -> Option<NodeId> {
+        self.names.iter().position(|n| n == name).map(|i| NodeId(i as u32))
+    }
+
+    /// The permitted paths of `v`, most preferred first.
+    pub fn permitted(&self, v: NodeId) -> &[RankedPath] {
+        &self.permitted[v.index()]
+    }
+
+    /// The rank `λ_v(p)`, or `None` if `p ∉ P_v`.
+    pub fn rank(&self, v: NodeId, p: &Path) -> Option<u32> {
+        self.permitted[v.index()].iter().find(|rp| &rp.path == p).map(|rp| rp.rank)
+    }
+
+    /// `true` if `p` is permitted at `v`.
+    pub fn is_permitted(&self, v: NodeId, p: &Path) -> bool {
+        self.rank(v, p).is_some()
+    }
+
+    /// Extends a neighbor's route by `v` and returns the resulting candidate
+    /// with its rank, or `None` when the extension is ε, loops, or is not
+    /// permitted at `v` (algorithm action 2).
+    pub fn candidate(&self, v: NodeId, neighbor_route: &Route) -> Option<(Path, u32)> {
+        let p = neighbor_route.as_path()?;
+        let ext = p.prepend(v).ok()?;
+        let rank = self.rank(v, &ext)?;
+        Some((ext, rank))
+    }
+
+    /// Chooses the most preferred route among the extensions of the given
+    /// neighbor routes (the paper's algorithm action 2). Returns ε if no
+    /// extension is feasible. For `v = d` the trivial path is returned.
+    ///
+    /// Determinism: instance validation guarantees candidate ranks through
+    /// distinct next hops differ, and at most one candidate exists per next
+    /// hop, so the minimum is unique.
+    pub fn choose_best<'a, I>(&self, v: NodeId, neighbor_routes: I) -> Route
+    where
+        I: IntoIterator<Item = &'a Route>,
+    {
+        if v == self.dest {
+            return Route::path(Path::trivial(self.dest));
+        }
+        let mut best: Option<(Path, u32)> = None;
+        for r in neighbor_routes {
+            if let Some((path, rank)) = self.candidate(v, r) {
+                let better = match &best {
+                    None => true,
+                    Some((bp, br)) => rank < *br || (rank == *br && path < *bp),
+                };
+                if better {
+                    best = Some((path, rank));
+                }
+            }
+        }
+        Route::from(best.map(|(p, _)| p))
+    }
+
+    /// Formats a path with node names; single-character names are
+    /// concatenated (paper style: `xyd`), longer names joined with `-`.
+    pub fn fmt_path(&self, p: &Path) -> String {
+        let parts: Vec<&str> = p.iter().map(|v| self.name(v)).collect();
+        if parts.iter().all(|s| s.chars().count() == 1) {
+            parts.concat()
+        } else {
+            parts.join("-")
+        }
+    }
+
+    /// Formats a route (ε or named path).
+    pub fn fmt_route(&self, r: &Route) -> String {
+        match r.as_path() {
+            Some(p) => self.fmt_path(p),
+            None => "ε".to_string(),
+        }
+    }
+
+    /// Parses a path from its [`SppInstance::fmt_path`] representation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SppError::UnknownName`] for unknown node names or path
+    /// errors for malformed sequences.
+    pub fn parse_path(&self, s: &str) -> Result<Path, SppError> {
+        let names: Vec<String> = if s.contains('-') {
+            s.split('-').map(str::to_string).collect()
+        } else {
+            s.chars().map(|c| c.to_string()).collect()
+        };
+        let mut ids = Vec::with_capacity(names.len());
+        for n in &names {
+            let id = self
+                .node_by_name(n)
+                .ok_or_else(|| SppError::UnknownName { name: n.clone() })?;
+            ids.push(id);
+        }
+        Path::new(ids)
+    }
+
+    /// Validates every structural invariant of the instance. Builders call
+    /// this; it is public so that hand-assembled or parsed instances can be
+    /// re-checked.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated invariant: path sources/destinations, edge
+    /// existence along paths, destination's permitted set, duplicate paths,
+    /// or forbidden rank ties.
+    pub fn validate(&self) -> Result<(), SppError> {
+        let d = self.dest;
+        if !self.graph.contains(d) {
+            return Err(SppError::UnknownNode { node: d, node_count: self.node_count() });
+        }
+        for v in self.graph.nodes() {
+            let perms = &self.permitted[v.index()];
+            if v == d {
+                if perms.len() != 1 || perms[0].path != Path::trivial(d) {
+                    return Err(SppError::DestinationPaths);
+                }
+                continue;
+            }
+            for (i, rp) in perms.iter().enumerate() {
+                let p = &rp.path;
+                if p.source() != v {
+                    return Err(SppError::WrongSource { path_source: p.source(), expected: v });
+                }
+                if p.dest() != d {
+                    return Err(SppError::WrongDestination { path_dest: p.dest(), expected: d });
+                }
+                for w in p.as_slice().windows(2) {
+                    if !self.graph.has_edge(w[0], w[1]) {
+                        return Err(SppError::MissingEdge { from: w[0], to: w[1] });
+                    }
+                }
+                for other in &perms[i + 1..] {
+                    if other.path == *p {
+                        return Err(SppError::DuplicatePath { node: v });
+                    }
+                    if other.rank == rp.rank && other.path.next_hop() != p.next_hop() {
+                        return Err(SppError::RankTie { node: v, rank: rp.rank });
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Assembles an instance from raw parts and validates it.
+    ///
+    /// Prefer [`SppBuilder`]; this is the escape hatch used by parsers and
+    /// generators.
+    ///
+    /// # Errors
+    ///
+    /// Any error from [`SppInstance::validate`].
+    pub fn from_parts(
+        graph: Graph,
+        dest: NodeId,
+        names: Vec<String>,
+        mut permitted: Vec<Vec<RankedPath>>,
+    ) -> Result<Self, SppError> {
+        if names.len() != graph.node_count() || permitted.len() != graph.node_count() {
+            return Err(SppError::UnknownNode {
+                node: dest,
+                node_count: graph.node_count(),
+            });
+        }
+        for perms in &mut permitted {
+            perms.sort_by(|a, b| a.rank.cmp(&b.rank).then_with(|| a.path.cmp(&b.path)));
+        }
+        let inst = SppInstance { graph, dest, names, permitted };
+        inst.validate()?;
+        Ok(inst)
+    }
+}
+
+impl fmt::Display for SppInstance {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "spp instance: {} nodes, {} edges, dest {}",
+            self.node_count(),
+            self.graph.edge_count(),
+            self.name(self.dest)
+        )?;
+        for v in self.nodes() {
+            if v == self.dest {
+                continue;
+            }
+            let prefs: Vec<String> =
+                self.permitted(v).iter().map(|rp| self.fmt_path(&rp.path)).collect();
+            writeln!(f, "  {}: {}", self.name(v), prefs.join(" > "))?;
+        }
+        Ok(())
+    }
+}
+
+/// Incremental builder for [`SppInstance`].
+///
+/// The destination's trivial path is added automatically. Ranks given via
+/// [`SppBuilder::prefer`] are consecutive in declaration order (most
+/// preferred first), matching how the paper's figures list preferences.
+#[derive(Debug, Clone, Default)]
+pub struct SppBuilder {
+    graph: Graph,
+    names: Vec<String>,
+    by_name: HashMap<String, NodeId>,
+    dest: Option<NodeId>,
+    permitted: Vec<Vec<RankedPath>>,
+}
+
+impl SppBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        SppBuilder::default()
+    }
+
+    /// Adds (or looks up) a node by name and returns its id.
+    pub fn node(&mut self, name: &str) -> NodeId {
+        if let Some(&id) = self.by_name.get(name) {
+            return id;
+        }
+        let id = self.graph.add_node();
+        self.names.push(name.to_string());
+        self.permitted.push(Vec::new());
+        self.by_name.insert(name.to_string(), id);
+        id
+    }
+
+    /// Adds the undirected edge `{a, b}`.
+    ///
+    /// # Errors
+    ///
+    /// See [`Graph::add_edge`].
+    pub fn edge_between(&mut self, a: NodeId, b: NodeId) -> Result<&mut Self, SppError> {
+        self.graph.add_edge(a, b)?;
+        Ok(self)
+    }
+
+    /// Adds an edge by node names, creating the nodes if necessary.
+    ///
+    /// # Errors
+    ///
+    /// See [`Graph::add_edge`].
+    pub fn edge(&mut self, a: &str, b: &str) -> Result<&mut Self, SppError> {
+        let a = self.node(a);
+        let b = self.node(b);
+        self.edge_between(a, b)?;
+        Ok(self)
+    }
+
+    /// Declares `v`'s permitted paths in decreasing preference; ranks
+    /// continue from any previously declared paths at `v` (starting at 1).
+    ///
+    /// # Errors
+    ///
+    /// Returns path construction errors; full instance invariants are
+    /// checked by [`SppBuilder::build`].
+    pub fn prefer<I, P>(&mut self, v: NodeId, paths: I) -> Result<&mut Self, SppError>
+    where
+        I: IntoIterator<Item = P>,
+        P: IntoIterator<Item = NodeId>,
+    {
+        if !self.graph.contains(v) {
+            return Err(SppError::UnknownNode { node: v, node_count: self.graph.node_count() });
+        }
+        let mut rank = self.permitted[v.index()].iter().map(|rp| rp.rank).max().unwrap_or(0);
+        for p in paths {
+            rank += 1;
+            let path = Path::new(p.into_iter().collect())?;
+            self.permitted[v.index()].push(RankedPath { path, rank });
+        }
+        Ok(self)
+    }
+
+    /// Declares `v`'s permitted paths by paper-style strings (see
+    /// [`SppInstance::parse_path`] for syntax), most preferred first.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SppError::UnknownName`] for names not yet added.
+    pub fn prefer_named(&mut self, v: &str, paths: &[&str]) -> Result<&mut Self, SppError> {
+        let vid = self
+            .by_name
+            .get(v)
+            .copied()
+            .ok_or_else(|| SppError::UnknownName { name: v.to_string() })?;
+        let mut parsed = Vec::with_capacity(paths.len());
+        for s in paths {
+            let names: Vec<String> = if s.contains('-') {
+                s.split('-').map(str::to_string).collect()
+            } else {
+                s.chars().map(|c| c.to_string()).collect()
+            };
+            let mut ids = Vec::with_capacity(names.len());
+            for n in &names {
+                let id = self
+                    .by_name
+                    .get(n)
+                    .copied()
+                    .ok_or_else(|| SppError::UnknownName { name: n.clone() })?;
+                ids.push(id);
+            }
+            parsed.push(ids);
+        }
+        self.prefer(vid, parsed)?;
+        Ok(self)
+    }
+
+    /// Registers a permitted path at `v` with an explicit rank.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SppError::UnknownNode`] if `v` was never added.
+    pub fn permit_with_rank(
+        &mut self,
+        v: NodeId,
+        path: Path,
+        rank: u32,
+    ) -> Result<&mut Self, SppError> {
+        if !self.graph.contains(v) {
+            return Err(SppError::UnknownNode { node: v, node_count: self.graph.node_count() });
+        }
+        self.permitted[v.index()].push(RankedPath { path, rank });
+        Ok(self)
+    }
+
+    /// Sets the destination node.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SppError::UnknownNode`] if `d` was never added.
+    pub fn dest(&mut self, d: NodeId) -> Result<&mut Self, SppError> {
+        if !self.graph.contains(d) {
+            return Err(SppError::UnknownNode { node: d, node_count: self.graph.node_count() });
+        }
+        self.dest = Some(d);
+        Ok(self)
+    }
+
+    /// Finalizes and validates the instance.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SppError::UnknownNode`] when no destination was set, plus
+    /// anything from [`SppInstance::validate`].
+    pub fn build(&self) -> Result<SppInstance, SppError> {
+        let dest = self.dest.ok_or(SppError::UnknownNode {
+            node: NodeId(u32::MAX),
+            node_count: self.graph.node_count(),
+        })?;
+        let mut permitted = self.permitted.clone();
+        // The destination's trivial path (rank 0) is implicit.
+        permitted[dest.index()] = vec![RankedPath { path: Path::trivial(dest), rank: 0 }];
+        SppInstance::from_parts(self.graph.clone(), dest, self.names.clone(), permitted)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Builds DISAGREE inline (also exercised via `gadgets`).
+    fn disagree() -> SppInstance {
+        let mut b = SppBuilder::new();
+        let d = b.node("d");
+        let x = b.node("x");
+        let y = b.node("y");
+        b.edge("x", "d").unwrap();
+        b.edge("y", "d").unwrap();
+        b.edge("x", "y").unwrap();
+        b.dest(d).unwrap();
+        b.prefer(x, [vec![x, y, d], vec![x, d]]).unwrap();
+        b.prefer(y, [vec![y, x, d], vec![y, d]]).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn builder_roundtrip() {
+        let inst = disagree();
+        assert_eq!(inst.node_count(), 3);
+        assert_eq!(inst.dest(), NodeId(0));
+        assert_eq!(inst.name(NodeId(1)), "x");
+        assert_eq!(inst.node_by_name("y"), Some(NodeId(2)));
+        assert_eq!(inst.node_by_name("zz"), None);
+        let x = inst.node_by_name("x").unwrap();
+        assert_eq!(inst.permitted(x).len(), 2);
+        // Most preferred first.
+        assert_eq!(inst.fmt_path(&inst.permitted(x)[0].path), "xyd");
+    }
+
+    #[test]
+    fn prefer_named_matches_prefer() {
+        let mut b = SppBuilder::new();
+        b.node("d");
+        b.node("x");
+        b.node("y");
+        b.edge("x", "d").unwrap();
+        b.edge("y", "d").unwrap();
+        b.edge("x", "y").unwrap();
+        b.dest(NodeId(0)).unwrap();
+        b.prefer_named("x", &["xyd", "xd"]).unwrap();
+        b.prefer_named("y", &["yxd", "yd"]).unwrap();
+        assert_eq!(b.build().unwrap(), disagree());
+    }
+
+    #[test]
+    fn rank_and_permitted() {
+        let inst = disagree();
+        let x = inst.node_by_name("x").unwrap();
+        let xd = inst.parse_path("xd").unwrap();
+        let xyd = inst.parse_path("xyd").unwrap();
+        assert_eq!(inst.rank(x, &xyd), Some(1));
+        assert_eq!(inst.rank(x, &xd), Some(2));
+        assert!(inst.is_permitted(x, &xd));
+        let yd = inst.parse_path("yd").unwrap();
+        assert!(!inst.is_permitted(x, &yd));
+    }
+
+    #[test]
+    fn candidate_extension() {
+        let inst = disagree();
+        let x = inst.node_by_name("x").unwrap();
+        let yd = Route::from(inst.parse_path("yd").unwrap());
+        let (p, rank) = inst.candidate(x, &yd).unwrap();
+        assert_eq!(inst.fmt_path(&p), "xyd");
+        assert_eq!(rank, 1);
+        // ε extends to nothing.
+        assert!(inst.candidate(x, &Route::empty()).is_none());
+        // A loop extends to nothing: x extending a path through x.
+        let yxd = Route::from(inst.parse_path("yxd").unwrap());
+        assert!(inst.candidate(x, &yxd).is_none());
+    }
+
+    #[test]
+    fn choose_best_prefers_lowest_rank() {
+        let inst = disagree();
+        let x = inst.node_by_name("x").unwrap();
+        let routes =
+            [Route::from(inst.parse_path("yd").unwrap()), Route::from(inst.parse_path("d").unwrap())];
+        let best = inst.choose_best(x, routes.iter());
+        assert_eq!(inst.fmt_route(&best), "xyd");
+        // Destination always picks its trivial path.
+        let d = inst.dest();
+        assert_eq!(inst.fmt_route(&inst.choose_best(d, [].iter())), "d");
+        // No feasible extension -> ε.
+        assert!(inst.choose_best(x, [Route::empty()].iter()).is_epsilon());
+    }
+
+    #[test]
+    fn validation_rejects_missing_edge() {
+        let mut b = SppBuilder::new();
+        let d = b.node("d");
+        let x = b.node("x");
+        let y = b.node("y");
+        b.edge("x", "d").unwrap();
+        b.edge("y", "d").unwrap();
+        // No x-y edge, but a path through it:
+        b.dest(d).unwrap();
+        b.prefer(x, [vec![x, y, d]]).unwrap();
+        assert!(matches!(b.build(), Err(SppError::MissingEdge { .. })));
+    }
+
+    #[test]
+    fn validation_rejects_rank_ties_across_next_hops() {
+        let mut b = SppBuilder::new();
+        let d = b.node("d");
+        let x = b.node("x");
+        let y = b.node("y");
+        b.edge("x", "d").unwrap();
+        b.edge("y", "d").unwrap();
+        b.edge("x", "y").unwrap();
+        b.dest(d).unwrap();
+        b.permit_with_rank(x, Path::new(vec![x, y, d]).unwrap(), 1).unwrap();
+        b.permit_with_rank(x, Path::new(vec![x, d]).unwrap(), 1).unwrap();
+        assert_eq!(b.build(), Err(SppError::RankTie { node: x, rank: 1 }));
+    }
+
+    #[test]
+    fn validation_allows_rank_ties_same_next_hop() {
+        let mut b = SppBuilder::new();
+        let d = b.node("d");
+        let x = b.node("x");
+        let y = b.node("y");
+        b.edge("x", "d").unwrap();
+        b.edge("y", "d").unwrap();
+        b.edge("x", "y").unwrap();
+        b.dest(d).unwrap();
+        b.permit_with_rank(y, Path::new(vec![y, x, d]).unwrap(), 1).unwrap();
+        b.permit_with_rank(y, Path::new(vec![y, d]).unwrap(), 2).unwrap();
+        // Same next hop (x) with equal ranks is allowed by Sec. 2.1...
+        b.permit_with_rank(x, Path::new(vec![x, y, d]).unwrap(), 1).unwrap();
+        assert!(b.build().is_ok());
+    }
+
+    #[test]
+    fn validation_rejects_duplicates_and_wrong_endpoints() {
+        let mut b = SppBuilder::new();
+        let d = b.node("d");
+        let x = b.node("x");
+        b.edge("x", "d").unwrap();
+        b.dest(d).unwrap();
+        b.permit_with_rank(x, Path::new(vec![x, d]).unwrap(), 1).unwrap();
+        b.permit_with_rank(x, Path::new(vec![x, d]).unwrap(), 2).unwrap();
+        assert_eq!(b.build(), Err(SppError::DuplicatePath { node: x }));
+
+        let mut b = SppBuilder::new();
+        let d = b.node("d");
+        let x = b.node("x");
+        b.edge("x", "d").unwrap();
+        b.dest(d).unwrap();
+        b.permit_with_rank(x, Path::new(vec![d]).unwrap(), 1).unwrap();
+        assert!(matches!(b.build(), Err(SppError::WrongSource { .. })));
+    }
+
+    #[test]
+    fn build_without_dest_fails() {
+        let mut b = SppBuilder::new();
+        b.node("d");
+        assert!(b.build().is_err());
+    }
+
+    #[test]
+    fn display_lists_preferences() {
+        let s = disagree().to_string();
+        assert!(s.contains("x: xyd > xd"), "{s}");
+        assert!(s.contains("y: yxd > yd"), "{s}");
+    }
+
+    #[test]
+    fn parse_path_multichar_names() {
+        let mut b = SppBuilder::new();
+        let d = b.node("dst");
+        let v = b.node("v10");
+        b.edge_between(v, d).unwrap();
+        b.dest(d).unwrap();
+        b.prefer(v, [vec![v, d]]).unwrap();
+        let inst = b.build().unwrap();
+        let p = inst.parse_path("v10-dst").unwrap();
+        assert_eq!(inst.fmt_path(&p), "v10-dst");
+        assert!(inst.parse_path("bogus-dst").is_err());
+    }
+}

@@ -1,0 +1,332 @@
+//! Simple paths to the destination and route objects.
+//!
+//! A [`Path`] is a non-empty simple node sequence `v0 v1 … d` from its source
+//! to the instance destination. The empty route ε of the paper is modeled as
+//! [`Route::default`] / `Route(None)` — "no path".
+
+use std::fmt;
+
+use crate::error::SppError;
+use crate::graph::NodeId;
+
+/// A non-empty simple path, stored source-first.
+///
+/// The destination's trivial path is the one-element path `(d)`.
+///
+/// ```
+/// use routelab_spp::{NodeId, Path};
+/// let p = Path::new(vec![NodeId(2), NodeId(1), NodeId(0)])?;
+/// assert_eq!(p.source(), NodeId(2));
+/// assert_eq!(p.dest(), NodeId(0));
+/// assert_eq!(p.next_hop(), Some(NodeId(1)));
+/// # Ok::<(), routelab_spp::SppError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Path {
+    nodes: Vec<NodeId>,
+}
+
+impl Path {
+    /// Creates a path from a source-first node sequence.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SppError::EmptyPath`] for an empty sequence and
+    /// [`SppError::PathNotSimple`] if a node repeats.
+    pub fn new(nodes: Vec<NodeId>) -> Result<Self, SppError> {
+        if nodes.is_empty() {
+            return Err(SppError::EmptyPath);
+        }
+        for (i, &v) in nodes.iter().enumerate() {
+            if nodes[i + 1..].contains(&v) {
+                return Err(SppError::PathNotSimple { repeated: v });
+            }
+        }
+        Ok(Path { nodes })
+    }
+
+    /// The trivial path `(d)` at the destination.
+    pub fn trivial(d: NodeId) -> Self {
+        Path { nodes: vec![d] }
+    }
+
+    /// Convenience constructor from raw `u32` ids.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Path::new`].
+    pub fn from_ids<I: IntoIterator<Item = u32>>(ids: I) -> Result<Self, SppError> {
+        Path::new(ids.into_iter().map(NodeId).collect())
+    }
+
+    /// First node (the path owner).
+    pub fn source(&self) -> NodeId {
+        self.nodes[0]
+    }
+
+    /// Last node (the destination).
+    pub fn dest(&self) -> NodeId {
+        *self.nodes.last().expect("paths are non-empty")
+    }
+
+    /// The second node, i.e. the neighbor traffic is forwarded to;
+    /// `None` for the trivial path.
+    pub fn next_hop(&self) -> Option<NodeId> {
+        self.nodes.get(1).copied()
+    }
+
+    /// Number of nodes on the path (edges + 1).
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// `true` only for the destination's trivial path.
+    pub fn is_trivial(&self) -> bool {
+        self.nodes.len() == 1
+    }
+
+    /// Always `false`: paths are non-empty by construction. Provided to
+    /// satisfy the `len`/`is_empty` convention.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// `true` if `v` lies on the path.
+    pub fn contains(&self, v: NodeId) -> bool {
+        self.nodes.contains(&v)
+    }
+
+    /// The node sequence, source first.
+    pub fn as_slice(&self) -> &[NodeId] {
+        &self.nodes
+    }
+
+    /// Iterates over the nodes, source first.
+    pub fn iter(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.nodes.iter().copied()
+    }
+
+    /// The path `vP` obtained by prepending `v` (the paper's extension in
+    /// algorithm action 2).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SppError::PathNotSimple`] if `v` already lies on the path —
+    /// such an extension is never a candidate route.
+    pub fn prepend(&self, v: NodeId) -> Result<Path, SppError> {
+        if self.contains(v) {
+            return Err(SppError::PathNotSimple { repeated: v });
+        }
+        let mut nodes = Vec::with_capacity(self.nodes.len() + 1);
+        nodes.push(v);
+        nodes.extend_from_slice(&self.nodes);
+        Ok(Path { nodes })
+    }
+
+    /// The suffix starting at position `i` (0 = whole path).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.len()` — the suffix must remain non-empty.
+    pub fn suffix(&self, i: usize) -> Path {
+        assert!(i < self.nodes.len(), "suffix index out of range");
+        Path { nodes: self.nodes[i..].to_vec() }
+    }
+
+    /// `true` if `other` is a (not necessarily proper) suffix of `self`.
+    pub fn has_suffix(&self, other: &Path) -> bool {
+        self.nodes.len() >= other.nodes.len()
+            && self.nodes[self.nodes.len() - other.nodes.len()..] == other.nodes[..]
+    }
+}
+
+impl fmt::Display for Path {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut first = true;
+        for v in &self.nodes {
+            if !first {
+                write!(f, "-")?;
+            }
+            write!(f, "{v}")?;
+            first = false;
+        }
+        Ok(())
+    }
+}
+
+impl AsRef<[NodeId]> for Path {
+    fn as_ref(&self) -> &[NodeId] {
+        &self.nodes
+    }
+}
+
+impl<'a> IntoIterator for &'a Path {
+    type Item = &'a NodeId;
+    type IntoIter = std::slice::Iter<'a, NodeId>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.nodes.iter()
+    }
+}
+
+/// A route object: either a path to the destination or the empty route ε.
+///
+/// ε is what a node "chooses" when it knows no feasible path, and what it
+/// announces as a withdrawal (see Example A.2, where `u` announces ε).
+///
+/// ```
+/// use routelab_spp::{Path, Route};
+/// let eps = Route::empty();
+/// assert!(eps.is_epsilon());
+/// let r = Route::from(Path::from_ids([1, 0])?);
+/// assert_eq!(r.as_path().unwrap().len(), 2);
+/// # Ok::<(), routelab_spp::SppError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Route(Option<Path>);
+
+impl Route {
+    /// The empty route ε.
+    pub fn empty() -> Self {
+        Route(None)
+    }
+
+    /// A real path route.
+    pub fn path(p: Path) -> Self {
+        Route(Some(p))
+    }
+
+    /// `true` for ε.
+    pub fn is_epsilon(&self) -> bool {
+        self.0.is_none()
+    }
+
+    /// The underlying path, if any.
+    pub fn as_path(&self) -> Option<&Path> {
+        self.0.as_ref()
+    }
+
+    /// Consumes the route, returning the underlying path, if any.
+    pub fn into_path(self) -> Option<Path> {
+        self.0
+    }
+}
+
+impl From<Path> for Route {
+    fn from(p: Path) -> Self {
+        Route(Some(p))
+    }
+}
+
+impl From<Option<Path>> for Route {
+    fn from(p: Option<Path>) -> Self {
+        Route(p)
+    }
+}
+
+impl fmt::Display for Route {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.0 {
+            Some(p) => write!(f, "{p}"),
+            None => write!(f, "ε"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(ids: &[u32]) -> Path {
+        Path::from_ids(ids.iter().copied()).unwrap()
+    }
+
+    #[test]
+    fn rejects_empty_and_nonsimple() {
+        assert_eq!(Path::new(vec![]), Err(SppError::EmptyPath));
+        assert_eq!(
+            Path::from_ids([1, 2, 1]),
+            Err(SppError::PathNotSimple { repeated: NodeId(1) })
+        );
+    }
+
+    #[test]
+    fn accessors() {
+        let path = p(&[3, 2, 0]);
+        assert_eq!(path.source(), NodeId(3));
+        assert_eq!(path.dest(), NodeId(0));
+        assert_eq!(path.next_hop(), Some(NodeId(2)));
+        assert_eq!(path.len(), 3);
+        assert!(!path.is_trivial());
+        assert!(!path.is_empty());
+        assert!(path.contains(NodeId(2)));
+        assert!(!path.contains(NodeId(9)));
+    }
+
+    #[test]
+    fn trivial_path() {
+        let t = Path::trivial(NodeId(0));
+        assert!(t.is_trivial());
+        assert_eq!(t.next_hop(), None);
+        assert_eq!(t.source(), t.dest());
+    }
+
+    #[test]
+    fn prepend_extends_and_checks_loops() {
+        let base = p(&[1, 0]);
+        let ext = base.prepend(NodeId(2)).unwrap();
+        assert_eq!(ext, p(&[2, 1, 0]));
+        assert!(base.prepend(NodeId(0)).is_err());
+    }
+
+    #[test]
+    fn suffix_relations() {
+        let path = p(&[4, 2, 1, 0]);
+        assert_eq!(path.suffix(0), path);
+        assert_eq!(path.suffix(2), p(&[1, 0]));
+        assert!(path.has_suffix(&p(&[1, 0])));
+        assert!(path.has_suffix(&path));
+        assert!(!path.has_suffix(&p(&[2, 0])));
+        assert!(!p(&[1, 0]).has_suffix(&path));
+    }
+
+    #[test]
+    #[should_panic(expected = "suffix index out of range")]
+    fn suffix_out_of_range_panics() {
+        let _ = p(&[1, 0]).suffix(2);
+    }
+
+    #[test]
+    fn route_display_and_default() {
+        assert_eq!(Route::default(), Route::empty());
+        assert_eq!(Route::empty().to_string(), "ε");
+        assert_eq!(Route::from(p(&[2, 0])).to_string(), "2-0");
+    }
+
+    #[test]
+    fn route_conversions() {
+        let r = Route::from(Some(p(&[1, 0])));
+        assert_eq!(r.clone().into_path(), Some(p(&[1, 0])));
+        assert_eq!(Route::from(None), Route::empty());
+        assert!(Route::empty().as_path().is_none());
+    }
+
+    #[test]
+    fn path_orders_deterministically() {
+        // Ordering is only used for deterministic data structures;
+        // make sure ε sorts before any path.
+        assert!(Route::empty() < Route::from(p(&[0])));
+        let mut v = vec![p(&[2, 0]), p(&[1, 0])];
+        v.sort();
+        assert_eq!(v, vec![p(&[1, 0]), p(&[2, 0])]);
+    }
+
+    #[test]
+    fn iteration() {
+        let path = p(&[2, 1, 0]);
+        let ids: Vec<u32> = path.iter().map(|n| n.0).collect();
+        assert_eq!(ids, vec![2, 1, 0]);
+        let via_ref: Vec<NodeId> = (&path).into_iter().copied().collect();
+        assert_eq!(via_ref, path.as_slice());
+        assert_eq!(path.as_ref(), path.as_slice());
+    }
+}

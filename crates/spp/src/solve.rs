@@ -1,0 +1,314 @@
+//! Stable path assignments: checking and brute-force enumeration.
+//!
+//! A path assignment `π = {π_v}` solves an SPP instance when it is
+//! *consistent* (if `π_v = v·P` with next hop `u` then `π_u = P`) and
+//! *stable* (`π_v` is the most preferred feasible extension of the neighbors'
+//! assignments). Deciding solvability is NP-complete (Griffin–Shepherd–
+//! Wilfong), so [`enumerate_stable_assignments`] is a budgeted exhaustive
+//! search — exactly what the paper-scale instances need.
+
+use std::collections::BTreeMap;
+
+use crate::error::SppError;
+use crate::graph::NodeId;
+use crate::instance::SppInstance;
+use crate::path::{Path, Route};
+
+/// A global path assignment: one route per node.
+///
+/// The destination is always assigned its trivial path.
+pub type PathAssignment = Vec<Route>;
+
+/// Pretty-prints an assignment with instance names, paper style:
+/// `(d, xd, yxd)` in node-id order.
+pub fn fmt_assignment(inst: &SppInstance, pi: &PathAssignment) -> String {
+    let parts: Vec<String> = pi.iter().map(|r| inst.fmt_route(r)).collect();
+    format!("({})", parts.join(", "))
+}
+
+/// Checks consistency: every assigned path's tail is the next hop's
+/// assigned path.
+pub fn is_consistent(inst: &SppInstance, pi: &PathAssignment) -> bool {
+    if pi.len() != inst.node_count() {
+        return false;
+    }
+    if pi[inst.dest().index()] != Route::path(Path::trivial(inst.dest())) {
+        return false;
+    }
+    for v in inst.nodes() {
+        if v == inst.dest() {
+            continue;
+        }
+        if let Some(p) = pi[v.index()].as_path() {
+            if p.source() != v || !inst.is_permitted(v, p) {
+                return false;
+            }
+            let u = p.next_hop().expect("non-destination paths have a next hop");
+            if pi[u.index()] != Route::path(p.suffix(1)) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// Checks stability: each node's assignment is the best feasible extension of
+/// its neighbors' assignments (and ε only when no extension is feasible).
+pub fn is_stable(inst: &SppInstance, pi: &PathAssignment) -> bool {
+    if !is_consistent(inst, pi) {
+        return false;
+    }
+    for v in inst.nodes() {
+        if v == inst.dest() {
+            continue;
+        }
+        let neighbor_routes: Vec<Route> = inst
+            .graph()
+            .neighbors(v)
+            .iter()
+            .map(|&u| pi[u.index()].clone())
+            .collect();
+        let best = inst.choose_best(v, neighbor_routes.iter());
+        if best != pi[v.index()] {
+            return false;
+        }
+    }
+    true
+}
+
+/// Enumerates **all** stable path assignments by exhaustive search with
+/// consistency pruning.
+///
+/// `budget` bounds the number of search-tree nodes visited.
+///
+/// # Errors
+///
+/// Returns [`SppError::BudgetExceeded`] when the search tree outgrows
+/// `budget` — callers decide whether a partial answer is acceptable.
+///
+/// ```
+/// use routelab_spp::gadgets;
+/// use routelab_spp::solve::enumerate_stable_assignments;
+/// let n = enumerate_stable_assignments(&gadgets::bad_gadget(), 100_000)?.len();
+/// assert_eq!(n, 0); // BAD-GADGET is unsolvable
+/// # Ok::<(), routelab_spp::SppError>(())
+/// ```
+pub fn enumerate_stable_assignments(
+    inst: &SppInstance,
+    budget: u64,
+) -> Result<Vec<PathAssignment>, SppError> {
+    // Candidate routes per node: every permitted path plus ε (the
+    // destination is fixed to its trivial path).
+    let mut options: Vec<Vec<Route>> = Vec::with_capacity(inst.node_count());
+    for v in inst.nodes() {
+        if v == inst.dest() {
+            options.push(vec![Route::path(Path::trivial(inst.dest()))]);
+        } else {
+            let mut opts: Vec<Route> =
+                inst.permitted(v).iter().map(|rp| Route::path(rp.path.clone())).collect();
+            opts.push(Route::empty());
+            options.push(opts);
+        }
+    }
+
+    let mut visited: u64 = 0;
+    let mut found = Vec::new();
+    let mut pi: PathAssignment = vec![Route::empty(); inst.node_count()];
+    search(inst, &options, 0, &mut pi, &mut visited, budget, &mut found)?;
+    Ok(found)
+}
+
+fn search(
+    inst: &SppInstance,
+    options: &[Vec<Route>],
+    v: usize,
+    pi: &mut PathAssignment,
+    visited: &mut u64,
+    budget: u64,
+    found: &mut Vec<PathAssignment>,
+) -> Result<(), SppError> {
+    *visited += 1;
+    if *visited > budget {
+        return Err(SppError::BudgetExceeded { budget });
+    }
+    if v == options.len() {
+        if is_stable(inst, pi) {
+            found.push(pi.clone());
+        }
+        return Ok(());
+    }
+    for r in &options[v] {
+        pi[v] = r.clone();
+        // Prune: partial consistency among already-assigned nodes.
+        if partial_consistent(inst, pi, v) {
+            search(inst, options, v + 1, pi, visited, budget, found)?;
+        }
+    }
+    pi[v] = Route::empty();
+    Ok(())
+}
+
+/// Consistency restricted to nodes `0..=last` (others unassigned).
+fn partial_consistent(inst: &SppInstance, pi: &PathAssignment, last: usize) -> bool {
+    for i in 0..=last {
+        let v = NodeId(i as u32);
+        if v == inst.dest() {
+            continue;
+        }
+        if let Some(p) = pi[i].as_path() {
+            let u = p.next_hop().expect("non-trivial path");
+            if u.index() <= last && pi[u.index()] != Route::path(p.suffix(1)) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// Returns the unique stable assignment, if exactly one exists within budget.
+///
+/// # Errors
+///
+/// Propagates [`SppError::BudgetExceeded`].
+pub fn unique_stable_assignment(
+    inst: &SppInstance,
+    budget: u64,
+) -> Result<Option<PathAssignment>, SppError> {
+    let mut all = enumerate_stable_assignments(inst, budget)?;
+    if all.len() == 1 {
+        Ok(Some(all.remove(0)))
+    } else {
+        Ok(None)
+    }
+}
+
+/// Summary statistics of the solution structure, used in experiment reports.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SolutionSummary {
+    /// Number of stable assignments found.
+    pub count: usize,
+    /// Per-node count of distinct routes used across solutions.
+    pub distinct_routes: BTreeMap<NodeId, usize>,
+}
+
+/// Computes a [`SolutionSummary`] within the given budget.
+///
+/// # Errors
+///
+/// Propagates [`SppError::BudgetExceeded`].
+pub fn summarize_solutions(inst: &SppInstance, budget: u64) -> Result<SolutionSummary, SppError> {
+    let all = enumerate_stable_assignments(inst, budget)?;
+    let mut distinct_routes = BTreeMap::new();
+    for v in inst.nodes() {
+        let mut routes: Vec<&Route> = all.iter().map(|pi| &pi[v.index()]).collect();
+        routes.sort();
+        routes.dedup();
+        distinct_routes.insert(v, routes.len());
+    }
+    Ok(SolutionSummary { count: all.len(), distinct_routes })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gadgets;
+
+    fn route(inst: &SppInstance, s: &str) -> Route {
+        Route::from(inst.parse_path(s).unwrap())
+    }
+
+    #[test]
+    fn disagree_has_two_solutions() {
+        let inst = gadgets::disagree();
+        let sols = enumerate_stable_assignments(&inst, 100_000).unwrap();
+        assert_eq!(sols.len(), 2);
+        let rendered: Vec<String> = sols.iter().map(|pi| fmt_assignment(&inst, pi)).collect();
+        assert!(rendered.contains(&"(d, xyd, yd)".to_string()), "{rendered:?}");
+        assert!(rendered.contains(&"(d, xd, yxd)".to_string()), "{rendered:?}");
+    }
+
+    #[test]
+    fn bad_gadget_has_no_solution() {
+        let sols = enumerate_stable_assignments(&gadgets::bad_gadget(), 1_000_000).unwrap();
+        assert!(sols.is_empty());
+    }
+
+    #[test]
+    fn good_gadget_unique_solution() {
+        let inst = gadgets::good_gadget();
+        let sol = unique_stable_assignment(&inst, 1_000_000).unwrap().unwrap();
+        assert_eq!(fmt_assignment(&inst, &sol), "(d, 1d, 2d, 3d)");
+    }
+
+    #[test]
+    fn fig6_converged_assignments_are_stable() {
+        // Example A.2 names two convergent outcomes:
+        // (d, xd, yd, zd, azd, uvazd, vazd) and (d, xd, yd, zd, azd, uazd, vuazd).
+        let inst = gadgets::fig6();
+        for (u_path, v_path) in [("uvazd", "vazd"), ("uazd", "vuazd")] {
+            let mut pi: PathAssignment = vec![Route::empty(); inst.node_count()];
+            pi[inst.dest().index()] = Route::path(Path::trivial(inst.dest()));
+            for (name, path) in
+                [("x", "xd"), ("y", "yd"), ("z", "zd"), ("a", "azd"), ("u", u_path), ("v", v_path)]
+            {
+                let v = inst.node_by_name(name).unwrap();
+                pi[v.index()] = route(&inst, path);
+            }
+            assert!(is_stable(&inst, &pi), "({u_path}, {v_path}) should be stable");
+        }
+    }
+
+    #[test]
+    fn consistency_rejects_dangling_next_hop() {
+        let inst = gadgets::disagree();
+        let d = inst.dest();
+        let x = inst.node_by_name("x").unwrap();
+        let y = inst.node_by_name("y").unwrap();
+        let mut pi: PathAssignment = vec![Route::empty(); 3];
+        pi[d.index()] = Route::path(Path::trivial(d));
+        pi[x.index()] = route(&inst, "xyd");
+        pi[y.index()] = route(&inst, "yd"); // consistent
+        assert!(is_consistent(&inst, &pi));
+        pi[y.index()] = Route::empty(); // x's tail now dangles
+        assert!(!is_consistent(&inst, &pi));
+    }
+
+    #[test]
+    fn stability_rejects_suboptimal_choice() {
+        let inst = gadgets::disagree();
+        let d = inst.dest();
+        let x = inst.node_by_name("x").unwrap();
+        let y = inst.node_by_name("y").unwrap();
+        let mut pi: PathAssignment = vec![Route::empty(); 3];
+        pi[d.index()] = Route::path(Path::trivial(d));
+        // Both direct: consistent but not stable (each prefers the other's
+        // route's extension).
+        pi[x.index()] = route(&inst, "xd");
+        pi[y.index()] = route(&inst, "yd");
+        assert!(is_consistent(&inst, &pi));
+        assert!(!is_stable(&inst, &pi));
+    }
+
+    #[test]
+    fn budget_is_enforced() {
+        let err = enumerate_stable_assignments(&gadgets::fig6(), 5).unwrap_err();
+        assert_eq!(err, SppError::BudgetExceeded { budget: 5 });
+    }
+
+    #[test]
+    fn summary_counts_distinct_routes() {
+        let inst = gadgets::disagree();
+        let s = summarize_solutions(&inst, 100_000).unwrap();
+        assert_eq!(s.count, 2);
+        let x = inst.node_by_name("x").unwrap();
+        assert_eq!(s.distinct_routes[&x], 2); // xyd and xd across the 2 solutions
+        assert_eq!(s.distinct_routes[&inst.dest()], 1);
+    }
+
+    #[test]
+    fn line2_unique_solution() {
+        let inst = gadgets::line2();
+        let sol = unique_stable_assignment(&inst, 1_000).unwrap().unwrap();
+        assert_eq!(fmt_assignment(&inst, &sol), "(d, vd)");
+    }
+}

@@ -1,0 +1,141 @@
+//! Property tests for the SPP substrate.
+
+use proptest::prelude::*;
+use routelab_spp::dispute::{digraph_is_acyclic, dispute_digraph, find_dispute_wheel};
+use routelab_spp::format;
+use routelab_spp::generator::{
+    enumerate_simple_paths, gao_rexford_instance, random_connected_graph, random_instance,
+    shortest_path_instance, RandomSppConfig,
+};
+use routelab_spp::solve::{enumerate_stable_assignments, is_consistent, is_stable};
+use routelab_spp::{NodeId, Path, SppInstance};
+
+fn arb_instance() -> impl Strategy<Value = SppInstance> {
+    (2usize..9, 0usize..6, 0u64..5_000).prop_map(|(nodes, extra, seed)| {
+        random_instance(&RandomSppConfig {
+            nodes,
+            extra_edges: extra,
+            max_paths_per_node: 4,
+            max_path_len: 5,
+            seed,
+        })
+        .expect("generator output validates")
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+    #[test]
+    fn text_format_round_trips(inst in arb_instance()) {
+        let text = format::to_text(&inst);
+        let back = format::from_text(&text).expect("serialized instances parse");
+        prop_assert_eq!(inst, back);
+    }
+
+    #[test]
+    fn digraph_acyclicity_implies_freedom_from_single_hop_wheels(inst in arb_instance()) {
+        // The single-hop dispute digraph only models rims of the form v·Q
+        // (one hop onto the next spoke); its acyclicity therefore rules out
+        // exactly those wheels. Wheels with longer rims (whose interior
+        // extensions need not be permitted anywhere) are invisible to it —
+        // the exact detector `find_dispute_wheel` decides those.
+        if digraph_is_acyclic(&dispute_digraph(&inst)) {
+            if let Some(wheel) = find_dispute_wheel(&inst) {
+                prop_assert!(
+                    wheel
+                        .pivots
+                        .iter()
+                        .enumerate()
+                        .any(|(i, p)| {
+                            let next = &wheel.pivots[(i + 1) % wheel.pivots.len()];
+                            p.rim.len() > next.spoke.len() + 1
+                        }),
+                    "acyclic digraph must not miss a single-hop wheel: {}",
+                    wheel.display(&inst)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn found_wheels_verify(inst in arb_instance()) {
+        if let Some(wheel) = find_dispute_wheel(&inst) {
+            prop_assert!(wheel.verify(&inst));
+        }
+    }
+
+    #[test]
+    fn solutions_are_stable_and_consistent(inst in arb_instance()) {
+        if let Ok(solutions) = enumerate_stable_assignments(&inst, 500_000) {
+            for pi in &solutions {
+                prop_assert!(is_consistent(&inst, pi));
+                prop_assert!(is_stable(&inst, pi));
+            }
+            // Wheel-free instances are solvable (Griffin–Shepherd–Wilfong).
+            if find_dispute_wheel(&inst).is_none() {
+                prop_assert!(!solutions.is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn simple_path_enumeration_yields_valid_simple_paths(
+        n in 2usize..10,
+        extra in 0usize..8,
+        seed in 0u64..1_000,
+    ) {
+        let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(seed);
+        let g = random_connected_graph(n, extra, &mut rng);
+        let from = NodeId((n as u32).saturating_sub(1));
+        let paths = enumerate_simple_paths(&g, from, NodeId(0), 6, 200);
+        prop_assert!(!paths.is_empty(), "connected graphs always have a path");
+        for p in &paths {
+            prop_assert_eq!(p.source(), from);
+            prop_assert_eq!(p.dest(), NodeId(0));
+            for w in p.as_slice().windows(2) {
+                prop_assert!(g.has_edge(w[0], w[1]));
+            }
+        }
+        // Deterministic and duplicate-free.
+        let again = enumerate_simple_paths(&g, from, NodeId(0), 6, 200);
+        prop_assert_eq!(&paths, &again);
+        let mut dedup = paths.clone();
+        dedup.sort();
+        dedup.dedup();
+        prop_assert_eq!(dedup.len(), paths.len());
+    }
+
+    #[test]
+    fn shortest_path_policies_are_wheel_free(
+        n in 2usize..9,
+        extra in 0usize..6,
+        seed in 0u64..1_000,
+    ) {
+        let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(seed);
+        let g = random_connected_graph(n, extra, &mut rng);
+        let inst = shortest_path_instance(g, NodeId(0), 5, 6).expect("valid instance");
+        prop_assert!(find_dispute_wheel(&inst).is_none());
+    }
+
+    #[test]
+    fn gao_rexford_policies_are_wheel_free(n in 2usize..12, seed in 0u64..300) {
+        let inst = gao_rexford_instance(n, seed, 6, 5).expect("valid instance");
+        prop_assert!(inst.validate().is_ok());
+        prop_assert!(find_dispute_wheel(&inst).is_none());
+    }
+
+    #[test]
+    fn path_prepend_then_suffix_is_identity(ids in proptest::collection::vec(0u32..30, 1..6)) {
+        let mut dedup = ids.clone();
+        dedup.sort();
+        dedup.dedup();
+        prop_assume!(dedup.len() == ids.len());
+        let p = Path::from_ids(ids.iter().copied()).expect("distinct ids form a simple path");
+        let v = 99u32;
+        let q = p.prepend(NodeId(v)).expect("99 not on the path");
+        prop_assert_eq!(q.suffix(1), p.clone());
+        prop_assert!(q.has_suffix(&p));
+        prop_assert_eq!(q.len(), p.len() + 1);
+    }
+}

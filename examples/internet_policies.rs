@@ -1,0 +1,55 @@
+//! Internet-style policies: generate Gao–Rexford (customer/peer/provider)
+//! topologies — which provably carry no dispute wheel — and random-policy
+//! networks, then measure convergence of randomized fair schedules across
+//! communication models.
+//!
+//! Run with `cargo run --example internet_policies [nodes] [seeds]`.
+
+use routelab::core::model::CommModel;
+use routelab::sim::montecarlo::{run_cell, CellConfig};
+use routelab::sim::table::Table;
+use routelab::spp::dispute::is_wheel_free;
+use routelab::spp::generator::{gao_rexford_instance, random_instance, RandomSppConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let nodes: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(12);
+    let seeds: u64 = std::env::args().nth(2).and_then(|s| s.parse().ok()).unwrap_or(3);
+    let models: Vec<CommModel> =
+        ["R1O", "RMS", "UMS", "REA"].iter().map(|s| s.parse().expect("model")).collect();
+    let cfg = CellConfig { runs: 25, max_steps: 30_000, seed: 1, drop_prob: 0.25 };
+
+    let mut table = Table::new(vec![
+        "instance".into(),
+        "wheel-free".into(),
+        "model".into(),
+        "conv rate".into(),
+        "mean steps".into(),
+    ]);
+    for seed in 0..seeds {
+        let gr = gao_rexford_instance(nodes, seed, 6, 5)?;
+        let rnd = random_instance(&RandomSppConfig {
+            nodes,
+            seed,
+            ..RandomSppConfig::default()
+        })?;
+        for (name, inst) in [(format!("gao-rexford #{seed}"), gr), (format!("random #{seed}"), rnd)]
+        {
+            let wf = is_wheel_free(&inst);
+            for &m in &models {
+                let stats = run_cell(&inst, m, &cfg);
+                table.row(vec![
+                    name.clone(),
+                    wf.to_string(),
+                    m.to_string(),
+                    format!("{:.2}", stats.convergence_rate()),
+                    format!("{:.1}", stats.mean_steps),
+                ]);
+            }
+        }
+    }
+    println!("{table}");
+    println!("Gao–Rexford policies are dispute-wheel-free, so every cell shows rate 1.00;");
+    println!("random policies may carry a wheel and then converge only with luck — with");
+    println!("polling (REA) still converging more often than message passing (R1O).");
+    Ok(())
+}

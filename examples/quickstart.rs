@@ -1,0 +1,60 @@
+//! Quickstart: build the DISAGREE instance by hand, execute it under two
+//! communication models, and watch the model choice decide convergence.
+//!
+//! Run with `cargo run --example quickstart`.
+
+use routelab::engine::outcome::{drive, RunOutcome};
+use routelab::engine::paper_runs;
+use routelab::engine::runner::Runner;
+use routelab::engine::schedule::{Cyclic, RoundRobin};
+use routelab::spp::SppBuilder;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // DISAGREE (Fig. 5): x and y each prefer routing through the other.
+    let mut b = SppBuilder::new();
+    let d = b.node("d");
+    let x = b.node("x");
+    let y = b.node("y");
+    b.edge("x", "d")?;
+    b.edge("y", "d")?;
+    b.edge("x", "y")?;
+    b.dest(d)?;
+    b.prefer(x, [vec![x, y, d], vec![x, d]])?;
+    b.prefer(y, [vec![y, x, d], vec![y, d]])?;
+    let inst = b.build()?;
+    println!("{inst}");
+
+    // 1. Under the REA "poll all" model the round-robin schedule converges.
+    let mut runner = Runner::new(&inst);
+    let mut sched = RoundRobin::new(&inst, "REA".parse()?);
+    match drive(&mut runner, &mut sched, 1_000) {
+        RunOutcome::Converged { steps, assignment } => {
+            let routes: Vec<String> = assignment.iter().map(|r| inst.fmt_route(r)).collect();
+            println!("REA round-robin converged after {steps} steps to ({})", routes.join(", "));
+        }
+        other => println!("unexpected: {other:?}"),
+    }
+
+    // 2. Under the event-driven R1O model the same network can oscillate
+    //    forever on a fair schedule (Example A.1).
+    let (run, cycle) = paper_runs::a1_r1o();
+    let mut runner = Runner::new(&run.instance);
+    runner.run(&run.seq);
+    let mut sched = Cyclic::new(cycle);
+    match drive(&mut runner, &mut sched, 10_000) {
+        RunOutcome::CycleDetected { period, oscillating, .. } => {
+            println!(
+                "R1O fair cycle: state repeats with period {period}, oscillating = {oscillating}"
+            );
+            println!("last few assignments:");
+            let t = runner.trace();
+            for k in t.len().saturating_sub(4)..t.len() {
+                let pi = t.get(k).expect("index in range");
+                let routes: Vec<String> = pi.iter().map(|r| run.instance.fmt_route(r)).collect();
+                println!("  t={k}: ({})", routes.join(", "));
+            }
+        }
+        other => println!("unexpected: {other:?}"),
+    }
+    Ok(())
+}

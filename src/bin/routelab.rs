@@ -1,0 +1,242 @@
+//! The `routelab` command-line tool: audit routing policies, check
+//! convergence per communication model, solve for stable assignments, and
+//! replay executions across models.
+//!
+//! ```text
+//! routelab models
+//! routelab audit    <instance>
+//! routelab solve    <instance>
+//! routelab check    <instance> <model> [--witness]
+//! routelab realize  <instance> <from-model> <to-model> [steps]
+//! routelab simulate <instance> <model> [runs]
+//! routelab fig3 | fig4
+//! ```
+//!
+//! `<instance>` is either a gadget name (`DISAGREE`, `FIG6`, `FIG7`, `FIG8`,
+//! `FIG9`, `BAD-GADGET`, `GOOD-GADGET`, `LINE2`) or a path to an `spp v1`
+//! text file (see `routelab::spp::format`).
+
+use std::process::ExitCode;
+
+use routelab::core::closure::derive_bounds;
+use routelab::core::edges::foundational_facts;
+use routelab::core::model::CommModel;
+use routelab::engine::outcome::{drive, RunOutcome};
+use routelab::engine::runner::Runner;
+use routelab::engine::schedule::{Cyclic, RoundRobin, Scheduler};
+use routelab::explore::graph::ExploreConfig;
+use routelab::explore::oscillation::{analyze, Verdict};
+use routelab::explore::witness::oscillation_witness;
+use routelab::realize::verify::verify_path;
+use routelab::sim::montecarlo::{run_cell, CellConfig};
+use routelab::sim::survey::{survey_instance, SurveyConfig, SurveyOutcome};
+use routelab::spp::solve::{enumerate_stable_assignments, fmt_assignment};
+use routelab::spp::{dispute, format, gadgets, SppInstance};
+
+fn load_instance(spec: &str) -> Result<SppInstance, String> {
+    for (name, inst) in gadgets::corpus() {
+        if name.eq_ignore_ascii_case(spec) {
+            return Ok(inst);
+        }
+    }
+    let text =
+        std::fs::read_to_string(spec).map_err(|e| format!("cannot read {spec:?}: {e}"))?;
+    format::from_text(&text).map_err(|e| format!("cannot parse {spec:?}: {e}"))
+}
+
+fn parse_model(s: &str) -> Result<CommModel, String> {
+    s.parse().map_err(|e| format!("{e}"))
+}
+
+fn cmd_models() {
+    println!("the 24 communication models (reliability × neighbors × messages):\n");
+    for m in CommModel::all() {
+        println!("  {m}  ({:?})", m.family());
+    }
+    println!("\npolling = learn neighbors' current state; message-passing = one queued");
+    println!("message per channel; queueing = unrestricted (closest to deployed BGP).");
+}
+
+fn cmd_audit(inst: &SppInstance) -> Result<(), String> {
+    print!("{inst}");
+    let solutions =
+        enumerate_stable_assignments(inst, 10_000_000).map_err(|e| e.to_string())?;
+    println!("stable path assignments: {}", solutions.len());
+    for s in solutions.iter().take(8) {
+        println!("  {}", fmt_assignment(inst, s));
+    }
+    if solutions.len() > 8 {
+        println!("  … and {} more", solutions.len() - 8);
+    }
+    match dispute::find_dispute_wheel(inst) {
+        Some(w) => println!("dispute wheel: {}", w.display(inst)),
+        None => println!("no dispute wheel: converges under every fair schedule in every model"),
+    }
+    println!("\nper-model verdicts:");
+    let cfg = SurveyConfig {
+        explore: ExploreConfig { channel_cap: 3, ..ExploreConfig::default() },
+        ..SurveyConfig::default()
+    };
+    for entry in survey_instance(inst, &cfg) {
+        let v = match entry.outcome {
+            SurveyOutcome::Oscillates { via: None } => "can oscillate".into(),
+            SurveyOutcome::Oscillates { via: Some(p) } => format!("can oscillate (via {p})"),
+            SurveyOutcome::Converges { via: None } => "always converges".into(),
+            SurveyOutcome::Converges { via: Some(p) } => format!("always converges (via {p})"),
+            SurveyOutcome::Unknown => "undecided within bounds".into(),
+        };
+        println!("  {}: {v}", entry.model);
+    }
+    Ok(())
+}
+
+fn cmd_solve(inst: &SppInstance) -> Result<(), String> {
+    let solutions =
+        enumerate_stable_assignments(inst, 50_000_000).map_err(|e| e.to_string())?;
+    println!("{} stable path assignment(s)", solutions.len());
+    for s in &solutions {
+        println!("  {}", fmt_assignment(inst, s));
+    }
+    Ok(())
+}
+
+fn cmd_check(inst: &SppInstance, model: CommModel, want_witness: bool) -> Result<(), String> {
+    let cfg = ExploreConfig { channel_cap: 3, max_states: 1_000_000, ..ExploreConfig::default() };
+    match analyze(inst, model, &cfg) {
+        Verdict::CanOscillate { states, scc_size } => {
+            println!("{model}: CAN OSCILLATE (fair SCC of {scc_size} states; {states} explored)");
+            if want_witness {
+                let w = oscillation_witness(inst, model, &cfg)
+                    .ok_or("witness extraction failed unexpectedly")?;
+                println!("witness prefix ({} steps):", w.prefix.len());
+                for s in &w.prefix {
+                    println!("  {s}");
+                }
+                println!("witness cycle ({} steps, repeat forever):", w.cycle.len());
+                for s in &w.cycle {
+                    println!("  {s}");
+                }
+                let mut runner = Runner::new(inst);
+                runner.run(&w.prefix);
+                let mut sched = Cyclic::new(w.cycle);
+                if let RunOutcome::CycleDetected { period, .. } =
+                    drive(&mut runner, &mut sched, 10_000)
+                {
+                    println!("replay confirms a state cycle of period {period}");
+                }
+            }
+        }
+        Verdict::AlwaysConverges { states } => {
+            println!("{model}: ALWAYS CONVERGES (exhaustive over {states} states)");
+        }
+        Verdict::NoOscillationWithinBound { states } => {
+            println!("{model}: no oscillation found within bounds ({states} states; verdict open)");
+        }
+    }
+    Ok(())
+}
+
+fn cmd_realize(
+    inst: &SppInstance,
+    from: CommModel,
+    to: CommModel,
+    steps: usize,
+) -> Result<(), String> {
+    let mut sched = RoundRobin::new(inst, from);
+    let mut runner = Runner::new(inst);
+    let mut seq = Vec::with_capacity(steps);
+    for _ in 0..steps {
+        let s = sched.next_step(runner.state()).expect("round robin is infinite");
+        runner.step(&s);
+        seq.push(s);
+    }
+    match verify_path(inst, &seq, from, to).map_err(|e| e.to_string())? {
+        Some(report) => {
+            println!("{report}");
+            println!("holds: {}", report.holds());
+        }
+        None => println!("no realization chain exists from {from} into {to}"),
+    }
+    Ok(())
+}
+
+fn cmd_simulate(inst: &SppInstance, model: CommModel, runs: usize) -> Result<(), String> {
+    let stats = run_cell(
+        inst,
+        model,
+        &CellConfig { runs, max_steps: 30_000, seed: 42, drop_prob: 0.25 },
+    );
+    println!(
+        "{model}: {}/{} runs converged (rate {:.2}), mean steps {:.1}, mean messages {:.1}, mean drops {:.1}",
+        stats.converged,
+        stats.runs,
+        stats.convergence_rate(),
+        stats.mean_steps,
+        stats.mean_messages,
+        stats.mean_dropped
+    );
+    Ok(())
+}
+
+fn cmd_figure(which: u8) {
+    let bounds = derive_bounds(&foundational_facts());
+    let cols = if which == 3 { CommModel::all_reliable() } else { CommModel::all_unreliable() };
+    println!("Figure {which} (computed from the foundational results):\n");
+    println!("{}", bounds.render(&cols));
+}
+
+fn run() -> Result<(), String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let usage = "usage: routelab <models|audit|solve|check|realize|simulate|fig3|fig4> …\n\
+                 run `routelab help` for details";
+    match args.first().map(String::as_str) {
+        Some("models") => cmd_models(),
+        Some("audit") => {
+            let inst = load_instance(args.get(1).ok_or(usage)?)?;
+            cmd_audit(&inst)?;
+        }
+        Some("solve") => {
+            let inst = load_instance(args.get(1).ok_or(usage)?)?;
+            cmd_solve(&inst)?;
+        }
+        Some("check") => {
+            let inst = load_instance(args.get(1).ok_or(usage)?)?;
+            let model = parse_model(args.get(2).ok_or(usage)?)?;
+            let witness = args.iter().any(|a| a == "--witness");
+            cmd_check(&inst, model, witness)?;
+        }
+        Some("realize") => {
+            let inst = load_instance(args.get(1).ok_or(usage)?)?;
+            let from = parse_model(args.get(2).ok_or(usage)?)?;
+            let to = parse_model(args.get(3).ok_or(usage)?)?;
+            let steps = args.get(4).and_then(|s| s.parse().ok()).unwrap_or(24);
+            cmd_realize(&inst, from, to, steps)?;
+        }
+        Some("simulate") => {
+            let inst = load_instance(args.get(1).ok_or(usage)?)?;
+            let model = parse_model(args.get(2).ok_or(usage)?)?;
+            let runs = args.get(3).and_then(|s| s.parse().ok()).unwrap_or(50);
+            cmd_simulate(&inst, model, runs)?;
+        }
+        Some("fig3") => cmd_figure(3),
+        Some("fig4") => cmd_figure(4),
+        Some("help") | None => {
+            println!("{usage}");
+            println!("\ninstances: DISAGREE FIG6 FIG7 FIG8 FIG9 BAD-GADGET GOOD-GADGET LINE2");
+            println!("           or a path to an `spp v1` file");
+            println!("models:    [RU][1ME][OSFA], e.g. RMS, R1O, REA");
+        }
+        Some(other) => return Err(format!("unknown subcommand {other:?}\n{usage}")),
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
