@@ -1,0 +1,34 @@
+//! Scaling of the run-level worker pool against the legacy one-thread-per-
+//! model grid on the full 24-model DISAGREE grid (the ISSUE's acceptance
+//! workload). Cells are wildly imbalanced, so the legacy strategy is bounded
+//! by its slowest cell while the pool keeps every worker busy; on a 4+ core
+//! machine `pool/t4` should beat `per_model_threads` by well over 2×. On a
+//! single-core machine the strategies tie — the numbers here are still
+//! useful as a regression baseline for the engine itself.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use routelab_core::model::CommModel;
+use routelab_sim::montecarlo::{run_grid_per_model_threads, run_grid_with, CellConfig};
+use routelab_sim::pool::PoolConfig;
+use routelab_spp::gadgets;
+
+fn bench_pool_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pool_scaling");
+    group.sample_size(10);
+    let inst = gadgets::disagree();
+    let models: Vec<CommModel> = CommModel::all();
+    let cfg = CellConfig { runs: 8, max_steps: 4_000, seed: 11, drop_prob: 0.25 };
+
+    group.bench_function("per_model_threads", |b| {
+        b.iter(|| run_grid_per_model_threads(&inst, &models, &cfg).len())
+    });
+    for threads in [1usize, 2, 4, 8] {
+        group.bench_with_input(BenchmarkId::new("pool", threads), &threads, |b, &t| {
+            b.iter(|| run_grid_with(&inst, &models, &cfg, &PoolConfig::with_threads(t)).len())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_pool_scaling);
+criterion_main!(benches);

@@ -149,8 +149,7 @@ pub fn derive_bounds(facts: &Facts) -> BoundsMatrix {
                 if lower_ab == 0 {
                     continue;
                 }
-                for ci in 0..n {
-                    let c = models[ci];
+                for &c in &models {
                     // Rule "push the tail": B ⊒ A (≥ s), C ⋣ A above u < s
                     // ⇒ C ⋣ B above u.
                     let upper_ac = m.get(a, c).upper;

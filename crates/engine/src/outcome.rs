@@ -5,7 +5,7 @@ use std::collections::HashMap;
 
 use routelab_spp::Route;
 
-use crate::runner::Runner;
+use crate::runner::{RunStats, Runner};
 use crate::schedule::Scheduler;
 
 /// The observed outcome of one concrete run.
@@ -41,6 +41,28 @@ pub enum RunOutcome {
         /// Steps executed.
         steps: usize,
     },
+}
+
+/// A verdict together with the runner's cumulative counters — the engine's
+/// per-run observability record (message/drop/step totals), consumed by the
+/// simulation layer's JSON reports.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DriveReport {
+    /// The verdict.
+    pub outcome: RunOutcome,
+    /// Steps executed and messages sent / consumed / dropped over the run.
+    pub stats: RunStats,
+}
+
+/// Like [`drive`], additionally snapshotting the runner's [`RunStats`] at
+/// the moment of the verdict.
+pub fn drive_report<S: Scheduler>(
+    runner: &mut Runner<'_>,
+    scheduler: &mut S,
+    max_steps: usize,
+) -> DriveReport {
+    let outcome = drive(runner, scheduler, max_steps);
+    DriveReport { outcome, stats: runner.stats() }
 }
 
 /// Drives `runner` with `scheduler` until a verdict or `max_steps`.
@@ -181,6 +203,18 @@ mod tests {
             RunOutcome::Converged { .. } => {} // d-first order could quiesce
             other => panic!("{other:?}"),
         }
+    }
+
+    #[test]
+    fn drive_report_exposes_counters() {
+        let inst = gadgets::good_gadget();
+        let mut runner = Runner::new(&inst);
+        let mut sched = RoundRobin::new(&inst, "RMS".parse().unwrap());
+        let report = drive_report(&mut runner, &mut sched, 10_000);
+        assert!(matches!(report.outcome, RunOutcome::Converged { .. }));
+        assert!(report.stats.sent > 0);
+        assert_eq!(report.stats.dropped, 0, "reliable model never drops");
+        assert_eq!(report.stats, runner.stats());
     }
 
     #[test]

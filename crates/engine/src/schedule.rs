@@ -299,7 +299,7 @@ impl RandomFair {
                 if self.rng.gen_bool(0.5) {
                     ChannelAction::read_all(c)
                 } else {
-                    ChannelAction::read_count(c, 1 + self.rng.gen_range(0..3))
+                    ChannelAction::read_count(c, 1 + self.rng.gen_range(0..3u32))
                 }
             }
             MessagePolicy::Some => match self.rng.gen_range(0..3) {
@@ -590,7 +590,7 @@ mod tests {
             for a in step.actions() {
                 let cid = idx.id(a.channel()).unwrap();
                 let drops_now =
-                    !a.is_lossless() && runner.state().queue(cid).len() > 0;
+                    !a.is_lossless() && !runner.state().queue(cid).is_empty();
                 if drops_now {
                     assert!(!last_was_drop[cid], "two consecutive drops on {cid}");
                 }

@@ -166,10 +166,10 @@ pub(crate) fn find_fair_scc(
     let index = ChannelIndex::new(inst.graph());
     let channel_count = index.len();
 
-    // Work items: (candidate state set, set of banned (state, edge idx)).
+    // Banned (state, edge idx) pairs accompanying a candidate state set.
+    type BannedEdges = std::collections::HashSet<(usize, usize)>;
     let all_nodes: Vec<usize> = (0..g.states.len()).collect();
-    let mut work: Vec<(Vec<usize>, std::collections::HashSet<(usize, usize)>)> =
-        vec![(all_nodes, std::collections::HashSet::new())];
+    let mut work: Vec<(Vec<usize>, BannedEdges)> = vec![(all_nodes, BannedEdges::new())];
 
     while let Some((nodes, banned)) = work.pop() {
         let edge_ok = |s: usize, ei: usize| !banned.contains(&(s, ei));

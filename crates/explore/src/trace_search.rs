@@ -167,9 +167,12 @@ pub fn search(
     }
 }
 
+/// A search node: the network state plus the search's own position counter.
+type SearchKey = (NetworkState, usize);
+
 fn reconstruct(
-    parent: &HashMap<(NetworkState, usize), Option<((NetworkState, usize), ActivationStep)>>,
-    mut key: (NetworkState, usize),
+    parent: &HashMap<SearchKey, Option<(SearchKey, ActivationStep)>>,
+    mut key: SearchKey,
 ) -> ActivationSeq {
     let mut seq = Vec::new();
     while let Some(Some((prev, step))) = parent.get(&key) {

@@ -376,9 +376,9 @@ pub fn flag_r1s_to_r1o(
         // Invariant: on every channel the flagged messages of the R1O run
         // mirror the R1S channel contents one for one.
         if lossless && cfg!(debug_assertions) {
-            for c in 0..index.len() {
+            for (c, channel_flags) in flags.iter().enumerate().take(index.len()) {
                 debug_assert_eq!(
-                    flags[c].iter().filter(|&&f| f).count(),
+                    channel_flags.iter().filter(|&&f| f).count(),
                     s_sim.state().queue(c).len(),
                     "flag bookkeeping broken on channel {c} after step {t}"
                 );

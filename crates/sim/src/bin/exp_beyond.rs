@@ -1,5 +1,10 @@
 //! Experiment E14 (extension): resolve blank Figure 3/4 cells by combining
 //! exhaustive verdicts on DISAGREE with the Sec. 3.4 closure.
+//!
+//! Prints the text report and writes `results/exp-beyond.json` (schema in
+//! EXPERIMENTS.md).
+
+use std::time::Instant;
 
 use routelab_core::closure::derive_bounds;
 use routelab_core::edges::foundational_facts;
@@ -7,9 +12,11 @@ use routelab_core::model::CommModel;
 use routelab_core::paper::{compare, figure3, figure4, CellVerdict};
 use routelab_explore::graph::ExploreConfig;
 use routelab_sim::beyond::{disagree_separations, extended_bounds, newly_determined};
+use routelab_sim::report::{write_json, Json};
 use routelab_sim::table::Table;
 
 fn main() {
+    let t0 = Instant::now();
     let cfg = ExploreConfig::default();
     println!("harvesting exhaustive verdicts for all 24 models on DISAGREE…");
     let seps = disagree_separations(&cfg);
@@ -29,6 +36,7 @@ fn main() {
     println!("{}", extended.render(&CommModel::all_unreliable()));
 
     // Show exactly which formerly-blank published cells are now decided.
+    let mut tightened: Vec<(CommModel, CommModel, String, String)> = Vec::new();
     let mut table = Table::new(vec![
         "realized".into(),
         "realizer".into(),
@@ -41,6 +49,7 @@ fn main() {
                 let Some(published) = paper_table.get(a, b) else { continue };
                 let now = extended.get(a, b);
                 if now.refines(published) && now != published {
+                    tightened.push((a, b, published.token(), now.token()));
                     table.row(vec![
                         a.to_string(),
                         b.to_string(),
@@ -66,5 +75,47 @@ fn main() {
     println!("\ncaveat: for O/F-policy unreliable models the convergence verdicts use the");
     println!("strict reading of Definition 2.4 drop fairness; for A-policy models (U1A,");
     println!("UMA, UEA) the readings coincide, so those -1 entries are unconditional.");
+
+    let json = Json::obj([
+        ("experiment", Json::str("beyond")),
+        ("wall_ms", Json::Num(t0.elapsed().as_secs_f64() * 1e3)),
+        ("separations", Json::int(seps.len())),
+        (
+            "facts",
+            Json::obj([
+                ("positives", Json::int(facts.positives.len())),
+                ("negatives", Json::int(facts.negatives.len())),
+                (
+                    "empirical_negatives",
+                    Json::int(facts.negatives.len() - foundational_facts().negatives.len()),
+                ),
+            ]),
+        ),
+        ("newly_determined", Json::int(newly_determined(&base, &extended))),
+        (
+            "tightened_published_cells",
+            Json::Arr(
+                tightened
+                    .iter()
+                    .map(|(a, b, published, now)| {
+                        Json::obj([
+                            ("realized", Json::str(a.to_string())),
+                            ("realizer", Json::str(b.to_string())),
+                            ("published", Json::str(published.clone())),
+                            ("now", Json::str(now.clone())),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        ("consistent_with_published", Json::Bool(ok)),
+    ]);
+    match write_json("exp-beyond", &json) {
+        Ok(p) => println!("wrote {}", p.display()),
+        Err(e) => {
+            eprintln!("error writing JSON results: {e}");
+            std::process::exit(2);
+        }
+    }
     std::process::exit(if ok { 0 } else { 1 });
 }

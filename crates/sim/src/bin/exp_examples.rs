@@ -118,11 +118,10 @@ fn search_claim(
     let cfg =
         ExploreConfig { channel_cap: 6, max_states: 2_000_000, max_steps_per_state: 50_000 };
     let res = search(&run.instance, model.parse().expect("model"), &target, goal, &cfg);
-    let ok = match (&res, expect_found) {
-        (SearchResult::Found(_), true) => true,
-        (SearchResult::Impossible { .. }, false) => true,
-        _ => false,
-    };
+    let ok = matches!(
+        (&res, expect_found),
+        (SearchResult::Found(_), true) | (SearchResult::Impossible { .. }, false)
+    );
     let shown = match &res {
         SearchResult::Found(seq) => format!("FOUND ({} steps)", seq.len()),
         SearchResult::Impossible { visited } => {

@@ -2,20 +2,43 @@
 //! randomized fair schedules across communication models and instance
 //! families — dispute-wheel-carrying gadgets, wheel-free Gao–Rexford
 //! topologies, and random policies.
+//!
+//! Usage: `exp_montecarlo [runs] [--threads N]`. Prints text tables and
+//! writes `results/exp-montecarlo.json` (full report) plus
+//! `results/BENCH_montecarlo.json` (throughput summary); see EXPERIMENTS.md
+//! for the schema.
+
+use std::time::Instant;
 
 use routelab_core::model::CommModel;
-use routelab_sim::montecarlo::{run_grid, CellConfig};
+use routelab_sim::montecarlo::{try_run_grid_with, CellConfig, CellReport};
+use routelab_sim::pool::PoolConfig;
+use routelab_sim::report::{write_json, GroupReport, RunReport};
 use routelab_sim::table::Table;
 use routelab_spp::generator::{gao_rexford_instance, random_instance, RandomSppConfig};
 use routelab_spp::{dispute, gadgets, SppInstance};
 
-fn report(name: &str, inst: &SppInstance, models: &[CommModel], cfg: &CellConfig) {
-    let wheel = if dispute::is_wheel_free(inst) { "wheel-free" } else { "has dispute wheel" };
+fn report(
+    name: &str,
+    inst: &SppInstance,
+    models: &[CommModel],
+    cfg: &CellConfig,
+    pool: &PoolConfig,
+) -> GroupReport {
+    let wheel_free = dispute::is_wheel_free(inst);
+    let wheel = if wheel_free { "wheel-free" } else { "has dispute wheel" };
     println!(
         "== {name}: {} nodes, {} edges, {wheel} ==",
         inst.node_count(),
         inst.graph().edge_count()
     );
+    let cells: Vec<CellReport> = match try_run_grid_with(inst, models, cfg, pool) {
+        Ok(cells) => cells,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
     let mut table = Table::new(vec![
         "model".into(),
         "conv rate".into(),
@@ -25,9 +48,10 @@ fn report(name: &str, inst: &SppInstance, models: &[CommModel], cfg: &CellConfig
         "mean msgs".into(),
         "mean drops".into(),
     ]);
-    for (m, stats) in run_grid(inst, models, cfg) {
+    for c in &cells {
+        let stats = &c.stats;
         table.row(vec![
-            m.to_string(),
+            c.model.to_string(),
             format!("{:.2}", stats.convergence_rate()),
             format!("{:.2}", stats.converged_unfairly as f64 / stats.runs.max(1) as f64),
             format!("{:.2}", stats.stable_outcome as f64 / stats.runs.max(1) as f64),
@@ -37,29 +61,48 @@ fn report(name: &str, inst: &SppInstance, models: &[CommModel], cfg: &CellConfig
         ]);
     }
     println!("{table}");
+    GroupReport::new(name, inst, wheel_free, cells)
 }
 
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    let runs = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(40);
+    let t0 = Instant::now();
+    let mut runs = 40usize;
+    let mut pool = PoolConfig::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        if arg == "--threads" {
+            let n = args
+                .next()
+                .and_then(|s| s.parse().ok())
+                .unwrap_or_else(|| panic!("--threads needs a positive integer"));
+            pool = PoolConfig::with_threads(n);
+        } else if let Ok(n) = arg.parse() {
+            runs = n;
+        } else {
+            eprintln!("usage: exp_montecarlo [runs] [--threads N]");
+            std::process::exit(2);
+        }
+    }
     let cfg = CellConfig { runs, max_steps: 30_000, seed: 42, drop_prob: 0.25 };
     let models: Vec<CommModel> = ["R1O", "REO", "RMS", "UMS", "R1A", "RMA", "REA", "U1O"]
         .iter()
         .map(|s| s.parse().expect("model"))
         .collect();
 
-    report("DISAGREE", &gadgets::disagree(), &models, &cfg);
-    report("BAD-GADGET", &gadgets::bad_gadget(), &models, &cfg);
-    report("GOOD-GADGET", &gadgets::good_gadget(), &models, &cfg);
-    report("FIG6", &gadgets::fig6(), &models, &cfg);
+    let mut groups = vec![
+        report("DISAGREE", &gadgets::disagree(), &models, &cfg, &pool),
+        report("BAD-GADGET", &gadgets::bad_gadget(), &models, &cfg, &pool),
+        report("GOOD-GADGET", &gadgets::good_gadget(), &models, &cfg, &pool),
+        report("FIG6", &gadgets::fig6(), &models, &cfg, &pool),
+    ];
 
     for n in [8, 16] {
         let gr = gao_rexford_instance(n, 7, 6, 5).expect("generator");
-        report(&format!("GAO-REXFORD n={n}"), &gr, &models, &cfg);
+        groups.push(report(&format!("GAO-REXFORD n={n}"), &gr, &models, &cfg, &pool));
     }
     let rnd = random_instance(&RandomSppConfig { nodes: 10, seed: 5, ..Default::default() })
         .expect("generator");
-    report("RANDOM n=10", &rnd, &models, &cfg);
+    groups.push(report("RANDOM n=10", &rnd, &models, &cfg, &pool));
 
     println!("interpretation: wheel-free instances must show conv rate 1.00 in every model;");
     println!("instances with a dispute wheel converge under randomized fair schedules with");
@@ -70,4 +113,21 @@ fn main() {
     println!("lossy network can appear to 'solve' even the unsolvable BAD-GADGET); 'stable");
     println!("outcome' is the fraction of quiescent runs (fair or not) whose final assignment");
     println!("is actually a stable solution of the instance.");
+
+    let run_report = RunReport {
+        experiment: "montecarlo".into(),
+        threads: pool.resolved_threads(),
+        config: cfg,
+        groups,
+        wall: t0.elapsed(),
+    };
+    match write_json("exp-montecarlo", &run_report.to_json())
+        .and_then(|p| write_json("BENCH_montecarlo", &run_report.bench_json()).map(|b| (p, b)))
+    {
+        Ok((p, b)) => println!("wrote {} and {}", p.display(), b.display()),
+        Err(e) => {
+            eprintln!("error writing JSON results: {e}");
+            std::process::exit(2);
+        }
+    }
 }

@@ -2,28 +2,84 @@
 //! and every one of the 24 models, can a fair activation sequence fail to
 //! converge? Exhaustive verdicts on probe models transfer along the
 //! realization lattice, exactly as the paper argues in Sec. 3.5.
+//!
+//! Budgets are per gadget: FIG6 gets the full 1.5M-state cap its polling
+//! convergence proofs need (R1A/RMA are exhaustive at ~654k states, about
+//! 80 s each on one core); every other gadget decides its probes well under
+//! a 250k cap. Phase-2 direct checks of the unreliable `M`/`E`-scope models
+//! are pinned to 25k states — enough to settle DISAGREE and GOOD-GADGET
+//! exhaustively, while the wheel-carrying gadgets would need >1M states
+//! (minutes and gigabytes each) only to stay open, so they honestly print
+//! `?` instead.
+//!
+//! Prints the text table and writes `results/exp-survey.json` (schema in
+//! EXPERIMENTS.md).
+
+use std::time::Instant;
 
 use routelab_explore::graph::ExploreConfig;
+use routelab_sim::report::{write_json, Json};
 use routelab_sim::survey::{survey_instance, SurveyConfig, SurveyOutcome};
 use routelab_sim::table::Table;
 use routelab_spp::gadgets;
 
-fn main() {
-    let corpus = gadgets::corpus();
-    let cfg = SurveyConfig {
-        explore: ExploreConfig {
-            channel_cap: 3,
-            max_states: 1_500_000,
-            max_steps_per_state: 20_000,
-        },
-        ..SurveyConfig::default()
+/// Probe-state budget for one gadget. Only FIG6 needs more than a quarter
+/// million states: Thm 3.9's R1A/RMA convergence proofs are exhaustive at
+/// 654,312 states under channel cap 3.
+fn probe_budget(gadget: &str) -> usize {
+    if gadget == "FIG6" {
+        1_500_000
+    } else {
+        250_000
+    }
+}
+
+/// Phase-2 budget for the direct checks of lattice-undecided models.
+const DIRECT_BUDGET: usize = 25_000;
+
+fn outcome_json(o: &SurveyOutcome) -> Json {
+    let (verdict, via) = match o {
+        SurveyOutcome::Oscillates { via } => ("oscillates", via),
+        SurveyOutcome::Converges { via } => ("converges", via),
+        SurveyOutcome::Unknown => ("unknown", &None),
     };
+    Json::obj([
+        ("verdict", Json::str(verdict)),
+        ("via", via.map_or(Json::Null, |p| Json::str(p.to_string()))),
+    ])
+}
+
+fn main() {
+    let t0 = Instant::now();
+    let corpus = gadgets::corpus();
+
+    let mut surveys = Vec::with_capacity(corpus.len());
+    let mut gadget_walls = Vec::with_capacity(corpus.len());
+    for (name, inst) in &corpus {
+        let cfg = SurveyConfig {
+            explore: ExploreConfig {
+                channel_cap: 3,
+                max_states: probe_budget(name),
+                max_steps_per_state: 20_000,
+            },
+            direct_budget: Some(DIRECT_BUDGET),
+            ..SurveyConfig::default()
+        };
+        let g0 = Instant::now();
+        print!("surveying {name} (probe budget {} states) ... ", cfg.explore.max_states);
+        use std::io::Write as _;
+        std::io::stdout().flush().ok();
+        surveys.push(survey_instance(inst, &cfg));
+        let wall = g0.elapsed();
+        println!("done in {:.1} s", wall.as_secs_f64());
+        gadget_walls.push(wall);
+    }
+    println!();
 
     let mut header = vec!["model".to_string()];
     header.extend(corpus.iter().map(|(n, _)| n.to_string()));
     let mut table = Table::new(header);
 
-    let surveys: Vec<_> = corpus.iter().map(|(_, inst)| survey_instance(inst, &cfg)).collect();
     let models = routelab_core::model::CommModel::all();
     for (i, model) in models.iter().enumerate() {
         let mut row = vec![model.to_string()];
@@ -61,5 +117,62 @@ fn main() {
         ok &= matches!(find("FIG6", m), SurveyOutcome::Converges { .. });
     }
     println!("paper separations (Thm 3.8, Thm 3.9): {}", if ok { "REPRODUCED" } else { "MISMATCH" });
+
+    let json = Json::obj([
+        ("experiment", Json::str("survey")),
+        ("wall_ms", Json::Num(t0.elapsed().as_secs_f64() * 1e3)),
+        (
+            "config",
+            Json::obj([
+                ("channel_cap", Json::int(3)),
+                ("max_steps_per_state", Json::int(20_000)),
+                ("direct_budget", Json::int(DIRECT_BUDGET)),
+            ]),
+        ),
+        (
+            "gadgets",
+            Json::Arr(
+                corpus
+                    .iter()
+                    .zip(&gadget_walls)
+                    .map(|((n, _), wall)| {
+                        Json::obj([
+                            ("name", Json::str(*n)),
+                            ("probe_budget", Json::int(probe_budget(n))),
+                            ("wall_ms", Json::Num(wall.as_secs_f64() * 1e3)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        (
+            "models",
+            Json::Arr(
+                models
+                    .iter()
+                    .enumerate()
+                    .map(|(i, model)| {
+                        Json::obj([
+                            ("model", Json::str(model.to_string())),
+                            (
+                                "cells",
+                                Json::Arr(
+                                    surveys.iter().map(|s| outcome_json(&s[i].outcome)).collect(),
+                                ),
+                            ),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        ("separations_reproduced", Json::Bool(ok)),
+    ]);
+    match write_json("exp-survey", &json) {
+        Ok(p) => println!("wrote {}", p.display()),
+        Err(e) => {
+            eprintln!("error writing JSON results: {e}");
+            std::process::exit(2);
+        }
+    }
     std::process::exit(if ok { 0 } else { 1 });
 }

@@ -7,7 +7,11 @@
 //!   (exhaustive model checking combined with realization transfer, exactly
 //!   the paper's Sec. 3.5 reasoning),
 //! * [`montecarlo`] — randomized-schedule convergence statistics across
-//!   models and instance families (the E11 extension experiment).
+//!   models and instance families (the E11 extension experiment),
+//! * [`pool`] — the deterministic run-level worker pool executing those
+//!   statistics (bit-identical results for every worker count),
+//! * [`report`] — machine-readable JSON reports (`results/*.json`) layered
+//!   over the text tables.
 //!
 //! # Example
 //!
@@ -26,9 +30,13 @@
 
 pub mod beyond;
 pub mod montecarlo;
+pub mod pool;
+pub mod report;
 pub mod survey;
 pub mod table;
 
 pub use montecarlo::{run_cell, run_grid, CellConfig, CellStats};
+pub use pool::PoolConfig;
+pub use report::{Json, RunReport};
 pub use survey::{survey_instance, SurveyEntry, SurveyOutcome};
 pub use table::Table;

@@ -5,14 +5,23 @@
 //! how many messages it spends. Instances without a dispute wheel must show
 //! 100 % convergence in every model; instances with one separate the models
 //! the way the paper's taxonomy predicts.
+//!
+//! Execution decomposes into run-granularity jobs — run `i` of a cell is a
+//! pure function of `(instance, model, run_seed(cfg.seed, i))` — scheduled
+//! on the shared [`pool`](crate::pool) and merged back in run order, so a
+//! grid's statistics are bit-identical for every worker count.
 
-use crossbeam::thread;
+use std::fmt;
+use std::time::{Duration, Instant};
+
 use routelab_core::model::CommModel;
-use routelab_spp::solve::is_stable;
-use routelab_engine::outcome::{drive, RunOutcome};
+use routelab_engine::outcome::{drive_report, RunOutcome};
 use routelab_engine::runner::Runner;
 use routelab_engine::schedule::RandomFair;
+use routelab_spp::solve::is_stable;
 use routelab_spp::SppInstance;
+
+use crate::pool::{self, PoolConfig};
 
 /// Configuration of one experiment cell (instance × model).
 #[derive(Debug, Clone, Copy)]
@@ -21,7 +30,7 @@ pub struct CellConfig {
     pub runs: usize,
     /// Step budget per run.
     pub max_steps: usize,
-    /// Base RNG seed (run `i` uses `seed + i`).
+    /// Base RNG seed (run `i` uses [`run_seed`]`(seed, i)`).
     pub seed: u64,
     /// Per-read drop probability for unreliable models.
     pub drop_prob: f64,
@@ -31,6 +40,40 @@ impl Default for CellConfig {
     fn default() -> Self {
         CellConfig { runs: 50, max_steps: 20_000, seed: 0, drop_prob: 0.25 }
     }
+}
+
+/// The RNG seed of run `run` within a cell with base seed `base`.
+///
+/// Within one cell the derived seeds are pairwise distinct for any
+/// `runs ≤ 2⁶⁴` (wrapping addition of distinct offsets), so no two runs of a
+/// cell ever share a schedule.
+pub fn run_seed(base: u64, run: usize) -> u64 {
+    base.wrapping_add(run as u64)
+}
+
+/// Everything one randomized run produces — the unit merged into
+/// [`CellStats`], and the engine-level observability record (wall-clock and
+/// message counters) feeding the JSON reports.
+#[derive(Debug, Clone, Copy)]
+pub struct RunRecord {
+    /// Run index within the cell.
+    pub run: usize,
+    /// Reached quiescence along a fair prefix.
+    pub converged: bool,
+    /// Reached quiescence only by unfairly dropping a final message.
+    pub converged_unfairly: bool,
+    /// Steps to convergence (meaningful when `converged`).
+    pub steps_to_convergence: usize,
+    /// The final assignment is a stable path assignment (quiescent runs).
+    pub stable_outcome: bool,
+    /// Steps actually executed (all runs).
+    pub executed_steps: usize,
+    /// Messages sent.
+    pub sent: usize,
+    /// Messages dropped.
+    pub dropped: usize,
+    /// Wall-clock time of this run.
+    pub wall: Duration,
 }
 
 /// Aggregated results of one cell.
@@ -65,63 +108,220 @@ impl CellStats {
             self.converged as f64 / self.runs as f64
         }
     }
-}
 
-/// Runs one cell sequentially.
-pub fn run_cell(inst: &SppInstance, model: CommModel, cfg: &CellConfig) -> CellStats {
-    let mut stats = CellStats { runs: cfg.runs, ..CellStats::default() };
-    let mut steps_sum = 0usize;
-    for i in 0..cfg.runs {
-        let mut runner = Runner::new(inst);
-        let mut sched =
-            RandomFair::new(inst, model, cfg.seed.wrapping_add(i as u64))
-                .with_drop_prob(cfg.drop_prob);
-        match drive(&mut runner, &mut sched, cfg.max_steps) {
-            RunOutcome::Converged { steps, assignment } => {
-                if runner.has_dangling_drops() {
-                    stats.converged_unfairly += 1;
-                } else {
-                    stats.converged += 1;
-                    steps_sum += steps;
-                }
-                if is_stable(inst, &assignment) {
-                    stats.stable_outcome += 1;
-                }
+    /// Folds per-run records (in run order) into cell statistics. The fold
+    /// order is fixed, so the result is independent of which worker
+    /// produced which record.
+    pub fn from_records(records: &[RunRecord]) -> CellStats {
+        let mut stats = CellStats { runs: records.len(), ..CellStats::default() };
+        let mut steps_sum = 0usize;
+        for r in records {
+            if r.converged {
+                stats.converged += 1;
+                steps_sum += r.steps_to_convergence;
             }
-            RunOutcome::CycleDetected { .. }
-            | RunOutcome::StepLimit { .. }
-            | RunOutcome::ScheduleExhausted { .. } => {}
+            if r.converged_unfairly {
+                stats.converged_unfairly += 1;
+            }
+            if r.stable_outcome {
+                stats.stable_outcome += 1;
+            }
+            stats.mean_messages += r.sent as f64;
+            stats.mean_dropped += r.dropped as f64;
         }
-        stats.mean_messages += runner.stats().sent as f64;
-        stats.mean_dropped += runner.stats().dropped as f64;
+        if stats.converged > 0 {
+            stats.mean_steps = steps_sum as f64 / stats.converged as f64;
+        }
+        if stats.runs > 0 {
+            stats.mean_messages /= stats.runs as f64;
+            stats.mean_dropped /= stats.runs as f64;
+        }
+        stats
     }
-    if stats.converged > 0 {
-        stats.mean_steps = steps_sum as f64 / stats.converged as f64;
-    }
-    if cfg.runs > 0 {
-        stats.mean_messages /= cfg.runs as f64;
-        stats.mean_dropped /= cfg.runs as f64;
-    }
-    stats
 }
 
-/// Runs a grid of cells (one per model) in parallel with scoped threads.
+/// Executes run `run` of one cell: a pure function of its arguments.
+pub fn run_one(inst: &SppInstance, model: CommModel, cfg: &CellConfig, run: usize) -> RunRecord {
+    let t0 = Instant::now();
+    let mut runner = Runner::new(inst);
+    let mut sched = RandomFair::new(inst, model, run_seed(cfg.seed, run))
+        .with_drop_prob(cfg.drop_prob);
+    let report = drive_report(&mut runner, &mut sched, cfg.max_steps);
+    let mut rec = RunRecord {
+        run,
+        converged: false,
+        converged_unfairly: false,
+        steps_to_convergence: 0,
+        stable_outcome: false,
+        executed_steps: report.stats.steps,
+        sent: report.stats.sent,
+        dropped: report.stats.dropped,
+        wall: Duration::ZERO,
+    };
+    if let RunOutcome::Converged { steps, assignment } = report.outcome {
+        if runner.has_dangling_drops() {
+            rec.converged_unfairly = true;
+        } else {
+            rec.converged = true;
+            rec.steps_to_convergence = steps;
+        }
+        rec.stable_outcome = is_stable(inst, &assignment);
+    }
+    rec.wall = t0.elapsed();
+    rec
+}
+
+/// Runs one cell sequentially on the calling thread.
+pub fn run_cell(inst: &SppInstance, model: CommModel, cfg: &CellConfig) -> CellStats {
+    let records: Vec<RunRecord> =
+        (0..cfg.runs).map(|i| run_one(inst, model, cfg, i)).collect();
+    CellStats::from_records(&records)
+}
+
+/// One cell's statistics plus execution observability: wall-clock (summed
+/// over the cell's runs, so it is CPU-time-like and comparable across
+/// worker counts) and raw step/message totals.
+#[derive(Debug, Clone, Copy)]
+pub struct CellReport {
+    /// The communication model of this cell.
+    pub model: CommModel,
+    /// Deterministic aggregate statistics.
+    pub stats: CellStats,
+    /// Total time spent executing this cell's runs.
+    pub wall: Duration,
+    /// Steps executed across all runs.
+    pub total_steps: usize,
+    /// Messages sent across all runs.
+    pub total_sent: usize,
+    /// Messages dropped across all runs.
+    pub total_dropped: usize,
+}
+
+impl CellReport {
+    /// Simulation throughput of this cell in engine steps per second.
+    pub fn steps_per_sec(&self) -> f64 {
+        let secs = self.wall.as_secs_f64();
+        if secs > 0.0 {
+            self.total_steps as f64 / secs
+        } else {
+            0.0
+        }
+    }
+
+    fn from_records(model: CommModel, records: &[RunRecord]) -> CellReport {
+        CellReport {
+            model,
+            stats: CellStats::from_records(records),
+            wall: records.iter().map(|r| r.wall).sum(),
+            total_steps: records.iter().map(|r| r.executed_steps).sum(),
+            total_sent: records.iter().map(|r| r.sent).sum(),
+            total_dropped: records.iter().map(|r| r.dropped).sum(),
+        }
+    }
+}
+
+/// A simulation run that panicked, located by cell and seed so the
+/// diverging run is reproducible: rerun with `RandomFair::new(inst, model,
+/// seed)` under the same configuration.
+#[derive(Debug)]
+pub struct GridError {
+    /// Model of the failing cell.
+    pub model: CommModel,
+    /// Run index within the cell.
+    pub run: usize,
+    /// The exact scheduler seed of the failing run.
+    pub seed: u64,
+    /// Rendered panic payload.
+    pub panic: String,
+}
+
+impl fmt::Display for GridError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "simulation run panicked in cell model={} run={} (scheduler seed {}): {}",
+            self.model, self.run, self.seed, self.panic
+        )
+    }
+}
+
+impl std::error::Error for GridError {}
+
+/// Runs a grid of cells (one per model) on the shared worker pool,
+/// decomposed into run-granularity jobs; results are merged in `(cell,
+/// run)` order and are bit-identical for every worker count.
+///
+/// # Errors
+///
+/// Returns a [`GridError`] naming the cell `(model, seed)` and run of the
+/// earliest panicking job.
+pub fn try_run_grid_with(
+    inst: &SppInstance,
+    models: &[CommModel],
+    cfg: &CellConfig,
+    pool_cfg: &PoolConfig,
+) -> Result<Vec<CellReport>, GridError> {
+    let runs = cfg.runs;
+    let jobs = models.len() * runs;
+    let records = pool::execute(jobs, pool_cfg.resolved_threads(), &|job| {
+        run_one(inst, models[job / runs], cfg, job % runs)
+    })
+    .map_err(|p| GridError {
+        model: models[p.job / runs],
+        run: p.job % runs,
+        seed: run_seed(cfg.seed, p.job % runs),
+        panic: p.message,
+    })?;
+    Ok(models
+        .iter()
+        .enumerate()
+        .map(|(c, &m)| CellReport::from_records(m, &records[c * runs..(c + 1) * runs]))
+        .collect())
+}
+
+/// [`try_run_grid_with`] without the observability wrapper, panicking (with
+/// the failing cell named) on a diverging run.
+pub fn run_grid_with(
+    inst: &SppInstance,
+    models: &[CommModel],
+    cfg: &CellConfig,
+    pool_cfg: &PoolConfig,
+) -> Vec<(CommModel, CellStats)> {
+    match try_run_grid_with(inst, models, cfg, pool_cfg) {
+        Ok(cells) => cells.into_iter().map(|c| (c.model, c.stats)).collect(),
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// Runs a grid of cells with default pool sizing (the `ROUTELAB_THREADS`
+/// environment variable, else all available cores).
 pub fn run_grid(
     inst: &SppInstance,
     models: &[CommModel],
     cfg: &CellConfig,
 ) -> Vec<(CommModel, CellStats)> {
+    run_grid_with(inst, models, cfg, &PoolConfig::default())
+}
+
+/// The seed strategy this engine replaced: one scoped thread per model,
+/// each running its whole cell. Kept for the pool-scaling benchmark — cells
+/// are imbalanced, so this leaves workers idle while the slowest cell
+/// finishes.
+pub fn run_grid_per_model_threads(
+    inst: &SppInstance,
+    models: &[CommModel],
+    cfg: &CellConfig,
+) -> Vec<(CommModel, CellStats)> {
     let mut out: Vec<(CommModel, CellStats)> = Vec::with_capacity(models.len());
-    thread::scope(|s| {
+    std::thread::scope(|s| {
         let handles: Vec<_> = models
             .iter()
-            .map(|&m| s.spawn(move |_| (m, run_cell(inst, m, cfg))))
+            .map(|&m| s.spawn(move || (m, run_cell(inst, m, cfg))))
             .collect();
         for h in handles {
             out.push(h.join().expect("simulation thread panicked"));
         }
-    })
-    .expect("crossbeam scope");
+    });
     out
 }
 
@@ -207,6 +407,35 @@ mod tests {
     }
 
     #[test]
+    fn grid_matches_legacy_per_model_strategy() {
+        let inst = gadgets::disagree();
+        let models: Vec<CommModel> =
+            ["R1O", "RMS", "UMS"].iter().map(|s| s.parse().unwrap()).collect();
+        assert_eq!(
+            run_grid(&inst, &models, &quick()),
+            run_grid_per_model_threads(&inst, &models, &quick())
+        );
+    }
+
+    #[test]
+    fn cell_reports_carry_observability() {
+        let inst = gadgets::good_gadget();
+        let models: Vec<CommModel> = vec!["RMS".parse().unwrap(), "UMS".parse().unwrap()];
+        let cells =
+            try_run_grid_with(&inst, &models, &quick(), &PoolConfig::with_threads(2))
+                .expect("no panics");
+        for c in &cells {
+            assert!(c.total_steps > 0);
+            assert!(c.total_sent > 0);
+            assert!(c.wall > Duration::ZERO);
+            assert!(c.steps_per_sec() > 0.0);
+        }
+        // Only the unreliable cell drops.
+        assert_eq!(cells[0].total_dropped, 0);
+        assert!(cells[1].total_dropped > 0);
+    }
+
+    #[test]
     fn unreliable_runs_record_drops() {
         let inst = gadgets::good_gadget();
         let stats = run_cell(&inst, "UMS".parse().unwrap(), &quick());
@@ -220,5 +449,12 @@ mod tests {
         let s = CellStats { runs: 10, converged: 7, ..CellStats::default() };
         assert!((s.convergence_rate() - 0.7).abs() < 1e-9);
         assert_eq!(CellStats::default().convergence_rate(), 0.0);
+    }
+
+    #[test]
+    fn run_seed_is_offset_addition() {
+        assert_eq!(run_seed(10, 0), 10);
+        assert_eq!(run_seed(10, 5), 15);
+        assert_eq!(run_seed(u64::MAX, 1), 0); // wraps, still distinct within a cell
     }
 }

@@ -1,0 +1,204 @@
+//! A deterministic, self-scheduling worker pool for experiment jobs.
+//!
+//! The Monte-Carlo grids decompose into many independent jobs (one per
+//! `(cell, run)` pair). Cells are wildly imbalanced — unreliable-model cells
+//! run an order of magnitude longer than reliable ones — so assigning one
+//! thread per *cell* (the seed implementation) leaves most workers idle
+//! while the U-model thread grinds on. This pool instead has every worker
+//! pull the next unclaimed *job* from a shared atomic counter
+//! (self-scheduling: the idle worker steals whatever work is left), and
+//! writes each result into a per-job slot. Merging slots in job-index order
+//! makes the final aggregate **bit-identical regardless of thread count**:
+//! parallelism only changes who computes a result, never the order in which
+//! results are combined.
+//!
+//! Worker panics are caught per job and reported with the job index, so a
+//! diverging simulation names its cell instead of surfacing as an anonymous
+//! "thread panicked".
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Environment variable overriding the worker count (like
+/// `RAYON_NUM_THREADS`); an explicit [`PoolConfig::with_threads`] wins.
+pub const THREADS_ENV: &str = "ROUTELAB_THREADS";
+
+/// Worker-pool sizing.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PoolConfig {
+    /// Explicit worker count; `None` falls back to [`THREADS_ENV`], then to
+    /// the machine's available parallelism.
+    pub threads: Option<usize>,
+}
+
+impl PoolConfig {
+    /// A pool pinned to exactly `n` workers (`n` is clamped to ≥ 1).
+    pub fn with_threads(n: usize) -> Self {
+        PoolConfig { threads: Some(n.max(1)) }
+    }
+
+    /// The worker count this configuration resolves to.
+    pub fn resolved_threads(&self) -> usize {
+        if let Some(n) = self.threads {
+            return n.max(1);
+        }
+        if let Some(n) = std::env::var(THREADS_ENV).ok().and_then(|s| s.parse::<usize>().ok()) {
+            if n >= 1 {
+                return n;
+            }
+        }
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    }
+}
+
+/// A job that panicked, with the panic payload rendered to text.
+#[derive(Debug)]
+pub struct JobPanic {
+    /// Index of the failing job.
+    pub job: usize,
+    /// The panic payload (`&str`/`String` payloads verbatim).
+    pub message: String,
+}
+
+fn payload_to_string(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Runs `jobs` invocations of `run` on up to `threads` workers and returns
+/// the results in job-index order.
+///
+/// On a panic inside `run`, in-flight jobs finish, no further jobs start,
+/// and the panic with the **smallest job index** is returned — so the
+/// reported failure is independent of scheduling.
+///
+/// # Errors
+///
+/// Returns the earliest [`JobPanic`] when any job panicked.
+pub fn execute<T, F>(jobs: usize, threads: usize, run: &F) -> Result<Vec<T>, JobPanic>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    if jobs == 0 {
+        return Ok(Vec::new());
+    }
+    let threads = threads.clamp(1, jobs);
+    if threads == 1 {
+        // Inline fast path: no worker threads, same merge order.
+        let mut out = Vec::with_capacity(jobs);
+        for i in 0..jobs {
+            match catch_unwind(AssertUnwindSafe(|| run(i))) {
+                Ok(v) => out.push(v),
+                Err(p) => return Err(JobPanic { job: i, message: payload_to_string(p) }),
+            }
+        }
+        return Ok(out);
+    }
+
+    // Mutex, not OnceLock: a slot is written exactly once and only read
+    // after the scope joins, and Mutex<Option<T>> needs just T: Send.
+    let slots: Vec<Mutex<Option<T>>> = (0..jobs).map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    let abort = AtomicBool::new(false);
+    let failure: Mutex<Option<JobPanic>> = Mutex::new(None);
+
+    std::thread::scope(|s| {
+        for _ in 0..threads {
+            s.spawn(|| loop {
+                if abort.load(Ordering::Relaxed) {
+                    break;
+                }
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= jobs {
+                    break;
+                }
+                match catch_unwind(AssertUnwindSafe(|| run(i))) {
+                    Ok(v) => {
+                        *slots[i].lock().expect("slot mutex") = Some(v);
+                    }
+                    Err(p) => {
+                        abort.store(true, Ordering::Relaxed);
+                        let candidate = JobPanic { job: i, message: payload_to_string(p) };
+                        let mut slot = failure.lock().expect("failure mutex");
+                        match slot.as_ref() {
+                            Some(prev) if prev.job <= candidate.job => {}
+                            _ => *slot = Some(candidate),
+                        }
+                    }
+                }
+            });
+        }
+    });
+
+    if let Some(p) = failure.into_inner().expect("failure mutex") {
+        return Err(p);
+    }
+    Ok(slots
+        .into_iter()
+        .map(|s| s.into_inner().expect("slot mutex").expect("every job ran to completion"))
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_come_back_in_job_order() {
+        for threads in [1, 2, 8] {
+            let out = execute(100, threads, &|i| i * i).expect("no panics");
+            assert_eq!(out, (0..100).map(|i| i * i).collect::<Vec<_>>(), "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn zero_jobs_is_empty() {
+        let out: Vec<usize> = execute(0, 4, &|i| i).expect("no panics");
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn panics_name_the_job() {
+        for threads in [1, 4] {
+            let err = execute(50, threads, &|i| {
+                if i == 17 {
+                    panic!("job seventeen diverged");
+                }
+                i
+            })
+            .expect_err("job 17 panics");
+            assert_eq!(err.job, 17, "threads={threads}");
+            assert!(err.message.contains("seventeen"), "{}", err.message);
+        }
+    }
+
+    #[test]
+    fn earliest_panic_wins() {
+        // With several panicking jobs the reported one must be the smallest
+        // index, whatever the interleaving.
+        for threads in [1, 2, 8] {
+            let err = execute(64, threads, &|i| {
+                if i % 3 == 2 {
+                    panic!("bad {i}");
+                }
+                i
+            })
+            .expect_err("many panics");
+            assert_eq!(err.job, 2, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn pool_config_resolution() {
+        assert_eq!(PoolConfig::with_threads(0).resolved_threads(), 1);
+        assert_eq!(PoolConfig::with_threads(6).resolved_threads(), 6);
+        assert!(PoolConfig::default().resolved_threads() >= 1);
+    }
+}

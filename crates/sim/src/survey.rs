@@ -65,6 +65,12 @@ pub struct SurveyConfig {
     pub probes: Vec<CommModel>,
     /// Phase 2: directly analyze models the transfers left undecided.
     pub direct_fallback: bool,
+    /// State budget for the phase-2 direct checks; `None` defaults to an
+    /// eighth of the probe budget. The undecided models are the unreliable
+    /// `M`/`E`-scope ones whose drop branching blows the state space up by
+    /// orders of magnitude, so callers that survey wheel-carrying gadgets
+    /// should pin this low — a truncated check honestly stays `Unknown`.
+    pub direct_budget: Option<usize>,
 }
 
 impl Default for SurveyConfig {
@@ -73,6 +79,7 @@ impl Default for SurveyConfig {
             explore: ExploreConfig::default(),
             probes: probe_models(),
             direct_fallback: true,
+            direct_budget: None,
         }
     }
 }
@@ -124,7 +131,7 @@ pub fn survey_instance(inst: &SppInstance, cfg: &SurveyConfig) -> Vec<SurveyEntr
     };
 
     let phase2_cfg = ExploreConfig {
-        max_states: (cfg.explore.max_states / 8).max(1_000),
+        max_states: cfg.direct_budget.unwrap_or(cfg.explore.max_states / 8).max(1_000),
         ..cfg.explore
     };
     CommModel::all()
@@ -207,6 +214,7 @@ mod tests {
                 .map(|s| s.parse().expect("model"))
                 .collect(),
             direct_fallback: false,
+            direct_budget: None,
         };
         let entries = survey_instance(&inst, &cfg);
         for m in ["REO", "REF"] {

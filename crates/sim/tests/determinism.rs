@@ -1,0 +1,44 @@
+//! The experiment engine's headline guarantee: grid statistics are
+//! bit-identical regardless of worker count, and per-run seed derivation
+//! never collides within a cell.
+
+use proptest::prelude::*;
+use routelab_core::model::CommModel;
+use routelab_sim::montecarlo::{run_seed, try_run_grid_with, CellConfig, CellStats};
+use routelab_sim::pool::PoolConfig;
+use routelab_spp::gadgets;
+
+fn grid_stats(threads: usize) -> Vec<(CommModel, CellStats)> {
+    let inst = gadgets::disagree();
+    let models: Vec<CommModel> =
+        ["R1O", "RMS", "UMS", "REA"].iter().map(|s| s.parse().unwrap()).collect();
+    let cfg = CellConfig { runs: 16, max_steps: 8_000, seed: 42, drop_prob: 0.25 };
+    try_run_grid_with(&inst, &models, &cfg, &PoolConfig::with_threads(threads))
+        .expect("no panics")
+        .into_iter()
+        .map(|c| (c.model, c.stats))
+        .collect()
+}
+
+#[test]
+fn grid_is_bit_identical_across_worker_counts() {
+    let base = grid_stats(1);
+    for threads in [2, 8] {
+        // CellStats derives PartialEq over its f64 means, so equality here
+        // is bit-level identity of every float aggregate.
+        assert_eq!(base, grid_stats(threads), "threads={threads}");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    #[test]
+    fn run_seeds_never_collide_within_a_cell(base in 0u64..=u64::MAX, runs in 1usize..512) {
+        let seeds: Vec<u64> = (0..runs).map(|i| run_seed(base, i)).collect();
+        let mut dedup = seeds.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        prop_assert_eq!(dedup.len(), seeds.len(), "collision for base {}", base);
+    }
+}

@@ -321,7 +321,7 @@ fn is_valley_free(
         phase = match (phase, s) {
             (0, Step::Up) => 0,
             (0, Step::Across) => 1,
-            (0 | 1 | 2, Step::Down) => 2,
+            (0..=2, Step::Down) => 2,
             _ => return false,
         };
     }

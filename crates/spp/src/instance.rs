@@ -350,11 +350,10 @@ impl SppBuilder {
         if !self.graph.contains(v) {
             return Err(SppError::UnknownNode { node: v, node_count: self.graph.node_count() });
         }
-        let mut rank = self.permitted[v.index()].iter().map(|rp| rp.rank).max().unwrap_or(0);
-        for p in paths {
-            rank += 1;
+        let base = self.permitted[v.index()].iter().map(|rp| rp.rank).max().unwrap_or(0);
+        for (offset, p) in paths.into_iter().enumerate() {
             let path = Path::new(p.into_iter().collect())?;
-            self.permitted[v.index()].push(RankedPath { path, rank });
+            self.permitted[v.index()].push(RankedPath { path, rank: base + 1 + offset as u32 });
         }
         Ok(self)
     }

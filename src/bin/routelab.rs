@@ -8,7 +8,7 @@
 //! routelab solve    <instance>
 //! routelab check    <instance> <model> [--witness]
 //! routelab realize  <instance> <from-model> <to-model> [steps]
-//! routelab simulate <instance> <model> [runs]
+//! routelab simulate <instance> <model> [runs] [--threads N]
 //! routelab fig3 | fig4
 //! ```
 //!
@@ -28,7 +28,8 @@ use routelab::explore::graph::ExploreConfig;
 use routelab::explore::oscillation::{analyze, Verdict};
 use routelab::explore::witness::oscillation_witness;
 use routelab::realize::verify::verify_path;
-use routelab::sim::montecarlo::{run_cell, CellConfig};
+use routelab::sim::montecarlo::{try_run_grid_with, CellConfig};
+use routelab::sim::pool::PoolConfig;
 use routelab::sim::survey::{survey_instance, SurveyConfig, SurveyOutcome};
 use routelab::spp::solve::{enumerate_stable_assignments, fmt_assignment};
 use routelab::spp::{dispute, format, gadgets, SppInstance};
@@ -160,12 +161,17 @@ fn cmd_realize(
     Ok(())
 }
 
-fn cmd_simulate(inst: &SppInstance, model: CommModel, runs: usize) -> Result<(), String> {
-    let stats = run_cell(
-        inst,
-        model,
-        &CellConfig { runs, max_steps: 30_000, seed: 42, drop_prob: 0.25 },
-    );
+fn cmd_simulate(
+    inst: &SppInstance,
+    model: CommModel,
+    runs: usize,
+    pool: &PoolConfig,
+) -> Result<(), String> {
+    let cfg = CellConfig { runs, max_steps: 30_000, seed: 42, drop_prob: 0.25 };
+    // One cell, decomposed into per-run jobs on the worker pool; the
+    // statistics are identical for every thread count.
+    let cells = try_run_grid_with(inst, &[model], &cfg, pool).map_err(|e| e.to_string())?;
+    let stats = cells[0].stats;
     println!(
         "{model}: {}/{} runs converged (rate {:.2}), mean steps {:.1}, mean messages {:.1}, mean drops {:.1}",
         stats.converged,
@@ -213,10 +219,25 @@ fn run() -> Result<(), String> {
             cmd_realize(&inst, from, to, steps)?;
         }
         Some("simulate") => {
-            let inst = load_instance(args.get(1).ok_or(usage)?)?;
-            let model = parse_model(args.get(2).ok_or(usage)?)?;
-            let runs = args.get(3).and_then(|s| s.parse().ok()).unwrap_or(50);
-            cmd_simulate(&inst, model, runs)?;
+            let mut pool = PoolConfig::default();
+            let mut positional: Vec<&String> = Vec::new();
+            let mut rest = args[1..].iter();
+            while let Some(a) = rest.next() {
+                if a == "--threads" {
+                    let n = rest
+                        .next()
+                        .and_then(|s| s.parse::<usize>().ok())
+                        .filter(|&n| n >= 1)
+                        .ok_or("--threads needs a positive integer")?;
+                    pool = PoolConfig::with_threads(n);
+                } else {
+                    positional.push(a);
+                }
+            }
+            let inst = load_instance(positional.first().copied().ok_or(usage)?)?;
+            let model = parse_model(positional.get(1).copied().ok_or(usage)?)?;
+            let runs = positional.get(2).and_then(|s| s.parse().ok()).unwrap_or(50);
+            cmd_simulate(&inst, model, runs, &pool)?;
         }
         Some("fig3") => cmd_figure(3),
         Some("fig4") => cmd_figure(4),

@@ -1,0 +1,453 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment cannot reach crates.io, so this vendored crate
+//! implements the subset of proptest's API that routelab's property tests
+//! use: the [`proptest!`] macro, integer-range / tuple / `prop_map` /
+//! `sample::select` / `collection::vec` strategies, `prop_assert*`,
+//! `prop_assume!`, [`ProptestConfig`], and [`TestCaseError`].
+//!
+//! Semantics: each test runs `config.cases` deterministic random cases
+//! (seeded from the test name, overridable via `PROPTEST_SEED`). There is no
+//! shrinking — a failure reports the exact input that triggered it, which
+//! for seeded generators is enough to reproduce.
+
+use std::fmt;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Why a single test case did not pass.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TestCaseError {
+    /// A genuine assertion failure.
+    Fail(String),
+    /// The input was rejected by `prop_assume!` — not a failure.
+    Reject(String),
+}
+
+impl TestCaseError {
+    /// A failure with the given message.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+
+    /// A rejection (filtered input) with the given message.
+    pub fn reject(msg: impl Into<String>) -> Self {
+        TestCaseError::Reject(msg.into())
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TestCaseError::Fail(m) => write!(f, "{m}"),
+            TestCaseError::Reject(m) => write!(f, "input rejected: {m}"),
+        }
+    }
+}
+
+/// Outcome of one test case.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// Runner configuration (`cases` is the only knob routelab tunes).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of accepted cases to run per test.
+    pub cases: u32,
+    /// Give up after this many `prop_assume!` rejections.
+    pub max_global_rejects: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256, max_global_rejects: 65_536 }
+    }
+}
+
+/// A source of random values of one type.
+pub trait Strategy {
+    /// The generated type.
+    type Value: fmt::Debug;
+
+    /// Draws one value.
+    fn sample(&self, rng: &mut StdRng) -> Self::Value;
+
+    /// A strategy applying `f` to every drawn value.
+    fn prop_map<O: fmt::Debug, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// The strategy returned by [`Strategy::prop_map`].
+#[derive(Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O: fmt::Debug, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+
+    fn sample(&self, rng: &mut StdRng) -> O {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_tuple_strategy {
+    ($(($($s:ident . $idx:tt),+);)*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn sample(&self, rng: &mut StdRng) -> Self::Value {
+                ($(self.$idx.sample(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy! {
+    (A.0);
+    (A.0, B.1);
+    (A.0, B.1, C.2);
+    (A.0, B.1, C.2, D.3);
+    (A.0, B.1, C.2, D.3, E.4);
+    (A.0, B.1, C.2, D.3, E.4, F.5);
+}
+
+pub mod sample {
+    //! Strategies choosing among explicit alternatives.
+
+    use super::{fmt, Rng, StdRng, Strategy};
+
+    /// A strategy yielding a uniformly random element of a fixed list.
+    #[derive(Debug, Clone)]
+    pub struct Select<T> {
+        options: Vec<T>,
+    }
+
+    /// Chooses uniformly from `options`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `options` is empty.
+    pub fn select<T: Clone + fmt::Debug>(options: impl Into<Vec<T>>) -> Select<T> {
+        let options = options.into();
+        assert!(!options.is_empty(), "select requires at least one option");
+        Select { options }
+    }
+
+    impl<T: Clone + fmt::Debug> Strategy for Select<T> {
+        type Value = T;
+
+        fn sample(&self, rng: &mut StdRng) -> T {
+            self.options[rng.gen_range(0..self.options.len())].clone()
+        }
+    }
+}
+
+pub mod collection {
+    //! Strategies for collections.
+
+    use super::{Rng, StdRng, Strategy};
+
+    /// An inclusive range of collection sizes. Taking `impl Into<SizeRange>`
+    /// (rather than a generic size strategy) matches upstream and — like
+    /// [`SampleRange`](rand::Rng::gen_range) — lets untyped literal ranges
+    /// such as `1..6` infer `usize`.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        hi_inclusive: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi_inclusive: n }
+        }
+    }
+
+    impl From<core::ops::Range<usize>> for SizeRange {
+        fn from(r: core::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange { lo: r.start, hi_inclusive: r.end - 1 }
+        }
+    }
+
+    impl From<core::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: core::ops::RangeInclusive<usize>) -> Self {
+            assert!(r.start() <= r.end(), "empty size range");
+            SizeRange { lo: *r.start(), hi_inclusive: *r.end() }
+        }
+    }
+
+    /// A strategy yielding vectors of `elem` values with random length.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        elem: S,
+        size: SizeRange,
+    }
+
+    /// Vectors whose length is drawn from `size` and whose elements are
+    /// drawn from `elem`.
+    pub fn vec<S: Strategy>(elem: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { elem, size: size.into() }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn sample(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let n = rng.gen_range(self.size.lo..=self.size.hi_inclusive);
+            (0..n).map(|_| self.elem.sample(rng)).collect()
+        }
+    }
+}
+
+pub mod runner {
+    //! The case loop behind [`proptest!`](crate::proptest).
+
+    use super::{ProptestConfig, Rng, SeedableRng, StdRng, Strategy, TestCaseError, TestCaseResult};
+
+    fn base_seed(name: &str) -> u64 {
+        if let Ok(s) = std::env::var("PROPTEST_SEED") {
+            if let Ok(v) = s.parse::<u64>() {
+                return v;
+            }
+        }
+        // FNV-1a over the test name: stable across runs and platforms.
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        h
+    }
+
+    /// Runs `f` on `cfg.cases` accepted samples of `strat`.
+    ///
+    /// # Panics
+    ///
+    /// Panics (failing the enclosing `#[test]`) on the first failing case,
+    /// reporting the seed and the generated input.
+    pub fn run<S: Strategy>(
+        name: &str,
+        cfg: &ProptestConfig,
+        strat: &S,
+        f: impl Fn(S::Value) -> TestCaseResult,
+    ) {
+        let seed = base_seed(name);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut accepted = 0u32;
+        let mut rejected = 0u32;
+        while accepted < cfg.cases {
+            let case_seed = rng.gen_range(0..u64::MAX);
+            let mut case_rng = StdRng::seed_from_u64(case_seed);
+            let value = strat.sample(&mut case_rng);
+            let rendered = format!("{value:?}");
+            match f(value) {
+                Ok(()) => accepted += 1,
+                Err(TestCaseError::Reject(_)) => {
+                    rejected += 1;
+                    assert!(
+                        rejected < cfg.max_global_rejects,
+                        "proptest {name}: too many rejected inputs \
+                         ({rejected} rejects for {accepted} accepted cases)"
+                    );
+                }
+                Err(TestCaseError::Fail(msg)) => panic!(
+                    "proptest {name} failed at case {accepted} \
+                     (base seed {seed}, case seed {case_seed}):\n{msg}\ninput: {rendered}"
+                ),
+            }
+        }
+    }
+}
+
+pub mod prelude {
+    //! Everything a property-test file needs.
+
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, ProptestConfig,
+        Strategy, TestCaseError, TestCaseResult,
+    };
+
+    /// Namespaced access to strategy modules, proptest-style (`prop::sample::select`).
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::sample;
+    }
+}
+
+/// Declares property tests.
+///
+/// Supports the upstream form used in this repository: an optional
+/// `#![proptest_config(expr)]` header followed by `#[test] fn name(pat in
+/// strategy, ...) { body }` items.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items!(($cfg) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items!(($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+/// Internal item muncher for [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            let strategy = ($($strat,)+);
+            $crate::runner::run(
+                stringify!($name),
+                &config,
+                &strategy,
+                |($($arg,)+)| -> $crate::TestCaseResult {
+                    $body
+                    #[allow(unreachable_code)]
+                    Ok(())
+                },
+            );
+        }
+        $crate::__proptest_items!(($cfg) $($rest)*);
+    };
+}
+
+/// Asserts a condition inside a property test, failing the case (not the
+/// whole process) so the runner can report the generated input.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)));
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return Err($crate::TestCaseError::fail(format!($($fmt)*)));
+        }
+    };
+}
+
+/// Asserts equality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => {
+        match (&$a, &$b) {
+            (l, r) => $crate::prop_assert!(
+                *l == *r,
+                "assertion failed: {} == {}\n  left: {:?}\n right: {:?}",
+                stringify!($a), stringify!($b), l, r
+            ),
+        }
+    };
+    ($a:expr, $b:expr, $($fmt:tt)*) => {
+        match (&$a, &$b) {
+            (l, r) => $crate::prop_assert!(
+                *l == *r,
+                "assertion failed: {} == {} ({})\n  left: {:?}\n right: {:?}",
+                stringify!($a), stringify!($b), format!($($fmt)*), l, r
+            ),
+        }
+    };
+}
+
+/// Asserts inequality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr $(,)?) => {
+        match (&$a, &$b) {
+            (l, r) => $crate::prop_assert!(
+                *l != *r,
+                "assertion failed: {} != {}\n  both: {:?}",
+                stringify!($a), stringify!($b), l
+            ),
+        }
+    };
+}
+
+/// Rejects the current input (a filter, not a failure).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return Err($crate::TestCaseError::reject(stringify!($cond)));
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 3usize..8, y in 0u8..=4) {
+            prop_assert!((3..8).contains(&x));
+            prop_assert!(y <= 4);
+        }
+
+        #[test]
+        fn map_and_select_compose(
+            v in prop::collection::vec(0u32..30, 1..6),
+            pick in prop::sample::select(vec!["a", "b", "c"]),
+            doubled in (1u64..100).prop_map(|n| n * 2),
+        ) {
+            prop_assert!(!v.is_empty() && v.len() < 6);
+            prop_assert!(v.iter().all(|&e| e < 30));
+            prop_assert!(["a", "b", "c"].contains(&pick));
+            prop_assert_eq!(doubled % 2, 0);
+            prop_assert_ne!(doubled, 1);
+        }
+
+        #[test]
+        fn assume_filters(n in 0u32..10) {
+            prop_assume!(n % 2 == 0);
+            prop_assert_eq!(n % 2, 0, "n = {}", n);
+        }
+    }
+
+    #[test]
+    fn failing_case_reports_input() {
+        let result = std::panic::catch_unwind(|| {
+            crate::runner::run(
+                "always_fails",
+                &ProptestConfig { cases: 4, ..ProptestConfig::default() },
+                &(0u32..10,),
+                |(_n,)| Err(TestCaseError::fail("boom")),
+            );
+        });
+        let msg = *result.unwrap_err().downcast::<String>().unwrap();
+        assert!(msg.contains("boom") && msg.contains("input:"), "{msg}");
+    }
+}
