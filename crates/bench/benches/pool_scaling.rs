@@ -6,10 +6,13 @@
 //! single-core machine the strategies tie — the numbers here are still
 //! useful as a regression baseline for the engine itself.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Instant;
+
+use criterion::{criterion_group, BenchmarkId, Criterion};
 use routelab_core::model::CommModel;
 use routelab_sim::montecarlo::{run_grid_per_model_threads, run_grid_with, CellConfig};
 use routelab_sim::pool::PoolConfig;
+use routelab_sim::report::{write_json_to, Json};
 use routelab_spp::gadgets;
 
 fn bench_pool_scaling(c: &mut Criterion) {
@@ -31,4 +34,66 @@ fn bench_pool_scaling(c: &mut Criterion) {
 }
 
 criterion_group!(benches, bench_pool_scaling);
-criterion_main!(benches);
+
+/// Median wall-clock milliseconds over `reps` runs of the acceptance grid.
+fn grid_wall_ms(reps: usize) -> f64 {
+    let inst = gadgets::disagree();
+    let models: Vec<CommModel> = CommModel::all();
+    let cfg = CellConfig { runs: 8, max_steps: 4_000, seed: 11, drop_prob: 0.25 };
+    let pool = PoolConfig::with_threads(4);
+    let mut walls: Vec<f64> = (0..reps)
+        .map(|_| {
+            let t0 = Instant::now();
+            criterion::black_box(run_grid_with(&inst, &models, &cfg, &pool).len());
+            t0.elapsed().as_secs_f64() * 1e3
+        })
+        .collect();
+    walls.sort_by(|a, b| a.total_cmp(b));
+    walls[walls.len() / 2]
+}
+
+/// Measures telemetry overhead on the same workload: the obs-off baseline
+/// MUST run first because sink enablement is one-way within a process. The
+/// delta is recorded in `results/BENCH_obs_overhead.json`; the acceptance
+/// target is <3% enabled and ~0% disabled (disabled cost is a single
+/// relaxed atomic load per instrumentation site).
+fn bench_obs_overhead() {
+    const REPS: usize = 15;
+    let _ = grid_wall_ms(4); // warm-up
+    let off_ms = grid_wall_ms(REPS);
+
+    let dir = std::env::temp_dir().join(format!("routelab-obs-bench-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    routelab_obs::enable_to_dir(&dir, "pool-scaling-bench");
+    let on_ms = grid_wall_ms(REPS);
+    routelab_obs::shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let overhead_pct = (on_ms - off_ms) / off_ms * 100.0;
+    println!(
+        "pool_scaling/obs_overhead                        obs-off {off_ms:.2} ms, \
+         obs-on {on_ms:.2} ms, overhead {overhead_pct:+.2}%"
+    );
+    let json = Json::obj([
+        ("bench", Json::str("obs_overhead")),
+        ("workload", Json::str("disagree 24-model grid, 8 runs/cell, 4 threads")),
+        ("reps", Json::int(REPS)),
+        ("obs_off_ms", Json::Num(off_ms)),
+        ("obs_on_ms", Json::Num(on_ms)),
+        ("overhead_pct", Json::Num(overhead_pct)),
+    ]);
+    // `cargo bench` sets the CWD to the package root, so resolve the
+    // workspace-level results dir explicitly rather than relying on a
+    // relative default.
+    let dir = std::env::var("ROUTELAB_RESULTS_DIR")
+        .unwrap_or_else(|_| concat!(env!("CARGO_MANIFEST_DIR"), "/../../results").to_string());
+    match write_json_to(std::path::Path::new(&dir), "BENCH_obs_overhead", &json) {
+        Ok(path) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("could not write BENCH_obs_overhead.json: {e}"),
+    }
+}
+
+fn main() {
+    benches();
+    bench_obs_overhead();
+}

@@ -30,6 +30,10 @@ pub struct StepEffect {
     pub dropped: usize,
     /// Messages written to channels.
     pub sent: usize,
+    /// Dense channel ids written to in phase 3 (one entry per message, so a
+    /// queue-depth high-water mark can be tracked incrementally: queues only
+    /// grow at these points).
+    pub sent_on: Vec<usize>,
     /// Dense channel ids this step *attended* (targeted with `f ≥ 1`).
     pub attended: Vec<usize>,
     /// Dense channel ids on which a message was processed and kept.
@@ -88,6 +92,7 @@ pub fn execute_step(
             for &out in index.out_channels(v) {
                 state.queue_mut(out).push(new_route.clone());
                 effect.sent += 1;
+                effect.sent_on.push(out);
             }
             *state.announced_mut(v) = new_route.clone();
         }

@@ -55,14 +55,29 @@ pub struct DriveReport {
 }
 
 /// Like [`drive`], additionally snapshotting the runner's [`RunStats`] at
-/// the moment of the verdict.
+/// the moment of the verdict and — when telemetry is enabled — emitting the
+/// engine's per-run counters and distributions. Telemetry is recorded once
+/// per run rather than per step so the activation-step hot path stays free
+/// of instrumentation calls.
 pub fn drive_report<S: Scheduler>(
     runner: &mut Runner<'_>,
     scheduler: &mut S,
     max_steps: usize,
 ) -> DriveReport {
     let outcome = drive(runner, scheduler, max_steps);
-    DriveReport { outcome, stats: runner.stats() }
+    let stats = runner.stats();
+    if routelab_obs::enabled() {
+        routelab_obs::counter("engine.steps", stats.steps as u64);
+        routelab_obs::counter("engine.msgs.sent", stats.sent as u64);
+        routelab_obs::counter("engine.msgs.consumed", stats.consumed as u64);
+        routelab_obs::counter("engine.msgs.dropped", stats.dropped as u64);
+        routelab_obs::histogram("engine.run.steps", stats.steps as u64);
+        routelab_obs::histogram("engine.run.queue_hwm", stats.max_queue_depth as u64);
+        if matches!(outcome, RunOutcome::Converged { .. }) {
+            routelab_obs::histogram("engine.run.converge_steps", stats.steps as u64);
+        }
+    }
+    DriveReport { outcome, stats }
 }
 
 /// Drives `runner` with `scheduler` until a verdict or `max_steps`.

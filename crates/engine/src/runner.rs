@@ -22,6 +22,8 @@ pub struct RunStats {
     pub sent: usize,
     /// Steps in which some π changed.
     pub changing_steps: usize,
+    /// Largest queue length any single channel reached (high-water mark).
+    pub max_queue_depth: usize,
 }
 
 /// Owns a [`NetworkState`] for one instance, executes activation steps, and
@@ -86,6 +88,11 @@ impl<'a> Runner<'a> {
         self.stats.sent += effect.sent;
         if !effect.changed.is_empty() {
             self.stats.changing_steps += 1;
+        }
+        // Queues only grow where phase 3 wrote, so checking those channels
+        // alone keeps the high-water mark exact without an O(channels) scan.
+        for &c in &effect.sent_on {
+            self.stats.max_queue_depth = self.stats.max_queue_depth.max(self.state.queue(c).len());
         }
         for &c in &effect.dropped_on {
             self.pending_drop[c] = true;
@@ -162,7 +169,32 @@ mod tests {
         assert_eq!(s.sent, 4); // d announces twice, x announces twice
         assert_eq!(s.consumed, 1);
         assert_eq!(s.changing_steps, 1); // only x's step changed a π
+        assert_eq!(s.max_queue_depth, 1); // no channel ever held two messages
         assert_eq!(r.trace().len(), 3);
+    }
+
+    #[test]
+    fn queue_high_water_mark_tracks_unconsumed_announcements() {
+        // Drive DISAGREE so x announces twice (xd, then xyd) while y never
+        // reads channel x→y: that channel reaches depth 2.
+        let inst = gadgets::disagree();
+        let mut r = Runner::new(&inst);
+        let idx = r.index().clone();
+        let d = inst.dest();
+        let x = inst.node_by_name("x").unwrap();
+        let y = inst.node_by_name("y").unwrap();
+        let read = |from, to| ChannelAction::read_all(routelab_spp::Channel::new(from, to));
+        for step in [
+            ActivationStep::single(NodeUpdate::new(d, vec![])), // d announces (d)
+            ActivationStep::single(NodeUpdate::new(x, vec![read(d, x)])), // x -> xd
+            ActivationStep::single(NodeUpdate::new(y, vec![read(d, y)])), // y -> yd
+            ActivationStep::single(NodeUpdate::new(x, vec![read(y, x)])), // x -> xyd
+        ] {
+            r.step(&step);
+        }
+        assert_eq!(r.stats().max_queue_depth, 2);
+        let xy = idx.id(routelab_spp::Channel::new(x, y)).unwrap();
+        assert_eq!(r.state().queue(xy).len(), 2);
     }
 
     #[test]

@@ -90,8 +90,13 @@ pub fn build_spec(inst: &SppInstance, spec: Spec<'_>, cfg: &ExploreConfig) -> St
     };
     g.pi_fp.push(pi_fingerprint(&g.states[0]));
 
+    // The build can explore millions of states on wheel-carrying gadgets;
+    // the heartbeat makes budget consumption visible while it runs (gauges
+    // to the telemetry sink, a periodic status line to stderr).
+    let mut heartbeat = routelab_obs::Heartbeat::new("explore.states", cfg.max_states as u64);
     let mut frontier = vec![0usize];
     while let Some(si) = frontier.pop() {
+        heartbeat.tick(g.states.len() as u64);
         let state = g.states[si].clone();
         let (steps, capped) =
             all_steps(spec, &index, &state, inst.node_count(), cfg.max_steps_per_state);
@@ -136,6 +141,13 @@ pub fn build_spec(inst: &SppInstance, spec: Spec<'_>, cfg: &ExploreConfig) -> St
                 changes_pi: !effect.changed.is_empty(),
                 step: cs.clone(),
             });
+        }
+    }
+    if routelab_obs::enabled() {
+        routelab_obs::gauge("explore.states", g.states.len() as u64);
+        routelab_obs::counter("explore.builds", 1);
+        if g.truncated {
+            routelab_obs::counter("explore.builds_truncated", 1);
         }
     }
     g

@@ -98,8 +98,10 @@ pub fn search(
     parent.insert(start.clone(), None);
     let mut stack = vec![start];
     let mut truncated = false;
+    let mut heartbeat = routelab_obs::Heartbeat::new("search.visited", cfg.max_states as u64);
 
     while let Some(key) = stack.pop() {
+        heartbeat.tick(parent.len() as u64);
         let (state, progress) = &key;
         let (steps, capped) =
             all_steps(Spec::Uniform(model), &index, state, inst.node_count(), cfg.max_steps_per_state);
@@ -159,6 +161,9 @@ pub fn search(
             }
             stack.push(next_key);
         }
+    }
+    if routelab_obs::enabled() {
+        routelab_obs::gauge("search.visited", parent.len() as u64);
     }
     if truncated {
         SearchResult::BoundExceeded { visited: parent.len() }

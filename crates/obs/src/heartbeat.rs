@@ -1,0 +1,132 @@
+//! Periodic stderr heartbeats for long-running phases.
+//!
+//! A [`Heartbeat`] is ticked from the hot loop with the current progress
+//! value; it rate-limits itself (default every 5 s, `ROUTELAB_OBS_HEARTBEAT`
+//! seconds to override), prints a one-line status to stderr (unless quiet),
+//! emits a gauge event, and drains the telemetry sink so the NDJSON log stays
+//! current even if the process later hangs — the whole point after the PR 2
+//! survey blow-up was to make the *next* hang visible in minutes.
+
+use std::time::{Duration, Instant};
+
+use crate::sink;
+
+/// Default seconds between heartbeat fires.
+const DEFAULT_INTERVAL_SECS: u64 = 5;
+
+/// Resident-set size estimate in bytes from `/proc/self/statm` (Linux only;
+/// `None` elsewhere or on read failure).
+pub fn rss_bytes() -> Option<u64> {
+    #[cfg(target_os = "linux")]
+    {
+        let statm = std::fs::read_to_string("/proc/self/statm").ok()?;
+        let resident_pages: u64 = statm.split_whitespace().nth(1)?.parse().ok()?;
+        Some(resident_pages * 4096)
+    }
+    #[cfg(not(target_os = "linux"))]
+    {
+        None
+    }
+}
+
+/// A rate-limited progress reporter for one phase.
+pub struct Heartbeat {
+    label: &'static str,
+    /// Optional budget the progress value counts toward (0 = none).
+    budget: u64,
+    interval: Duration,
+    started: Instant,
+    last_fire: Instant,
+    /// How many ticks to skip between `Instant::now()` checks.
+    check_every: u32,
+    ticks_until_check: u32,
+}
+
+impl Heartbeat {
+    /// Creates a heartbeat for `label`; pass the phase budget (max states,
+    /// max steps, ...) so fires can show percent-consumed, or 0 for none.
+    pub fn new(label: &'static str, budget: u64) -> Self {
+        let secs = std::env::var("ROUTELAB_OBS_HEARTBEAT")
+            .ok()
+            .and_then(|v| v.parse::<u64>().ok())
+            .unwrap_or(DEFAULT_INTERVAL_SECS)
+            .max(1);
+        let now = Instant::now();
+        Heartbeat {
+            label,
+            budget,
+            interval: Duration::from_secs(secs),
+            started: now,
+            last_fire: now,
+            // Checking the clock on every tick of a million-state loop is
+            // itself overhead; sample it every 1024 ticks.
+            check_every: 1024,
+            ticks_until_check: 0,
+        }
+    }
+
+    /// Ticks the heartbeat with the current progress value. Cheap when not
+    /// due: a counter decrement on most calls, a clock read every 1024.
+    #[inline]
+    pub fn tick(&mut self, value: u64) {
+        if self.ticks_until_check > 0 {
+            self.ticks_until_check -= 1;
+            return;
+        }
+        self.ticks_until_check = self.check_every;
+        if self.last_fire.elapsed() >= self.interval {
+            self.fire(value);
+        }
+    }
+
+    /// Fires unconditionally: stderr line + gauge + sink drain.
+    pub fn fire(&mut self, value: u64) {
+        self.last_fire = Instant::now();
+        if !sink::quiet() {
+            let elapsed = self.started.elapsed().as_secs();
+            let rss = match rss_bytes() {
+                Some(b) => format!(" rss={}MB", b / (1024 * 1024)),
+                None => String::new(),
+            };
+            if self.budget > 0 {
+                let pct = (value as f64 / self.budget as f64) * 100.0;
+                eprintln!(
+                    "[obs] {} {}/{} ({:.1}%){} t={}s",
+                    self.label, value, self.budget, pct, rss, elapsed
+                );
+            } else {
+                eprintln!("[obs] {} {}{} t={}s", self.label, value, rss, elapsed);
+            }
+        }
+        if sink::enabled() {
+            sink::gauge(self.label, value);
+            if let Some(b) = rss_bytes() {
+                sink::gauge("proc.rss_bytes", b);
+            }
+            sink::flush();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tick_is_rate_limited() {
+        let mut hb = Heartbeat::new("test.progress", 100);
+        // A brand-new heartbeat must not fire immediately even when the clock
+        // is checked: last_fire == started == now.
+        for i in 0..10_000 {
+            hb.tick(i);
+        }
+        assert!(hb.last_fire.elapsed() < hb.interval);
+    }
+
+    #[cfg(target_os = "linux")]
+    #[test]
+    fn rss_is_readable_on_linux() {
+        let rss = rss_bytes().expect("statm readable");
+        assert!(rss > 0);
+    }
+}

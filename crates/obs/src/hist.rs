@@ -1,0 +1,173 @@
+//! Log-scale (power-of-two bucket) histograms.
+//!
+//! Bucket `i` counts values `v` with `floor(log2(max(v, 1))) == i`, i.e.
+//! `v ∈ [2^i, 2^(i+1))` (bucket 0 also holds 0). 64 buckets cover the full
+//! `u64` range, recording is two instructions plus an increment, and merging
+//! partial histograms from many threads is element-wise addition — exactly
+//! what the telemetry sink needs for convergence-step and queue-depth
+//! distributions without storing every sample.
+
+/// Number of buckets (one per possible `log2` of a `u64`).
+pub const BUCKETS: usize = 64;
+
+/// A fixed-size log₂-bucket histogram.
+#[derive(Clone, PartialEq, Eq)]
+pub struct LogHistogram {
+    /// Per-bucket sample counts.
+    pub buckets: [u64; BUCKETS],
+    /// Total number of samples.
+    pub count: u64,
+    /// Sum of all samples.
+    pub sum: u64,
+    /// Largest sample seen.
+    pub max: u64,
+}
+
+impl Default for LogHistogram {
+    fn default() -> Self {
+        LogHistogram { buckets: [0; BUCKETS], count: 0, sum: 0, max: 0 }
+    }
+}
+
+impl std::fmt::Debug for LogHistogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LogHistogram")
+            .field("count", &self.count)
+            .field("sum", &self.sum)
+            .field("max", &self.max)
+            .field("buckets", &self.nonzero_buckets())
+            .finish()
+    }
+}
+
+/// The bucket index a value lands in.
+#[inline]
+pub fn bucket_of(v: u64) -> usize {
+    63 - v.max(1).leading_zeros() as usize
+}
+
+impl LogHistogram {
+    /// Records one sample.
+    #[inline]
+    pub fn record(&mut self, v: u64) {
+        self.buckets[bucket_of(v)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Whether any sample has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Element-wise merge of another (typically per-thread partial) histogram.
+    pub fn merge(&mut self, other: &LogHistogram) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.max = self.max.max(other.max);
+    }
+
+    /// The non-empty `(bucket_index, count)` pairs in ascending bucket order.
+    pub fn nonzero_buckets(&self) -> Vec<(usize, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &n)| n > 0)
+            .map(|(i, &n)| (i, n))
+            .collect()
+    }
+
+    /// An upper-bound estimate of the `q`-quantile (`q` in `[0, 1]`).
+    ///
+    /// Walks buckets until the cumulative count reaches `ceil(q * count)` and
+    /// returns that bucket's upper bound (clamped to `max`). Within a factor
+    /// of 2 of the true quantile, which is all a log histogram can promise.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= target {
+                let upper = if i >= 63 { u64::MAX } else { (1u64 << (i + 1)) - 1 };
+                return upper.min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Mean of all samples (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 0);
+        assert_eq!(bucket_of(2), 1);
+        assert_eq!(bucket_of(3), 1);
+        assert_eq!(bucket_of(4), 2);
+        assert_eq!(bucket_of(1023), 9);
+        assert_eq!(bucket_of(1024), 10);
+        assert_eq!(bucket_of(u64::MAX), 63);
+    }
+
+    #[test]
+    fn record_and_stats() {
+        let mut h = LogHistogram::default();
+        for v in [0, 1, 5, 5, 100] {
+            h.record(v);
+        }
+        assert_eq!(h.count, 5);
+        assert_eq!(h.sum, 111);
+        assert_eq!(h.max, 100);
+        assert_eq!(h.nonzero_buckets(), vec![(0, 2), (2, 2), (6, 1)]);
+    }
+
+    #[test]
+    fn merge_is_elementwise() {
+        let mut a = LogHistogram::default();
+        let mut b = LogHistogram::default();
+        a.record(10);
+        b.record(10);
+        b.record(1000);
+        a.merge(&b);
+        assert_eq!(a.count, 3);
+        assert_eq!(a.sum, 1020);
+        assert_eq!(a.max, 1000);
+        assert_eq!(a.nonzero_buckets(), vec![(3, 2), (9, 1)]);
+    }
+
+    #[test]
+    fn quantiles_bound_true_values() {
+        let mut h = LogHistogram::default();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        // p50 of 1..=1000 is 500; bucket upper bound for 500 is 511.
+        assert_eq!(h.quantile(0.5), 511);
+        // p100 clamps to the recorded max.
+        assert_eq!(h.quantile(1.0), 1000);
+        assert_eq!(LogHistogram::default().quantile(0.5), 0);
+        let mut one = LogHistogram::default();
+        one.record(7);
+        assert_eq!(one.quantile(0.0), 7);
+        assert_eq!(one.quantile(1.0), 7);
+    }
+}

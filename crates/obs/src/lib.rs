@@ -1,0 +1,155 @@
+//! routelab-obs: structured tracing, metrics, and run telemetry.
+//!
+//! Zero-dependency observability for the routelab workspace. The crate
+//! provides spans, counters, gauges, and log-scale histograms that flush from
+//! thread-local buffers into a lock-free global sink writing NDJSON to
+//! `results/telemetry/` (schema documented in EXPERIMENTS.md §Telemetry),
+//! plus a summarizer that aggregates those logs into phase-latency tables.
+//!
+//! Design rules:
+//!
+//! - **Disabled is near-free.** Every instrumentation call starts with one
+//!   relaxed atomic load; nothing allocates or takes a lock until telemetry
+//!   is explicitly enabled (`--obs` flag or `ROUTELAB_OBS=1`).
+//! - **Telemetry never perturbs results.** Instrumentation only observes;
+//!   the determinism suite runs bit-identical with the sink on and off.
+//! - **Explicit shutdown.** The experiment binaries exit via
+//!   `std::process::exit`, which skips destructors — call [`shutdown`]
+//!   before exiting or the tail of the log is lost.
+//!
+//! ```
+//! let dir = std::env::temp_dir().join(format!("obs-doc-{}", std::process::id()));
+//! let _ = std::fs::remove_dir_all(&dir);
+//! routelab_obs::enable_to_dir(&dir, "doctest");
+//! {
+//!     let mut span = routelab_obs::span("phase.work");
+//!     span.field("items", 3u64);
+//! }
+//! routelab_obs::counter("work.items", 3);
+//! routelab_obs::histogram("work.steps", 17);
+//! routelab_obs::shutdown();
+//! let summary = routelab_obs::summarize_dir(&dir).unwrap();
+//! assert_eq!(summary.counters["work.items"].total, 3);
+//! let _ = std::fs::remove_dir_all(&dir);
+//! ```
+
+#![forbid(unsafe_op_in_unsafe_fn)]
+#![warn(missing_docs)]
+
+pub mod event;
+pub mod heartbeat;
+pub mod hist;
+pub mod sink;
+pub mod summary;
+
+pub use event::{parse_json, Event, FieldVal, JVal, ParseError};
+pub use heartbeat::{rss_bytes, Heartbeat};
+pub use hist::LogHistogram;
+pub use sink::{
+    counter, enable_to_dir, enabled, flush, gauge, histogram, now_ns, quiet, set_quiet, shutdown,
+    span, SpanGuard,
+};
+pub use summary::{summarize_dir, summarize_str, Summary};
+
+use std::path::PathBuf;
+
+/// Resolves the telemetry output directory: `ROUTELAB_OBS_DIR`, else
+/// `<ROUTELAB_RESULTS_DIR>/telemetry`, else `results/telemetry`.
+pub fn telemetry_dir() -> PathBuf {
+    if let Ok(dir) = std::env::var("ROUTELAB_OBS_DIR") {
+        if !dir.is_empty() {
+            return PathBuf::from(dir);
+        }
+    }
+    let base = std::env::var("ROUTELAB_RESULTS_DIR").unwrap_or_else(|_| "results".to_string());
+    PathBuf::from(base).join("telemetry")
+}
+
+/// Whether an env value means "on" (`1`, `true`, `yes`, `on`; case-insensitive).
+fn truthy(v: &str) -> bool {
+    matches!(v.to_ascii_lowercase().as_str(), "1" | "true" | "yes" | "on")
+}
+
+/// Enables telemetry if `ROUTELAB_OBS` is set truthy; returns the log path
+/// when enabled. Binaries call this once at startup (the `--obs` flag calls
+/// [`enable_to_dir`] directly).
+pub fn init_from_env(proc_name: &str) -> Option<PathBuf> {
+    match std::env::var("ROUTELAB_OBS") {
+        Ok(v) if truthy(&v) => enable_to_dir(&telemetry_dir(), proc_name),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn truthy_values() {
+        for v in ["1", "true", "TRUE", "yes", "On"] {
+            assert!(truthy(v), "{v}");
+        }
+        for v in ["", "0", "false", "no", "off", "2"] {
+            assert!(!truthy(v), "{v}");
+        }
+    }
+
+    // Enabling the sink is one-way per process, so the full write->read
+    // round trip lives in a single test (plus the doctest, which runs in its
+    // own process).
+    #[test]
+    fn end_to_end_round_trip() {
+        let dir = std::env::temp_dir().join(format!("routelab-obs-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+
+        // Disabled: everything is a no-op and no file appears.
+        assert!(!enabled());
+        counter("pre.enable", 5);
+        histogram("pre.enable.h", 5);
+        drop(span("pre.enable.span"));
+        flush();
+        assert!(!dir.exists());
+
+        let path = enable_to_dir(&dir, "unit-test").expect("enable");
+        assert!(enabled());
+        // Second enable is a no-op that returns the same path.
+        assert_eq!(enable_to_dir(&dir, "other-name"), Some(path.clone()));
+
+        {
+            let mut s = span("test.phase");
+            s.field("gadget", "FIG6");
+            s.field("states", 1234u64);
+        }
+        counter("test.count", 7);
+        counter("test.count", 0); // zero increments are skipped
+        gauge("test.gauge", 99);
+        for v in [1u64, 2, 1024] {
+            histogram("test.hist", v);
+        }
+        // Events from a worker thread must land in the same log.
+        std::thread::spawn(|| {
+            counter("test.count", 3);
+            drop(span("test.phase"));
+        })
+        .join()
+        .unwrap();
+        shutdown();
+
+        let content = std::fs::read_to_string(&path).expect("log written");
+        for line in content.lines() {
+            parse_json(line).unwrap_or_else(|e| panic!("bad NDJSON line {line:?}: {e}"));
+        }
+        let summary = summarize_dir(&dir).expect("summarize");
+        assert_eq!(summary.malformed, 0, "{content}");
+        assert_eq!(summary.procs, vec![format!("unit-test ({})", std::process::id())]);
+        assert_eq!(summary.counters["test.count"].total, 10);
+        assert_eq!(summary.gauges["test.gauge"].last, 99);
+        assert_eq!(summary.spans["test.phase"].count, 2);
+        let h = &summary.hists["test.hist"];
+        assert_eq!((h.count, h.sum, h.max), (3, 1027, 1024));
+        // The pre-enable events must not have leaked in.
+        assert!(!summary.counters.contains_key("pre.enable"));
+
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

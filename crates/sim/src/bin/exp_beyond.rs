@@ -12,14 +12,23 @@ use routelab_core::model::CommModel;
 use routelab_core::paper::{compare, figure3, figure4, CellVerdict};
 use routelab_explore::graph::ExploreConfig;
 use routelab_sim::beyond::{disagree_separations, extended_bounds, newly_determined};
+use routelab_sim::cli;
 use routelab_sim::report::{write_json, Json};
 use routelab_sim::table::Table;
 
 fn main() {
+    let opts = cli::parse_common("exp-beyond");
+    if !opts.rest.is_empty() {
+        eprintln!("usage: exp-beyond [--quiet] [--obs]");
+        opts.exit(2);
+    }
     let t0 = Instant::now();
     let cfg = ExploreConfig::default();
-    println!("harvesting exhaustive verdicts for all 24 models on DISAGREE…");
+    opts.progress("harvesting exhaustive verdicts for all 24 models on DISAGREE…");
+    let mut harvest_span = routelab_obs::span("beyond.harvest");
     let seps = disagree_separations(&cfg);
+    harvest_span.field("separations", seps.len());
+    drop(harvest_span);
     println!("{} empirical separations found\n", seps.len());
 
     let base = derive_bounds(&foundational_facts());
@@ -114,8 +123,8 @@ fn main() {
         Ok(p) => println!("wrote {}", p.display()),
         Err(e) => {
             eprintln!("error writing JSON results: {e}");
-            std::process::exit(2);
+            opts.exit(2);
         }
     }
-    std::process::exit(if ok { 0 } else { 1 });
+    opts.exit(if ok { 0 } else { 1 });
 }

@@ -11,6 +11,7 @@ use routelab_engine::schedule::Cyclic;
 use routelab_explore::graph::ExploreConfig;
 use routelab_explore::oscillation::{analyze, Verdict};
 use routelab_explore::trace_search::{search, SearchGoal, SearchResult};
+use routelab_sim::cli;
 use routelab_sim::table::Table;
 
 fn print_run(run: &PaperRun) -> bool {
@@ -196,7 +197,8 @@ fn a6() -> bool {
 }
 
 fn main() {
-    let arg = std::env::args().nth(1).unwrap_or_else(|| "all".into());
+    let opts = cli::parse_common("exp-examples");
+    let arg = opts.rest.first().cloned().unwrap_or_else(|| "all".into());
     let mut ok = true;
     let run_a = |name: &str, ok: &mut bool| match name {
         "a1" => *ok &= a1(),
@@ -219,5 +221,5 @@ fn main() {
         run_a(&arg, &mut ok);
     }
     println!("overall: {}", if ok { "ALL CLAIMS REPRODUCED" } else { "MISMATCH" });
-    std::process::exit(if ok { 0 } else { 1 });
+    opts.exit(if ok { 0 } else { 1 });
 }

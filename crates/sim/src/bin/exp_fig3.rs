@@ -6,8 +6,10 @@ use routelab_core::closure::derive_bounds;
 use routelab_core::edges::foundational_facts;
 use routelab_core::model::CommModel;
 use routelab_core::paper::{compare, figure3, CellVerdict};
+use routelab_sim::cli;
 
 fn main() {
+    let opts = cli::parse_common("exp-fig3");
     let facts = foundational_facts();
     let bounds = derive_bounds(&facts);
     println!("Figure 3 (computed): entry (row A, col B) = B's ability to realize A");
@@ -23,5 +25,5 @@ fn main() {
         "verdict: {}",
         if ok { "REPRODUCED (no conflicts, nothing weaker than published)" } else { "MISMATCH" }
     );
-    std::process::exit(if ok { 0 } else { 1 });
+    opts.exit(if ok { 0 } else { 1 });
 }

@@ -5,8 +5,10 @@ use routelab_core::closure::derive_bounds;
 use routelab_core::edges::foundational_facts;
 use routelab_core::model::CommModel;
 use routelab_core::paper::{compare, figure4, CellVerdict};
+use routelab_sim::cli;
 
 fn main() {
+    let opts = cli::parse_common("exp-fig4");
     let bounds = derive_bounds(&foundational_facts());
     println!("Figure 4 (computed): entry (row A, col B) = B's ability to realize A\n");
     println!("{}", bounds.render(&CommModel::all_unreliable()));
@@ -19,5 +21,5 @@ fn main() {
         "verdict: {}",
         if ok { "REPRODUCED (no conflicts, nothing weaker than published)" } else { "MISMATCH" }
     );
-    std::process::exit(if ok { 0 } else { 1 });
+    opts.exit(if ok { 0 } else { 1 });
 }

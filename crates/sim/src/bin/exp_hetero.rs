@@ -9,6 +9,7 @@ use routelab_core::hetero::{HeteroModel, NodeModel};
 use routelab_core::model::CommModel;
 use routelab_explore::graph::ExploreConfig;
 use routelab_explore::oscillation::{analyze_hetero, Verdict};
+use routelab_sim::cli;
 use routelab_sim::table::Table;
 use routelab_spp::{gadgets, Channel, SppInstance};
 
@@ -39,6 +40,7 @@ fn analyze_row(
 }
 
 fn main() {
+    let opts = cli::parse_common("exp-hetero");
     let cfg = ExploreConfig { channel_cap: 3, max_states: 400_000, ..ExploreConfig::default() };
 
     println!("== Mixed node behavior on DISAGREE (Fig. 5) ==");
@@ -93,4 +95,5 @@ fn main() {
     h.set_node(u, EVENT);
     analyze_row(&mut table, "u event-driven, rest REA", &inst, &h, &cfg);
     println!("{table}");
+    opts.finish();
 }

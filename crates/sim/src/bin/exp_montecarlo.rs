@@ -3,14 +3,15 @@
 //! families — dispute-wheel-carrying gadgets, wheel-free Gao–Rexford
 //! topologies, and random policies.
 //!
-//! Usage: `exp_montecarlo [runs] [--threads N]`. Prints text tables and
-//! writes `results/exp-montecarlo.json` (full report) plus
+//! Usage: `exp_montecarlo [runs] [--threads N] [--quiet] [--obs]`. Prints
+//! text tables and writes `results/exp-montecarlo.json` (full report) plus
 //! `results/BENCH_montecarlo.json` (throughput summary); see EXPERIMENTS.md
 //! for the schema.
 
 use std::time::Instant;
 
 use routelab_core::model::CommModel;
+use routelab_sim::cli::{self, CommonOpts};
 use routelab_sim::montecarlo::{try_run_grid_with, CellConfig, CellReport};
 use routelab_sim::pool::PoolConfig;
 use routelab_sim::report::{write_json, GroupReport, RunReport};
@@ -19,6 +20,7 @@ use routelab_spp::generator::{gao_rexford_instance, random_instance, RandomSppCo
 use routelab_spp::{dispute, gadgets, SppInstance};
 
 fn report(
+    opts: &CommonOpts,
     name: &str,
     inst: &SppInstance,
     models: &[CommModel],
@@ -32,11 +34,14 @@ fn report(
         inst.node_count(),
         inst.graph().edge_count()
     );
+    opts.progress(format!("running {name}: {} models x {} runs", models.len(), cfg.runs));
+    let mut group_span = routelab_obs::span("mc.group");
+    group_span.field("group", name.to_string());
     let cells: Vec<CellReport> = match try_run_grid_with(inst, models, cfg, pool) {
         Ok(cells) => cells,
         Err(e) => {
             eprintln!("error: {e}");
-            std::process::exit(2);
+            opts.exit(2);
         }
     };
     let mut table = Table::new(vec![
@@ -65,22 +70,16 @@ fn report(
 }
 
 fn main() {
+    let opts = cli::parse_common("exp-montecarlo");
     let t0 = Instant::now();
     let mut runs = 40usize;
-    let mut pool = PoolConfig::default();
-    let mut args = std::env::args().skip(1);
-    while let Some(arg) = args.next() {
-        if arg == "--threads" {
-            let n = args
-                .next()
-                .and_then(|s| s.parse().ok())
-                .unwrap_or_else(|| panic!("--threads needs a positive integer"));
-            pool = PoolConfig::with_threads(n);
-        } else if let Ok(n) = arg.parse() {
+    let pool = opts.pool;
+    for arg in &opts.rest {
+        if let Ok(n) = arg.parse() {
             runs = n;
         } else {
-            eprintln!("usage: exp_montecarlo [runs] [--threads N]");
-            std::process::exit(2);
+            eprintln!("usage: exp-montecarlo [runs] [--threads N] [--quiet] [--obs]");
+            opts.exit(2);
         }
     }
     let cfg = CellConfig { runs, max_steps: 30_000, seed: 42, drop_prob: 0.25 };
@@ -90,19 +89,19 @@ fn main() {
         .collect();
 
     let mut groups = vec![
-        report("DISAGREE", &gadgets::disagree(), &models, &cfg, &pool),
-        report("BAD-GADGET", &gadgets::bad_gadget(), &models, &cfg, &pool),
-        report("GOOD-GADGET", &gadgets::good_gadget(), &models, &cfg, &pool),
-        report("FIG6", &gadgets::fig6(), &models, &cfg, &pool),
+        report(&opts, "DISAGREE", &gadgets::disagree(), &models, &cfg, &pool),
+        report(&opts, "BAD-GADGET", &gadgets::bad_gadget(), &models, &cfg, &pool),
+        report(&opts, "GOOD-GADGET", &gadgets::good_gadget(), &models, &cfg, &pool),
+        report(&opts, "FIG6", &gadgets::fig6(), &models, &cfg, &pool),
     ];
 
     for n in [8, 16] {
         let gr = gao_rexford_instance(n, 7, 6, 5).expect("generator");
-        groups.push(report(&format!("GAO-REXFORD n={n}"), &gr, &models, &cfg, &pool));
+        groups.push(report(&opts, &format!("GAO-REXFORD n={n}"), &gr, &models, &cfg, &pool));
     }
     let rnd = random_instance(&RandomSppConfig { nodes: 10, seed: 5, ..Default::default() })
         .expect("generator");
-    groups.push(report("RANDOM n=10", &rnd, &models, &cfg, &pool));
+    groups.push(report(&opts, "RANDOM n=10", &rnd, &models, &cfg, &pool));
 
     println!("interpretation: wheel-free instances must show conv rate 1.00 in every model;");
     println!("instances with a dispute wheel converge under randomized fair schedules with");
@@ -127,7 +126,8 @@ fn main() {
         Ok((p, b)) => println!("wrote {} and {}", p.display(), b.display()),
         Err(e) => {
             eprintln!("error writing JSON results: {e}");
-            std::process::exit(2);
+            opts.exit(2);
         }
     }
+    opts.finish();
 }

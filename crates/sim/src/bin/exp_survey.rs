@@ -18,6 +18,7 @@
 use std::time::Instant;
 
 use routelab_explore::graph::ExploreConfig;
+use routelab_sim::cli;
 use routelab_sim::report::{write_json, Json};
 use routelab_sim::survey::{survey_instance, SurveyConfig, SurveyOutcome};
 use routelab_sim::table::Table;
@@ -50,6 +51,11 @@ fn outcome_json(o: &SurveyOutcome) -> Json {
 }
 
 fn main() {
+    let opts = cli::parse_common("exp-survey");
+    if !opts.rest.is_empty() {
+        eprintln!("usage: exp-survey [--threads N] [--quiet] [--obs]");
+        opts.exit(2);
+    }
     let t0 = Instant::now();
     let corpus = gadgets::corpus();
 
@@ -66,15 +72,19 @@ fn main() {
             ..SurveyConfig::default()
         };
         let g0 = Instant::now();
-        print!("surveying {name} (probe budget {} states) ... ", cfg.explore.max_states);
-        use std::io::Write as _;
-        std::io::stdout().flush().ok();
+        opts.progress_part(format!(
+            "surveying {name} (probe budget {} states) ... ",
+            cfg.explore.max_states
+        ));
+        let mut gadget_span = routelab_obs::span("survey.gadget");
+        gadget_span.field("gadget", *name);
+        gadget_span.field("probe_budget", cfg.explore.max_states);
         surveys.push(survey_instance(inst, &cfg));
+        drop(gadget_span);
         let wall = g0.elapsed();
-        println!("done in {:.1} s", wall.as_secs_f64());
+        opts.progress(format!("done in {:.1} s", wall.as_secs_f64()));
         gadget_walls.push(wall);
     }
-    println!();
 
     let mut header = vec!["model".to_string()];
     header.extend(corpus.iter().map(|(n, _)| n.to_string()));
@@ -171,8 +181,8 @@ fn main() {
         Ok(p) => println!("wrote {}", p.display()),
         Err(e) => {
             eprintln!("error writing JSON results: {e}");
-            std::process::exit(2);
+            opts.exit(2);
         }
     }
-    std::process::exit(if ok { 0 } else { 1 });
+    opts.exit(if ok { 0 } else { 1 });
 }

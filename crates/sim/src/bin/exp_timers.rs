@@ -12,6 +12,7 @@ use routelab_core::model::CommModel;
 use routelab_engine::outcome::{drive, RunOutcome};
 use routelab_engine::runner::Runner;
 use routelab_engine::schedule::Periodic;
+use routelab_sim::cli;
 use routelab_sim::table::Table;
 use routelab_spp::generator::gao_rexford_instance;
 use routelab_spp::{gadgets, SppInstance};
@@ -52,6 +53,7 @@ fn sweep(name: &str, inst: &SppInstance, hub: &str, model: CommModel) {
 }
 
 fn main() {
+    let opts = cli::parse_common("exp-timers");
     let rms: CommModel = "RMS".parse().expect("model");
     // FIG6: node a is the hub every route passes through; slowing it only
     // delays discovery (no transients: it always reads all spokes first).
@@ -73,4 +75,5 @@ fn main() {
     println!("makes a announce transient routes (axd, ayd) that u and v chase, so the");
     println!("network pays in *both* steps and messages — whereas making a patient again");
     println!("(reading everything before announcing) suppresses those spurious updates.");
+    opts.finish();
 }

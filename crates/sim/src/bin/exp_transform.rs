@@ -7,6 +7,7 @@ use routelab_engine::runner::Runner;
 use routelab_engine::schedule::{RoundRobin, Scheduler};
 use routelab_realize::compose::foundational_edges;
 use routelab_realize::verify::{verify_edge, verify_path};
+use routelab_sim::cli;
 use routelab_sim::table::Table;
 use routelab_spp::gadgets;
 
@@ -23,6 +24,7 @@ fn rr_prefix(inst: &routelab_spp::SppInstance, model: CommModel, steps: usize) -
 }
 
 fn main() {
+    let opts = cli::parse_common("exp-transform");
     let corpus = gadgets::corpus();
     let mut ok = true;
 
@@ -99,5 +101,5 @@ fn main() {
     }
     println!("{table}");
     println!("verdict: {}", if ok { "ALL CONSTRUCTIONS HOLD" } else { "MISMATCH" });
-    std::process::exit(if ok { 0 } else { 1 });
+    opts.exit(if ok { 0 } else { 1 });
 }

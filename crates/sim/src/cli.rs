@@ -1,0 +1,130 @@
+//! Shared command-line plumbing for the experiment binaries.
+//!
+//! Every `exp_*` binary accepts the same trio of infrastructure flags —
+//! `--threads N`, `--quiet`, `--obs` — parsed here once instead of being
+//! copied per binary. Parsing also wires the telemetry layer: `--obs` (or a
+//! truthy `ROUTELAB_OBS`) enables the NDJSON sink, and `--quiet` suppresses
+//! progress/heartbeat output on stderr.
+//!
+//! Progress text goes to **stderr** ([`CommonOpts::progress`]) so stdout
+//! stays pipeable: it carries only the experiment's tables and verdicts.
+//! Binaries must call [`CommonOpts::finish`] (or [`exit`]) before
+//! terminating — `std::process::exit` skips destructors, so the telemetry
+//! tail would otherwise be lost.
+
+use std::path::PathBuf;
+
+use crate::pool::PoolConfig;
+
+/// Options shared by all experiment binaries.
+#[derive(Debug, Clone, Default)]
+pub struct CommonOpts {
+    /// Worker-pool sizing (`--threads N`, else `ROUTELAB_THREADS`, else all
+    /// cores).
+    pub pool: PoolConfig,
+    /// Suppress progress and heartbeat output (`--quiet`).
+    pub quiet: bool,
+    /// Telemetry log path when observability is enabled.
+    pub obs_log: Option<PathBuf>,
+    /// Positional arguments and unrecognized flags, in order, for the
+    /// binary's own parsing.
+    pub rest: Vec<String>,
+}
+
+impl CommonOpts {
+    /// Prints a progress line to stderr unless `--quiet`.
+    pub fn progress(&self, msg: impl AsRef<str>) {
+        if !self.quiet {
+            eprintln!("{}", msg.as_ref());
+        }
+    }
+
+    /// Like [`CommonOpts::progress`] but without a trailing newline (for
+    /// `surveying X ... done` style updates).
+    pub fn progress_part(&self, msg: impl AsRef<str>) {
+        if !self.quiet {
+            use std::io::Write as _;
+            let mut err = std::io::stderr();
+            let _ = write!(err, "{}", msg.as_ref());
+            let _ = err.flush();
+        }
+    }
+
+    /// Flushes telemetry. Call once, right before the binary returns or
+    /// exits.
+    pub fn finish(&self) {
+        routelab_obs::shutdown();
+    }
+
+    /// [`CommonOpts::finish`] followed by `std::process::exit(code)`.
+    pub fn exit(&self, code: i32) -> ! {
+        self.finish();
+        std::process::exit(code);
+    }
+}
+
+/// Parses the shared flags out of an explicit argument list (everything not
+/// recognized lands in [`CommonOpts::rest`]) and initializes telemetry.
+///
+/// `proc_name` names the binary in usage errors and the telemetry log file.
+pub fn parse_common_from<I>(proc_name: &str, args: I) -> CommonOpts
+where
+    I: IntoIterator<Item = String>,
+{
+    let mut opts = CommonOpts::default();
+    let mut obs_flag = false;
+    let mut args = args.into_iter();
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--threads" => {
+                let Some(n) = args.next().and_then(|s| s.parse::<usize>().ok()).filter(|&n| n >= 1)
+                else {
+                    eprintln!("{proc_name}: --threads needs a positive integer");
+                    eprintln!("usage: {proc_name} [--threads N] [--quiet] [--obs] ...");
+                    std::process::exit(2);
+                };
+                opts.pool = PoolConfig::with_threads(n);
+            }
+            "--quiet" => opts.quiet = true,
+            "--obs" => obs_flag = true,
+            _ => opts.rest.push(arg),
+        }
+    }
+    routelab_obs::set_quiet(opts.quiet);
+    opts.obs_log = if obs_flag {
+        routelab_obs::enable_to_dir(&routelab_obs::telemetry_dir(), proc_name)
+    } else {
+        routelab_obs::init_from_env(proc_name)
+    };
+    opts
+}
+
+/// [`parse_common_from`] over the process's real arguments.
+pub fn parse_common(proc_name: &str) -> CommonOpts {
+    parse_common_from(proc_name, std::env::args().skip(1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn strs(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn shared_flags_are_stripped_in_any_position() {
+        let o = parse_common_from("t", strs(&["50", "--threads", "3", "--quiet", "--flag"]));
+        assert_eq!(o.pool.threads, Some(3));
+        assert!(o.quiet);
+        assert_eq!(o.rest, vec!["50", "--flag"]);
+    }
+
+    #[test]
+    fn defaults_with_no_args() {
+        let o = parse_common_from("t", Vec::new());
+        assert_eq!(o.pool.threads, None);
+        assert!(!o.quiet);
+        assert!(o.rest.is_empty());
+    }
+}

@@ -11,7 +11,9 @@
 //! * [`pool`] — the deterministic run-level worker pool executing those
 //!   statistics (bit-identical results for every worker count),
 //! * [`report`] — machine-readable JSON reports (`results/*.json`) layered
-//!   over the text tables.
+//!   over the text tables,
+//! * [`cli`] — the shared `--threads`/`--quiet`/`--obs` flag plumbing of the
+//!   experiment binaries, wiring the `routelab-obs` telemetry layer.
 //!
 //! # Example
 //!
@@ -29,6 +31,7 @@
 //! ```
 
 pub mod beyond;
+pub mod cli;
 pub mod montecarlo;
 pub mod pool;
 pub mod report;

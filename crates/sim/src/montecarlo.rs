@@ -168,6 +168,9 @@ pub fn run_one(inst: &SppInstance, model: CommModel, cfg: &CellConfig, run: usiz
         rec.stable_outcome = is_stable(inst, &assignment);
     }
     rec.wall = t0.elapsed();
+    if routelab_obs::enabled() {
+        routelab_obs::histogram("mc.run.wall_ns", rec.wall.as_nanos() as u64);
+    }
     rec
 }
 
@@ -263,6 +266,9 @@ pub fn try_run_grid_with(
 ) -> Result<Vec<CellReport>, GridError> {
     let runs = cfg.runs;
     let jobs = models.len() * runs;
+    let mut grid_span = routelab_obs::span("mc.grid");
+    grid_span.field("models", models.len());
+    grid_span.field("runs_per_cell", runs);
     let records = pool::execute(jobs, pool_cfg.resolved_threads(), &|job| {
         run_one(inst, models[job / runs], cfg, job % runs)
     })

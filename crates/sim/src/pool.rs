@@ -90,14 +90,28 @@ where
         return Ok(Vec::new());
     }
     let threads = threads.clamp(1, jobs);
+    let obs_on = routelab_obs::enabled();
     if threads == 1 {
         // Inline fast path: no worker threads, same merge order.
+        let mut worker = routelab_obs::span("pool.worker");
+        let mut busy_ns: u64 = 0;
         let mut out = Vec::with_capacity(jobs);
         for i in 0..jobs {
+            let t0 = if obs_on { routelab_obs::now_ns() } else { 0 };
             match catch_unwind(AssertUnwindSafe(|| run(i))) {
                 Ok(v) => out.push(v),
                 Err(p) => return Err(JobPanic { job: i, message: payload_to_string(p) }),
             }
+            if obs_on {
+                let d = routelab_obs::now_ns().saturating_sub(t0);
+                busy_ns += d;
+                routelab_obs::histogram("pool.job_ns", d);
+            }
+        }
+        if obs_on {
+            routelab_obs::counter("pool.jobs", jobs as u64);
+            worker.field("jobs", jobs as u64);
+            worker.field("busy_ns", busy_ns);
         }
         return Ok(out);
     }
@@ -111,27 +125,48 @@ where
 
     std::thread::scope(|s| {
         for _ in 0..threads {
-            s.spawn(|| loop {
-                if abort.load(Ordering::Relaxed) {
-                    break;
-                }
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= jobs {
-                    break;
-                }
-                match catch_unwind(AssertUnwindSafe(|| run(i))) {
-                    Ok(v) => {
-                        *slots[i].lock().expect("slot mutex") = Some(v);
+            s.spawn(|| {
+                // Per-worker telemetry: one span covering the worker's whole
+                // life, a duration histogram per job, and busy/claimed
+                // accounting so the summary shows idle time (span duration
+                // minus busy_ns) under imbalanced job mixes.
+                let mut worker = routelab_obs::span("pool.worker");
+                let mut claimed: u64 = 0;
+                let mut busy_ns: u64 = 0;
+                loop {
+                    if abort.load(Ordering::Relaxed) {
+                        break;
                     }
-                    Err(p) => {
-                        abort.store(true, Ordering::Relaxed);
-                        let candidate = JobPanic { job: i, message: payload_to_string(p) };
-                        let mut slot = failure.lock().expect("failure mutex");
-                        match slot.as_ref() {
-                            Some(prev) if prev.job <= candidate.job => {}
-                            _ => *slot = Some(candidate),
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= jobs {
+                        break;
+                    }
+                    let t0 = if obs_on { routelab_obs::now_ns() } else { 0 };
+                    match catch_unwind(AssertUnwindSafe(|| run(i))) {
+                        Ok(v) => {
+                            *slots[i].lock().expect("slot mutex") = Some(v);
+                        }
+                        Err(p) => {
+                            abort.store(true, Ordering::Relaxed);
+                            let candidate = JobPanic { job: i, message: payload_to_string(p) };
+                            let mut slot = failure.lock().expect("failure mutex");
+                            match slot.as_ref() {
+                                Some(prev) if prev.job <= candidate.job => {}
+                                _ => *slot = Some(candidate),
+                            }
                         }
                     }
+                    if obs_on {
+                        let d = routelab_obs::now_ns().saturating_sub(t0);
+                        busy_ns += d;
+                        claimed += 1;
+                        routelab_obs::histogram("pool.job_ns", d);
+                    }
+                }
+                if obs_on {
+                    routelab_obs::counter("pool.jobs", claimed);
+                    worker.field("jobs", claimed);
+                    worker.field("busy_ns", busy_ns);
                 }
             });
         }

@@ -9,7 +9,7 @@
 
 use std::fmt::Write as _;
 use std::io;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::time::Duration;
 
 use routelab_spp::SppInstance;
@@ -274,6 +274,22 @@ fn cell_json(c: &CellReport) -> Json {
     ])
 }
 
+/// Writes `json` to `<dir>/<stem>.json`, creating `dir` if needed.
+///
+/// This is the testable core of [`write_json`]: callers (and tests) pass the
+/// resolved directory explicitly instead of mutating process environment,
+/// which is racy across concurrently running test threads.
+///
+/// # Errors
+///
+/// Propagates filesystem errors.
+pub fn write_json_to(dir: &Path, stem: &str, json: &Json) -> io::Result<PathBuf> {
+    std::fs::create_dir_all(dir)?;
+    let path = dir.join(format!("{stem}.json"));
+    std::fs::write(&path, json.render())?;
+    Ok(path)
+}
+
 /// Writes `json` to `<results dir>/<stem>.json` (creating the directory),
 /// where the results dir is `$ROUTELAB_RESULTS_DIR` or `results/`.
 ///
@@ -282,11 +298,7 @@ fn cell_json(c: &CellReport) -> Json {
 /// Propagates filesystem errors.
 pub fn write_json(stem: &str, json: &Json) -> io::Result<PathBuf> {
     let dir = std::env::var("ROUTELAB_RESULTS_DIR").unwrap_or_else(|_| "results".to_string());
-    let dir = PathBuf::from(dir);
-    std::fs::create_dir_all(&dir)?;
-    let path = dir.join(format!("{stem}.json"));
-    std::fs::write(&path, json.render())?;
-    Ok(path)
+    write_json_to(Path::new(&dir), stem, json)
 }
 
 #[cfg(test)]
@@ -359,13 +371,38 @@ mod tests {
 
     #[test]
     fn write_json_creates_file() {
-        let dir = std::env::temp_dir().join("routelab-report-test");
-        std::env::set_var("ROUTELAB_RESULTS_DIR", &dir);
-        let path = write_json("unit-test", &Json::obj([("ok", Json::Bool(true))]))
+        // The directory is passed explicitly — `set_var` would race with
+        // other tests reading the environment on parallel test threads.
+        let dir = std::env::temp_dir()
+            .join(format!("routelab-report-test-{}", std::process::id()));
+        let path = write_json_to(&dir, "unit-test", &Json::obj([("ok", Json::Bool(true))]))
             .expect("writable temp dir");
         let text = std::fs::read_to_string(&path).expect("file exists");
-        std::env::remove_var("ROUTELAB_RESULTS_DIR");
         let _ = std::fs::remove_dir_all(&dir);
         assert!(text.contains("\"ok\": true"));
+        assert!(path.ends_with("unit-test.json"), "{}", path.display());
+    }
+
+    #[test]
+    fn string_escaping_covers_json_special_cases() {
+        let cases: &[(&str, &str)] = &[
+            ("plain", r#""plain""#),
+            ("with \"quotes\"", r#""with \"quotes\"""#),
+            ("back\\slash", r#""back\\slash""#),
+            ("line\nbreak", r#""line\nbreak""#),
+            ("carriage\rreturn", r#""carriage\rreturn""#),
+            ("tab\there", r#""tab\there""#),
+            ("nul\u{0}byte", r#""nul\u0000byte""#),
+            ("esc\u{1b}ape", r#""esc\u001bape""#),
+            ("unit\u{1f}sep", r#""unit\u001fsep""#),
+            // Non-ASCII passes through unescaped (the files are UTF-8).
+            ("π ≤ ∞ désolé", r#""π ≤ ∞ désolé""#),
+            ("emoji \u{1f600}", "\"emoji \u{1f600}\""),
+        ];
+        for (input, want) in cases {
+            let mut out = String::new();
+            write_escaped(&mut out, input);
+            assert_eq!(&out, want, "escaping {input:?}");
+        }
     }
 }

@@ -93,8 +93,16 @@ impl Default for SurveyConfig {
 /// `Unknown`).
 pub fn survey_instance(inst: &SppInstance, cfg: &SurveyConfig) -> Vec<SurveyEntry> {
     let bounds = derive_bounds(&foundational_facts());
-    let verdicts: Vec<(CommModel, Verdict)> =
-        cfg.probes.iter().map(|&m| (m, analyze(inst, m, &cfg.explore))).collect();
+    let verdicts: Vec<(CommModel, Verdict)> = cfg
+        .probes
+        .iter()
+        .map(|&m| {
+            let mut probe_span = routelab_obs::span("survey.probe");
+            let v = analyze(inst, m, &cfg.explore);
+            probe_span.field("model", m.to_string());
+            (m, v)
+        })
+        .collect();
 
     let transfer = |model: CommModel| -> Option<SurveyOutcome> {
         // Direct verdict if this model is itself a probe; an inconclusive
@@ -141,6 +149,8 @@ pub fn survey_instance(inst: &SppInstance, cfg: &SurveyConfig) -> Vec<SurveyEntr
                 if !cfg.direct_fallback {
                     return SurveyOutcome::Unknown;
                 }
+                let mut direct_span = routelab_obs::span("survey.direct");
+                direct_span.field("model", model.to_string());
                 match analyze(inst, model, &phase2_cfg) {
                     Verdict::CanOscillate { .. } => SurveyOutcome::Oscillates { via: None },
                     Verdict::AlwaysConverges { .. } => SurveyOutcome::Converges { via: None },

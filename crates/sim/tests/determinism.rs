@@ -30,6 +30,31 @@ fn grid_is_bit_identical_across_worker_counts() {
     }
 }
 
+#[test]
+fn telemetry_does_not_perturb_results() {
+    // Obs enablement is one-way per process, so this test measures the
+    // disabled baseline first, flips the sink on, and re-measures. No other
+    // test in this binary enables obs, so the baseline really is obs-off.
+    assert!(!routelab_obs::enabled(), "obs must start disabled in the test process");
+    let baseline: Vec<_> = [1, 4].iter().map(|&t| grid_stats(t)).collect();
+
+    let dir = std::env::temp_dir().join(format!("routelab-obs-determinism-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let log = routelab_obs::enable_to_dir(&dir, "determinism-test");
+    assert!(routelab_obs::enabled());
+
+    // Bit-identical stats with telemetry recording, at both thread counts.
+    let instrumented: Vec<_> = [1, 4].iter().map(|&t| grid_stats(t)).collect();
+    assert_eq!(baseline, instrumented, "telemetry changed experiment results");
+
+    // And the run really was instrumented: the NDJSON log contains engine
+    // counters once flushed.
+    routelab_obs::shutdown();
+    let text = std::fs::read_to_string(log.expect("telemetry file opened")).expect("log readable");
+    assert!(text.contains("\"engine.steps\""), "telemetry log missing engine counters: {text}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 proptest! {
     #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
 

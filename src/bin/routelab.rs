@@ -10,7 +10,12 @@
 //! routelab realize  <instance> <from-model> <to-model> [steps]
 //! routelab simulate <instance> <model> [runs] [--threads N]
 //! routelab fig3 | fig4
+//! routelab obs summarize <telemetry-dir> [--json]
 //! ```
+//!
+//! Every subcommand also accepts `--obs` (write NDJSON telemetry under the
+//! results dir; equivalent to `ROUTELAB_OBS=1`) and `--quiet` (suppress
+//! progress/heartbeat output on stderr).
 //!
 //! `<instance>` is either a gadget name (`DISAGREE`, `FIG6`, `FIG7`, `FIG8`,
 //! `FIG9`, `BAD-GADGET`, `GOOD-GADGET`, `LINE2`) or a path to an `spp v1`
@@ -28,6 +33,7 @@ use routelab::explore::graph::ExploreConfig;
 use routelab::explore::oscillation::{analyze, Verdict};
 use routelab::explore::witness::oscillation_witness;
 use routelab::realize::verify::verify_path;
+use routelab::sim::cli::CommonOpts;
 use routelab::sim::montecarlo::{try_run_grid_with, CellConfig};
 use routelab::sim::pool::PoolConfig;
 use routelab::sim::survey::{survey_instance, SurveyConfig, SurveyOutcome};
@@ -191,9 +197,36 @@ fn cmd_figure(which: u8) {
     println!("{}", bounds.render(&cols));
 }
 
-fn run() -> Result<(), String> {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let usage = "usage: routelab <models|audit|solve|check|realize|simulate|fig3|fig4> …\n\
+fn cmd_obs_summarize(args: &[String]) -> Result<(), String> {
+    let usage = "usage: routelab obs summarize <telemetry-dir> [--json]";
+    match args.first().map(String::as_str) {
+        Some("summarize") => {
+            let json = args.iter().any(|a| a == "--json");
+            let dir = args
+                .iter()
+                .skip(1)
+                .find(|a| !a.starts_with("--"))
+                .ok_or(usage)?;
+            let dir = std::path::Path::new(dir);
+            let summary = routelab::obs::summarize_dir(dir)
+                .map_err(|e| format!("cannot summarize {}: {e}", dir.display()))?;
+            if summary.files == 0 {
+                return Err(format!("no *.ndjson telemetry files in {}", dir.display()));
+            }
+            if json {
+                println!("{}", summary.to_json_string());
+            } else {
+                print!("{}", summary.render_table());
+            }
+            Ok(())
+        }
+        _ => Err(usage.into()),
+    }
+}
+
+fn run(opts: &CommonOpts) -> Result<(), String> {
+    let args = &opts.rest;
+    let usage = "usage: routelab <models|audit|solve|check|realize|simulate|fig3|fig4|obs> …\n\
                  run `routelab help` for details";
     match args.first().map(String::as_str) {
         Some("models") => cmd_models(),
@@ -219,33 +252,22 @@ fn run() -> Result<(), String> {
             cmd_realize(&inst, from, to, steps)?;
         }
         Some("simulate") => {
-            let mut pool = PoolConfig::default();
-            let mut positional: Vec<&String> = Vec::new();
-            let mut rest = args[1..].iter();
-            while let Some(a) = rest.next() {
-                if a == "--threads" {
-                    let n = rest
-                        .next()
-                        .and_then(|s| s.parse::<usize>().ok())
-                        .filter(|&n| n >= 1)
-                        .ok_or("--threads needs a positive integer")?;
-                    pool = PoolConfig::with_threads(n);
-                } else {
-                    positional.push(a);
-                }
-            }
-            let inst = load_instance(positional.first().copied().ok_or(usage)?)?;
-            let model = parse_model(positional.get(1).copied().ok_or(usage)?)?;
-            let runs = positional.get(2).and_then(|s| s.parse().ok()).unwrap_or(50);
-            cmd_simulate(&inst, model, runs, &pool)?;
+            // `--threads N` is stripped into `opts.pool` by the common parser.
+            let inst = load_instance(args.get(1).ok_or(usage)?)?;
+            let model = parse_model(args.get(2).ok_or(usage)?)?;
+            let runs = args.get(3).and_then(|s| s.parse().ok()).unwrap_or(50);
+            cmd_simulate(&inst, model, runs, &opts.pool)?;
         }
         Some("fig3") => cmd_figure(3),
         Some("fig4") => cmd_figure(4),
+        Some("obs") => cmd_obs_summarize(&args[1..])?,
         Some("help") | None => {
             println!("{usage}");
             println!("\ninstances: DISAGREE FIG6 FIG7 FIG8 FIG9 BAD-GADGET GOOD-GADGET LINE2");
             println!("           or a path to an `spp v1` file");
             println!("models:    [RU][1ME][OSFA], e.g. RMS, R1O, REA");
+            println!("telemetry: add --obs (or ROUTELAB_OBS=1) to any subcommand, then");
+            println!("           `routelab obs summarize results/telemetry` to aggregate");
         }
         Some(other) => return Err(format!("unknown subcommand {other:?}\n{usage}")),
     }
@@ -253,11 +275,15 @@ fn run() -> Result<(), String> {
 }
 
 fn main() -> ExitCode {
-    match run() {
+    let opts = routelab::sim::cli::parse_common("routelab");
+    let code = match run(&opts) {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
             eprintln!("error: {e}");
             ExitCode::FAILURE
         }
-    }
+    };
+    // Flush any buffered telemetry before the process unwinds.
+    opts.finish();
+    code
 }

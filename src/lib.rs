@@ -20,7 +20,9 @@
 //! * [`explore`] — bounded exhaustive model checking (fair-oscillation
 //!   analysis, trace-realization search),
 //! * [`sim`] — the experiment harness (oscillation survey, Monte-Carlo
-//!   statistics, report tables).
+//!   statistics, report tables),
+//! * [`obs`] — zero-dependency observability (spans, counters, log-scale
+//!   histograms, NDJSON telemetry, and offline summarization).
 //!
 //! # Quickstart
 //!
@@ -46,6 +48,7 @@
 pub use routelab_core as core;
 pub use routelab_engine as engine;
 pub use routelab_explore as explore;
+pub use routelab_obs as obs;
 pub use routelab_realize as realize;
 pub use routelab_sim as sim;
 pub use routelab_spp as spp;
