@@ -177,10 +177,7 @@ pub fn derive_bounds(facts: &Facts) -> BoundsMatrix {
         }
     }
 
-    assert!(
-        m.is_consistent(),
-        "foundational facts are inconsistent: some cell has lower > upper"
-    );
+    assert!(m.is_consistent(), "foundational facts are inconsistent: some cell has lower > upper");
     m
 }
 

@@ -78,12 +78,8 @@ pub enum MessagePolicy {
 
 impl MessagePolicy {
     /// All values, in paper order (`O`, `S`, `F`, `A`).
-    pub const ALL: [MessagePolicy; 4] = [
-        MessagePolicy::One,
-        MessagePolicy::Some,
-        MessagePolicy::Forced,
-        MessagePolicy::All,
-    ];
+    pub const ALL: [MessagePolicy; 4] =
+        [MessagePolicy::One, MessagePolicy::Some, MessagePolicy::Forced, MessagePolicy::All];
 
     /// One-letter paper symbol.
     pub fn symbol(self) -> char {

@@ -63,12 +63,7 @@ pub fn foundational_facts() -> Facts {
     // Proposition 3.3(1): Uxy exactly realizes Rxy.
     for x in S::ALL {
         for y in P::ALL {
-            pos(
-                m(R::Reliable, x, y),
-                m(R::Unreliable, x, y),
-                Strength::Exact,
-                "Prop 3.3(1)",
-            );
+            pos(m(R::Reliable, x, y), m(R::Unreliable, x, y), Strength::Exact, "Prop 3.3(1)");
         }
     }
     for w in R::ALL {
@@ -179,9 +174,7 @@ mod tests {
         let has_pos = |a: &str, b: &str, s: Strength| {
             let a: CommModel = a.parse().unwrap();
             let b: CommModel = b.parse().unwrap();
-            f.positives
-                .iter()
-                .any(|p| p.realized == a && p.realizer == b && p.strength == s)
+            f.positives.iter().any(|p| p.realized == a && p.realizer == b && p.strength == s)
         };
         assert!(has_pos("R1O", "U1O", Strength::Exact)); // 3.3(1)
         assert!(has_pos("REA", "RMA", Strength::Exact)); // 3.3(4)
@@ -192,9 +185,7 @@ mod tests {
         let has_neg = |a: &str, b: &str, max: u8| {
             let a: CommModel = a.parse().unwrap();
             let b: CommModel = b.parse().unwrap();
-            f.negatives
-                .iter()
-                .any(|n| n.realized == a && n.realizer == b && n.max_level == max)
+            f.negatives.iter().any(|n| n.realized == a && n.realizer == b && n.max_level == max)
         };
         assert!(has_neg("R1O", "REA", 0)); // 3.8
         assert!(has_neg("REF", "RMA", 0)); // 3.9

@@ -60,10 +60,7 @@ impl HeteroModel {
     /// `model` is unreliable.
     pub fn uniform(node_count: usize, model: CommModel) -> Self {
         HeteroModel {
-            per_node: vec![
-                NodeModel { scope: model.scope, messages: model.messages };
-                node_count
-            ],
+            per_node: vec![NodeModel { scope: model.scope, messages: model.messages }; node_count],
             lossy: BTreeSet::new(),
             all_lossy: model.reliability == Reliability::Unreliable,
         }
@@ -98,8 +95,7 @@ impl HeteroModel {
     /// `true` when every node behaves identically and channels are
     /// homogeneous — i.e. the model is really one of the 24 uniform ones.
     pub fn is_uniform(&self) -> bool {
-        self.per_node.windows(2).all(|w| w[0] == w[1])
-            && (self.all_lossy || self.lossy.is_empty())
+        self.per_node.windows(2).all(|w| w[0] == w[1]) && (self.all_lossy || self.lossy.is_empty())
     }
 
     /// `true` when every channel is reliable and every node uses policy `A`
@@ -191,8 +187,7 @@ mod tests {
             }
             assert_eq!(
                 h.collapsible(),
-                m.reliability == Reliability::Reliable
-                    && m.messages == MessagePolicy::All,
+                m.reliability == Reliability::Reliable && m.messages == MessagePolicy::All,
                 "{m}"
             );
         }
@@ -233,10 +228,7 @@ mod tests {
             x,
             vec![ChannelAction::read_all(Channel::new(d, x))],
         ));
-        assert!(matches!(
-            check_step_hetero(&h, g, &x_partial),
-            Err(ModelViolation::Scope { .. })
-        ));
+        assert!(matches!(check_step_hetero(&h, g, &x_partial), Err(ModelViolation::Scope { .. })));
 
         // …while y reads one message from one channel.
         let y_read = ActivationStep::single(NodeUpdate::new(
@@ -248,20 +240,14 @@ mod tests {
             y,
             vec![ChannelAction::read_all(Channel::new(x, y))],
         ));
-        assert!(matches!(
-            check_step_hetero(&h, g, &y_all),
-            Err(ModelViolation::Messages { .. })
-        ));
+        assert!(matches!(check_step_hetero(&h, g, &y_all), Err(ModelViolation::Messages { .. })));
 
         // Drops only on lossy channels.
         let y_drop = ActivationStep::single(NodeUpdate::new(
             y,
             vec![ChannelAction::drop_one(Channel::new(x, y))],
         ));
-        assert!(matches!(
-            check_step_hetero(&h, g, &y_drop),
-            Err(ModelViolation::Dropped { .. })
-        ));
+        assert!(matches!(check_step_hetero(&h, g, &y_drop), Err(ModelViolation::Dropped { .. })));
         h.set_lossy(Channel::new(x, y));
         assert!(check_step_hetero(&h, g, &y_drop).is_ok());
     }

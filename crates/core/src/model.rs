@@ -44,11 +44,7 @@ pub enum Family {
 
 impl CommModel {
     /// Creates a model from its three dimensions.
-    pub fn new(
-        reliability: Reliability,
-        scope: NeighborScope,
-        messages: MessagePolicy,
-    ) -> Self {
+    pub fn new(reliability: Reliability, scope: NeighborScope, messages: MessagePolicy) -> Self {
         CommModel { reliability, scope, messages }
     }
 
@@ -73,10 +69,7 @@ impl CommModel {
 
     /// The 12 unreliable models in Figure 4 column order.
     pub fn all_unreliable() -> Vec<CommModel> {
-        CommModel::all()
-            .into_iter()
-            .filter(|m| m.reliability == Reliability::Unreliable)
-            .collect()
+        CommModel::all().into_iter().filter(|m| m.reliability == Reliability::Unreliable).collect()
     }
 
     /// The family this model belongs to (Sec. 2.3 uses reliable channels for
@@ -110,10 +103,7 @@ impl CommModel {
             Reliability::Reliable => 0,
             Reliability::Unreliable => 1,
         };
-        let y = MessagePolicy::ALL
-            .iter()
-            .position(|&m| m == self.messages)
-            .expect("policy in ALL");
+        let y = MessagePolicy::ALL.iter().position(|&m| m == self.messages).expect("policy in ALL");
         let x = NeighborScope::ALL.iter().position(|&s| s == self.scope).expect("scope in ALL");
         w * 12 + y * 3 + x
     }
@@ -122,13 +112,7 @@ impl CommModel {
 /// `Display` writes the paper's three-letter abbreviation, e.g. `RMS`.
 impl fmt::Display for CommModel {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "{}{}{}",
-            self.reliability.symbol(),
-            self.scope.symbol(),
-            self.messages.symbol()
-        )
+        write!(f, "{}{}{}", self.reliability.symbol(), self.scope.symbol(), self.messages.symbol())
     }
 }
 
@@ -140,11 +124,7 @@ pub struct ParseModelError {
 
 impl fmt::Display for ParseModelError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "invalid model {:?}: expected [RU][1ME][OSFA], e.g. \"RMS\"",
-            self.input
-        )
+        write!(f, "invalid model {:?}: expected [RU][1ME][OSFA], e.g. \"RMS\"", self.input)
     }
 }
 
@@ -159,18 +139,12 @@ impl FromStr for CommModel {
         if chars.len() != 3 {
             return Err(err());
         }
-        let reliability = Reliability::ALL
-            .into_iter()
-            .find(|r| r.symbol() == chars[0])
-            .ok_or_else(err)?;
-        let scope = NeighborScope::ALL
-            .into_iter()
-            .find(|x| x.symbol() == chars[1])
-            .ok_or_else(err)?;
-        let messages = MessagePolicy::ALL
-            .into_iter()
-            .find(|y| y.symbol() == chars[2])
-            .ok_or_else(err)?;
+        let reliability =
+            Reliability::ALL.into_iter().find(|r| r.symbol() == chars[0]).ok_or_else(err)?;
+        let scope =
+            NeighborScope::ALL.into_iter().find(|x| x.symbol() == chars[1]).ok_or_else(err)?;
+        let messages =
+            MessagePolicy::ALL.into_iter().find(|y| y.symbol() == chars[2]).ok_or_else(err)?;
         Ok(CommModel { reliability, scope, messages })
     }
 }
@@ -186,10 +160,7 @@ mod tests {
         let names: Vec<String> = all.iter().map(|m| m.to_string()).collect();
         assert_eq!(
             &names[..12],
-            &[
-                "R1O", "RMO", "REO", "R1S", "RMS", "RES", "R1F", "RMF", "REF", "R1A", "RMA",
-                "REA"
-            ]
+            &["R1O", "RMO", "REO", "R1S", "RMS", "RES", "R1F", "RMF", "REF", "R1A", "RMA", "REA"]
         );
         assert_eq!(names[12], "U1O");
         assert_eq!(names[23], "UEA");
@@ -244,8 +215,6 @@ mod tests {
     fn reliable_and_unreliable_partitions() {
         assert_eq!(CommModel::all_reliable().len(), 12);
         assert_eq!(CommModel::all_unreliable().len(), 12);
-        assert!(CommModel::all_reliable()
-            .iter()
-            .all(|m| m.reliability == Reliability::Reliable));
+        assert!(CommModel::all_reliable().iter().all(|m| m.reliability == Reliability::Reliable));
     }
 }

@@ -38,7 +38,8 @@ impl PaperTable {
 /// Figure 3 rows (reliable realizers). Tokens separated by whitespace.
 const FIG3: [&str; 24] = [
     //        R1O   RMO   REO   R1S   RMS   RES   R1F   RMF   REF   R1A   RMA   REA
-    /* R1O */ "-     4     -1    4     4     4     4     4     -1    -1    -1    -1",
+    /* R1O */
+    "-     4     -1    4     4     4     4     4     -1    -1    -1    -1",
     /* RMO */ "3     -     -1    3     4     4     3     4     -1    -1    -1    -1",
     /* REO */ "3     4     -     3     4     4     3     4     4     -1    -1    -1",
     /* R1S */ "2     2     -1    -     4     4     >=2   >=2   -1    -1    -1    -1",
@@ -67,7 +68,8 @@ const FIG3: [&str; 24] = [
 /// Figure 4 rows (unreliable realizers).
 const FIG4: [&str; 24] = [
     //        U1O   UMO   UEO   U1S   UMS   UES   U1F   UMF   UEF   U1A   UMA   UEA
-    /* R1O */ "4     4     .     4     4     4     4     4     .     .     .     .",
+    /* R1O */
+    "4     4     .     4     4     4     4     4     .     .     .     .",
     /* RMO */ "3     4     .     >=3   4     4     >=3   4     .     .     .     .",
     /* REO */ "3     4     4     >=3   4     4     >=3   4     4     .     .     .",
     /* R1S */ ">=3   >=3   .     4     4     4     >=3   >=3   .     .     .     .",
@@ -93,11 +95,7 @@ const FIG4: [&str; 24] = [
     /* UEA */ "3     >=3   .     >=3   4     4     >=3   4     4     >=3   4     -",
 ];
 
-fn parse_table(
-    name: &'static str,
-    cols: Vec<CommModel>,
-    raw: &[&str; 24],
-) -> PaperTable {
+fn parse_table(name: &'static str, cols: Vec<CommModel>, raw: &[&str; 24]) -> PaperTable {
     let rows = CommModel::all();
     let mut cells = Vec::with_capacity(24);
     for (r, line) in raw.iter().enumerate() {
@@ -247,12 +245,10 @@ mod tests {
         assert_eq!(f3.rows.len(), 24);
         assert_eq!(f3.cols.len(), 12);
         // 24*12 cells, 12 of them diagonal.
-        let non_diag: usize =
-            f3.cells.iter().flatten().filter(|c| c.is_some()).count();
+        let non_diag: usize = f3.cells.iter().flatten().filter(|c| c.is_some()).count();
         assert_eq!(non_diag, 24 * 12 - 12);
         let f4 = figure4();
-        let non_diag4: usize =
-            f4.cells.iter().flatten().filter(|c| c.is_some()).count();
+        let non_diag4: usize = f4.cells.iter().flatten().filter(|c| c.is_some()).count();
         assert_eq!(non_diag4, 24 * 12 - 12);
     }
 
@@ -279,13 +275,7 @@ mod tests {
         for table in [figure3(), figure4()] {
             let cmp = compare(&bounds, &table);
             let conflicts = cmp.conflicts();
-            assert!(
-                conflicts.is_empty(),
-                "{}: {} conflicts\n{}",
-                table.name,
-                conflicts.len(),
-                cmp
-            );
+            assert!(conflicts.is_empty(), "{}: {} conflicts\n{}", table.name, conflicts.len(), cmp);
         }
     }
 

@@ -73,9 +73,7 @@ impl ChannelAction {
         }
         match take {
             Take::Count(0) if !drops.is_empty() => {
-                return Err(InvalidActionError {
-                    reason: "f(c) = 0 requires g(c) = ∅".into(),
-                })
+                return Err(InvalidActionError { reason: "f(c) = 0 requires g(c) = ∅".into() })
             }
             Take::Count(k) => {
                 if drops.iter().any(|&i| i > k) {
@@ -291,8 +289,7 @@ mod tests {
         assert!(ChannelAction::read_all(ch()).to_string().contains('∞'));
         let u = NodeUpdate::new(NodeId(1), vec![a]);
         assert!(u.to_string().starts_with("1["));
-        let step =
-            ActivationStep::simultaneous(vec![u.clone(), NodeUpdate::bare(NodeId(2))]);
+        let step = ActivationStep::simultaneous(vec![u.clone(), NodeUpdate::bare(NodeId(2))]);
         assert!(step.to_string().contains(" + "));
     }
 }

@@ -60,11 +60,7 @@ impl fmt::Display for ModelViolation {
 impl Error for ModelViolation {}
 
 /// Checks a single node's update against the model dimensions.
-fn check_update(
-    model: CommModel,
-    g: &Graph,
-    u: &NodeUpdate,
-) -> Result<(), ModelViolation> {
+fn check_update(model: CommModel, g: &Graph, u: &NodeUpdate) -> Result<(), ModelViolation> {
     // Structural: channels into the node, no duplicates.
     for (i, a) in u.actions.iter().enumerate() {
         if a.channel().to != u.node || !g.has_edge(a.channel().from, a.channel().to) {
@@ -97,9 +93,7 @@ fn check_update(
         }
     }
     // Reliability.
-    if model.reliability == Reliability::Reliable
-        && u.actions.iter().any(|a| !a.is_lossless())
-    {
+    if model.reliability == Reliability::Reliable && u.actions.iter().any(|a| !a.is_lossless()) {
         return Err(ModelViolation::Dropped { node: u.node });
     }
     Ok(())
@@ -208,10 +202,7 @@ mod tests {
             x,
             vec![ChannelAction::read_all(Channel::new(d, x))],
         ));
-        assert!(matches!(
-            check_step(m("REA"), &g, &partial),
-            Err(ModelViolation::Scope { .. })
-        ));
+        assert!(matches!(check_step(m("REA"), &g, &partial), Err(ModelViolation::Scope { .. })));
         let full = ActivationStep::single(NodeUpdate::new(
             x,
             vec![
@@ -248,10 +239,7 @@ mod tests {
         let (g, d, x, _) = disagree_graph();
         let c = Channel::new(d, x);
         let dropping = ActivationStep::single(NodeUpdate::new(x, vec![ChannelAction::drop_one(c)]));
-        assert!(matches!(
-            check_step(m("R1O"), &g, &dropping),
-            Err(ModelViolation::Dropped { .. })
-        ));
+        assert!(matches!(check_step(m("R1O"), &g, &dropping), Err(ModelViolation::Dropped { .. })));
         assert!(check_step(m("U1O"), &g, &dropping).is_ok());
     }
 

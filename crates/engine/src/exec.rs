@@ -65,9 +65,8 @@ pub fn execute_step(
             if action.attends() {
                 effect.attended.push(cid);
             }
-            let outcome = state
-                .queue_mut(cid)
-                .process(action.take(), action.drops().iter().copied());
+            let outcome =
+                state.queue_mut(cid).process(action.take(), action.drops().iter().copied());
             effect.consumed += outcome.consumed;
             effect.dropped += outcome.dropped;
             if outcome.dropped > 0 {
@@ -113,11 +112,8 @@ fn choose(
     state: &NetworkState,
     update: &NodeUpdate,
 ) -> Route {
-    let routes: Vec<Route> = index
-        .in_channels(update.node)
-        .iter()
-        .map(|&cid| state.learned(cid).clone())
-        .collect();
+    let routes: Vec<Route> =
+        index.in_channels(update.node).iter().map(|&cid| state.learned(cid).clone()).collect();
     inst.choose_best(update.node, routes.iter())
 }
 
@@ -267,10 +263,7 @@ mod tests {
         activate_all(&mut f, "x");
         // d reads x's announcement; its choice must stay (d).
         activate_all(&mut f, "d");
-        assert_eq!(
-            f.state.chosen(f.inst.dest()),
-            &Route::path(Path::trivial(f.inst.dest()))
-        );
+        assert_eq!(f.state.chosen(f.inst.dest()), &Route::path(Path::trivial(f.inst.dest())));
     }
 
     #[test]

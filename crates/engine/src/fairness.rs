@@ -138,10 +138,7 @@ mod tests {
         let index = ChannelIndex::new(inst.graph());
         let seq = vec![read_step(&index, 0), read_step(&index, 1)];
         assert!(check_window(&seq, &index, 2).is_ok());
-        assert!(matches!(
-            check_window(&seq, &index, 1),
-            Err(Unfairness::Starved { .. })
-        ));
+        assert!(matches!(check_window(&seq, &index, 1), Err(Unfairness::Starved { .. })));
         // Skip actions do not count as attendance.
         let skip = ActivationStep::single(NodeUpdate::new(
             index.channel(0).to,

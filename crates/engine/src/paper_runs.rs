@@ -39,22 +39,16 @@ pub fn r1o_step(inst: &SppInstance, node: &str, from: &str) -> ActivationStep {
 /// An `REO` step: `node` reads one message from every incoming channel.
 pub fn reo_step(inst: &SppInstance, index: &ChannelIndex, node: &str) -> ActivationStep {
     let v = inst.node_by_name(node).expect("node exists");
-    let actions = index
-        .in_channels(v)
-        .iter()
-        .map(|&c| ChannelAction::read_one(index.channel(c)))
-        .collect();
+    let actions =
+        index.in_channels(v).iter().map(|&c| ChannelAction::read_one(index.channel(c))).collect();
     ActivationStep::single(NodeUpdate::new(v, actions))
 }
 
 /// An `REA` step: `node` reads all messages from every incoming channel.
 pub fn rea_step(inst: &SppInstance, index: &ChannelIndex, node: &str) -> ActivationStep {
     let v = inst.node_by_name(node).expect("node exists");
-    let actions = index
-        .in_channels(v)
-        .iter()
-        .map(|&c| ChannelAction::read_all(index.channel(c)))
-        .collect();
+    let actions =
+        index.in_channels(v).iter().map(|&c| ChannelAction::read_all(index.channel(c))).collect();
     ActivationStep::single(NodeUpdate::new(v, actions))
 }
 
@@ -112,8 +106,7 @@ pub fn a1_r1o() -> (PaperRun, ActivationSeq) {
         r1o_step(&inst, "x", "y"), // x learns yd -> xyd
         r1o_step(&inst, "y", "x"), // y learns xd -> yxd
     ];
-    let expected =
-        vec![("d", "d"), ("x", "xd"), ("y", "yd"), ("x", "xyd"), ("y", "yxd")];
+    let expected = vec![("d", "d"), ("x", "xd"), ("y", "yd"), ("x", "xyd"), ("y", "yxd")];
     // The fair cycle: x and y keep exchanging announcements while every
     // other channel is attended (the d-facing reads are no-ops).
     let cycle = vec![
@@ -133,8 +126,7 @@ pub fn a1_r1o() -> (PaperRun, ActivationSeq) {
 pub fn a2_reo() -> (PaperRun, ActivationSeq) {
     let inst = gadgets::fig6();
     let index = ChannelIndex::new(inst.graph());
-    let order =
-        ["d", "x", "a", "u", "v", "y", "a", "u", "v", "z", "a", "v", "u"];
+    let order = ["d", "x", "a", "u", "v", "y", "a", "u", "v", "z", "a", "v", "u"];
     let seq: ActivationSeq = order.iter().map(|n| reo_step(&inst, &index, n)).collect();
     let expected = vec![
         ("d", "d"),
@@ -184,14 +176,8 @@ pub fn a4_rea() -> PaperRun {
     let index = ChannelIndex::new(inst.graph());
     let order = ["d", "a", "u", "b", "u", "s"];
     let seq: ActivationSeq = order.iter().map(|n| rea_step(&inst, &index, n)).collect();
-    let expected = vec![
-        ("d", "d"),
-        ("a", "ad"),
-        ("u", "uad"),
-        ("b", "bd"),
-        ("u", "ubd"),
-        ("s", "subd"),
-    ];
+    let expected =
+        vec![("d", "d"), ("a", "ad"), ("u", "uad"), ("b", "bd"), ("u", "ubd"), ("s", "subd")];
     PaperRun { name: "A.4", model: "REA", instance: inst, seq, expected }
 }
 

@@ -434,9 +434,8 @@ mod tests {
                 let mut rr = RoundRobin::new(&inst, model);
                 for k in 0..3 * inst.node_count() {
                     let step = rr.next_step(&state).unwrap();
-                    check_step(model, inst.graph(), &step).unwrap_or_else(|e| {
-                        panic!("{name} {model} step {k}: {e}")
-                    });
+                    check_step(model, inst.graph(), &step)
+                        .unwrap_or_else(|e| panic!("{name} {model} step {k}: {e}"));
                 }
             }
         }
@@ -568,11 +567,7 @@ mod tests {
                 // One channel is force-attended per step, so when many
                 // starve at once the unluckiest can wait one extra slot per
                 // channel (plus bookkeeping offsets).
-                assert!(
-                    t - l <= window + 2 * idx.len(),
-                    "channel {c} starved for {} steps",
-                    t - l
-                );
+                assert!(t - l <= window + 2 * idx.len(), "channel {c} starved for {} steps", t - l);
             }
         }
     }
@@ -581,16 +576,14 @@ mod tests {
     fn random_fair_never_drops_twice_in_a_row() {
         let inst = gadgets::disagree();
         let mut runner = crate::runner::Runner::new(&inst);
-        let mut s =
-            RandomFair::new(&inst, "UMS".parse().unwrap(), 11).with_drop_prob(0.9);
+        let mut s = RandomFair::new(&inst, "UMS".parse().unwrap(), 11).with_drop_prob(0.9);
         let idx = runner.index().clone();
         let mut last_was_drop = vec![false; idx.len()];
         for _ in 0..500 {
             let step = s.next_step(runner.state()).unwrap();
             for a in step.actions() {
                 let cid = idx.id(a.channel()).unwrap();
-                let drops_now =
-                    !a.is_lossless() && !runner.state().queue(cid).is_empty();
+                let drops_now = !a.is_lossless() && !runner.state().queue(cid).is_empty();
                 if drops_now {
                     assert!(!last_was_drop[cid], "two consecutive drops on {cid}");
                 }

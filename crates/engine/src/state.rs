@@ -81,8 +81,7 @@ impl NetworkState {
     /// destination's first activation, which still owes its bootstrap
     /// announcement.)
     pub fn is_quiescent(&self) -> bool {
-        self.queues.iter().all(FifoChannel::is_empty)
-            && self.chosen == self.announced
+        self.queues.iter().all(FifoChannel::is_empty) && self.chosen == self.announced
     }
 
     /// Length of the longest queue (used for channel-bound bookkeeping).
@@ -134,10 +133,7 @@ mod tests {
         let inst = gadgets::disagree();
         let idx = ChannelIndex::new(inst.graph());
         let s = NetworkState::initial(&inst, &idx);
-        assert_eq!(
-            s.chosen(inst.dest()),
-            &Route::path(Path::trivial(inst.dest()))
-        );
+        assert_eq!(s.chosen(inst.dest()), &Route::path(Path::trivial(inst.dest())));
         let x = inst.node_by_name("x").unwrap();
         assert!(s.chosen(x).is_epsilon());
         assert!(s.announced(inst.dest()).is_epsilon());

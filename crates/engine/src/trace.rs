@@ -203,14 +203,8 @@ mod tests {
     fn strongest_relation_ranks() {
         let base = trace(&[1, 2]);
         assert_eq!(strongest_relation(&base, &trace(&[1, 2])), TraceRelation::Exact);
-        assert_eq!(
-            strongest_relation(&base, &trace(&[1, 1, 2])),
-            TraceRelation::Repetition
-        );
-        assert_eq!(
-            strongest_relation(&base, &trace(&[1, 9, 2])),
-            TraceRelation::Subsequence
-        );
+        assert_eq!(strongest_relation(&base, &trace(&[1, 1, 2])), TraceRelation::Repetition);
+        assert_eq!(strongest_relation(&base, &trace(&[1, 9, 2])), TraceRelation::Subsequence);
         assert_eq!(strongest_relation(&base, &trace(&[2, 1])), TraceRelation::None);
         assert!(TraceRelation::Exact > TraceRelation::Repetition);
         assert!(TraceRelation::Repetition > TraceRelation::Subsequence);

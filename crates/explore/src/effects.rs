@@ -335,8 +335,7 @@ mod tests {
         let (inst, index, _) = setup();
         // Put messages in flight first.
         let mut runner = Runner::new(&inst);
-        let mut sched =
-            routelab_engine::schedule::RoundRobin::new(&inst, "RMS".parse().unwrap());
+        let mut sched = routelab_engine::schedule::RoundRobin::new(&inst, "RMS".parse().unwrap());
         for _ in 0..4 {
             use routelab_engine::schedule::Scheduler;
             let s = sched.next_step(runner.state()).unwrap();

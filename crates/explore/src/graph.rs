@@ -223,11 +223,8 @@ mod tests {
         // Initial, d-announced, v-learned, v-announcement-consumed…
         assert!(g.states.len() <= 8, "{}", g.states.len());
         // From the converged terminal state there are no outgoing edges.
-        let terminal = g
-            .states
-            .iter()
-            .position(|s| s.is_quiescent())
-            .expect("line2 reaches quiescence");
+        let terminal =
+            g.states.iter().position(|s| s.is_quiescent()).expect("line2 reaches quiescence");
         assert!(g.edges[terminal].is_empty());
     }
 

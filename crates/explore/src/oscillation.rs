@@ -58,12 +58,7 @@ pub enum Verdict {
 /// its queue is empty, its reader has nothing pending to announce, and — for
 /// scope `E`, where the reader must process *all* its channels — every queue
 /// into the reader is empty.
-fn noop_attendable(
-    spec: Spec<'_>,
-    index: &ChannelIndex,
-    state: &NetworkState,
-    c: usize,
-) -> bool {
+fn noop_attendable(spec: Spec<'_>, index: &ChannelIndex, state: &NetworkState, c: usize) -> bool {
     let reader = index.channel(c).to;
     if !state.queue(c).is_empty() || state.chosen(reader) != state.announced(reader) {
         return false;
@@ -232,11 +227,7 @@ pub(crate) fn find_fair_scc(
 }
 
 /// Analyzes a prebuilt graph.
-pub fn analyze_graph(
-    inst: &SppInstance,
-    spec: Spec<'_>,
-    g: &StateGraph,
-) -> Verdict {
+pub fn analyze_graph(inst: &SppInstance, spec: Spec<'_>, g: &StateGraph) -> Verdict {
     if let Some(comp) = find_fair_scc(inst, spec, g) {
         return Verdict::CanOscillate { states: g.states.len(), scc_size: comp.len() };
     }
@@ -376,10 +367,7 @@ mod tests {
         let inst = gadgets::line2();
         for model in routelab_core::model::CommModel::all() {
             let v = verdict(&inst, &model.to_string());
-            assert!(
-                matches!(v, Verdict::AlwaysConverges { .. }),
-                "{model}: {v:?}"
-            );
+            assert!(matches!(v, Verdict::AlwaysConverges { .. }), "{model}: {v:?}");
         }
     }
 
@@ -425,18 +413,12 @@ mod tests {
 
         let mut one = HeteroModel::uniform(inst.node_count(), "R1O".parse().unwrap());
         one.set_node(x, poll);
-        assert!(matches!(
-            analyze_hetero(&inst, &one, &cfg),
-            Verdict::CanOscillate { .. }
-        ));
+        assert!(matches!(analyze_hetero(&inst, &one, &cfg), Verdict::CanOscillate { .. }));
 
         let mut both = HeteroModel::uniform(inst.node_count(), "R1O".parse().unwrap());
         both.set_node(x, poll);
         both.set_node(y, poll);
-        assert!(matches!(
-            analyze_hetero(&inst, &both, &cfg),
-            Verdict::AlwaysConverges { .. }
-        ));
+        assert!(matches!(analyze_hetero(&inst, &both, &cfg), Verdict::AlwaysConverges { .. }));
     }
 
     #[test]
@@ -452,10 +434,7 @@ mod tests {
         let mut h = HeteroModel::uniform(inst.node_count(), "REA".parse().unwrap());
         h.set_lossy(Channel::new(x, y));
         h.set_lossy(Channel::new(y, x));
-        assert!(matches!(
-            analyze_hetero(&inst, &h, &cfg),
-            Verdict::AlwaysConverges { .. }
-        ));
+        assert!(matches!(analyze_hetero(&inst, &h, &cfg), Verdict::AlwaysConverges { .. }));
     }
 
     #[test]
@@ -463,9 +442,6 @@ mod tests {
         let inst = gadgets::good_gadget();
         let cfg = ExploreConfig { channel_cap: 1, max_states: 16, max_steps_per_state: 8 };
         let v = analyze(&inst, "REA".parse().unwrap(), &cfg);
-        assert!(
-            matches!(v, Verdict::NoOscillationWithinBound { .. }),
-            "{v:?}"
-        );
+        assert!(matches!(v, Verdict::NoOscillationWithinBound { .. }), "{v:?}");
     }
 }

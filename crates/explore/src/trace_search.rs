@@ -103,8 +103,13 @@ pub fn search(
     while let Some(key) = stack.pop() {
         heartbeat.tick(parent.len() as u64);
         let (state, progress) = &key;
-        let (steps, capped) =
-            all_steps(Spec::Uniform(model), &index, state, inst.node_count(), cfg.max_steps_per_state);
+        let (steps, capped) = all_steps(
+            Spec::Uniform(model),
+            &index,
+            state,
+            inst.node_count(),
+            cfg.max_steps_per_state,
+        );
         truncated |= capped;
         for cs in steps {
             let activation = cs.to_activation(Spec::Uniform(model), &index);
@@ -300,8 +305,7 @@ mod tests {
         let run = paper_runs::a4_rea();
         let mut bogus = PathTrace::new();
         bogus.push(vec![routelab_spp::Route::empty(); run.instance.node_count()]);
-        let res =
-            search(&run.instance, "REA".parse().unwrap(), &bogus, SearchGoal::Exact, &cfg());
+        let res = search(&run.instance, "REA".parse().unwrap(), &bogus, SearchGoal::Exact, &cfg());
         assert!(res.is_impossible());
     }
 
@@ -326,8 +330,7 @@ mod tests {
         let run = paper_runs::a3_reo();
         let target = target_of(&run);
         let tight = ExploreConfig { channel_cap: 6, max_states: 3, max_steps_per_state: 50_000 };
-        let res =
-            search(&run.instance, "RMS".parse().unwrap(), &target, SearchGoal::Exact, &tight);
+        let res = search(&run.instance, "RMS".parse().unwrap(), &target, SearchGoal::Exact, &tight);
         assert!(matches!(res, SearchResult::BoundExceeded { .. }), "{res:?}");
     }
 }

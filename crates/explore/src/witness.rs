@@ -110,10 +110,7 @@ pub fn oscillation_witness_spec(
     let back = bfs_path(&g, cb, ca, Some(&member))?;
 
     let to_steps = |edges: &[(usize, usize)]| -> ActivationSeq {
-        edges
-            .iter()
-            .map(|&(s, ei)| g.edges[s][ei].step.to_activation(spec, &index))
-            .collect()
+        edges.iter().map(|&(s, ei)| g.edges[s][ei].step.to_activation(spec, &index)).collect()
     };
     let mut cycle = vec![g.edges[ca][cei].step.to_activation(spec, &index)];
     cycle.extend(to_steps(&back));
@@ -175,11 +172,13 @@ mod tests {
     #[test]
     fn no_witness_for_converging_models() {
         let inst = gadgets::disagree();
-        assert!(oscillation_witness(&inst, "RMA".parse().unwrap(), &ExploreConfig::default())
-            .is_none());
+        assert!(
+            oscillation_witness(&inst, "RMA".parse().unwrap(), &ExploreConfig::default()).is_none()
+        );
         let good = gadgets::good_gadget();
-        assert!(oscillation_witness(&good, "R1O".parse().unwrap(), &ExploreConfig::default())
-            .is_none());
+        assert!(
+            oscillation_witness(&good, "R1O".parse().unwrap(), &ExploreConfig::default()).is_none()
+        );
     }
 
     #[test]

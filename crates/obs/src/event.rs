@@ -137,11 +137,7 @@ impl Event {
             Event::Meta { proc, pid } => {
                 out.push_str("{\"t\":\"meta\",\"proc\":");
                 escape_into(out, proc);
-                let _ = write!(
-                    out,
-                    ",\"pid\":{pid},\"version\":{:?}}}",
-                    env!("CARGO_PKG_VERSION")
-                );
+                let _ = write!(out, ",\"pid\":{pid},\"version\":{:?}}}", env!("CARGO_PKG_VERSION"));
             }
             Event::SpanBegin { name, ns } => {
                 out.push_str("{\"t\":\"sb\",\"name\":");

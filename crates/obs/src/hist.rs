@@ -73,12 +73,7 @@ impl LogHistogram {
 
     /// The non-empty `(bucket_index, count)` pairs in ascending bucket order.
     pub fn nonzero_buckets(&self) -> Vec<(usize, u64)> {
-        self.buckets
-            .iter()
-            .enumerate()
-            .filter(|(_, &n)| n > 0)
-            .map(|(i, &n)| (i, n))
-            .collect()
+        self.buckets.iter().enumerate().filter(|(_, &n)| n > 0).map(|(i, &n)| (i, n)).collect()
     }
 
     /// An upper-bound estimate of the `q`-quantile (`q` in `[0, 1]`).

@@ -57,12 +57,8 @@ impl ChunkStack {
         let mut head = self.head.load(Ordering::Relaxed);
         loop {
             unsafe { (*node).next = head };
-            match self.head.compare_exchange_weak(
-                head,
-                node,
-                Ordering::Release,
-                Ordering::Relaxed,
-            ) {
+            match self.head.compare_exchange_weak(head, node, Ordering::Release, Ordering::Relaxed)
+            {
                 Ok(_) => return,
                 Err(h) => head = h,
             }
@@ -221,14 +217,12 @@ pub(crate) fn push_event(e: Event) {
 }
 
 pub(crate) fn record_hist(name: &'static str, value: u64) {
-    with_local(|buf, _| {
-        match buf.hists.iter_mut().find(|(n, _)| *n == name) {
-            Some((_, h)) => h.record(value),
-            None => {
-                let mut h = LogHistogram::default();
-                h.record(value);
-                buf.hists.push((name, h));
-            }
+    with_local(|buf, _| match buf.hists.iter_mut().find(|(n, _)| *n == name) {
+        Some((_, h)) => h.record(value),
+        None => {
+            let mut h = LogHistogram::default();
+            h.record(value);
+            buf.hists.push((name, h));
         }
     });
 }

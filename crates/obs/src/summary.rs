@@ -155,7 +155,11 @@ impl Summary {
             let _ = writeln!(out, "  proc: {p}");
         }
         if !self.spans.is_empty() {
-            let _ = writeln!(out, "\n{:<34} {:>8} {:>10} {:>10} {:>10}", "span", "count", "p50", "p95", "max");
+            let _ = writeln!(
+                out,
+                "\n{:<34} {:>8} {:>10} {:>10} {:>10}",
+                "span", "count", "p50", "p95", "max"
+            );
             for (name, h) in &self.spans {
                 let _ = writeln!(
                     out,
@@ -260,7 +264,13 @@ impl Summary {
             if i > 0 {
                 out.push(',');
             }
-            let _ = write!(out, "\n    \"{}\": {{\"last\": {}, \"max\": {}}}", esc(name), g.last, g.max);
+            let _ = write!(
+                out,
+                "\n    \"{}\": {{\"last\": {}, \"max\": {}}}",
+                esc(name),
+                g.last,
+                g.max
+            );
         }
         out.push_str("\n  },\n  \"histograms\": {");
         for (i, (name, h)) in self.hists.iter().enumerate() {

@@ -199,11 +199,7 @@ pub fn realize(
     to: CommModel,
 ) -> Result<Option<TransformOutput>, TransformError> {
     let Some(path) = plan(from, to) else { return Ok(None) };
-    let mut cur = TransformOutput {
-        seq: seq.clone(),
-        claimed: Strength::Exact,
-        lossless: true,
-    };
+    let mut cur = TransformOutput { seq: seq.clone(), claimed: Strength::Exact, lossless: true };
     for edge in &path {
         let next = apply_edge(edge, inst, &cur.seq)?;
         cur = TransformOutput {
@@ -242,8 +238,7 @@ mod tests {
         // The bottleneck strength of the best plan must equal the positive
         // closure's lower bound for every pair with a plan; pairs without a
         // plan must have lower bound 0 (only negatives/unknowns there).
-        let bounds =
-            routelab_core::closure::derive_bounds(&foundational_facts());
+        let bounds = routelab_core::closure::derive_bounds(&foundational_facts());
         for a in CommModel::all() {
             for b in CommModel::all() {
                 if a == b {
@@ -252,8 +247,7 @@ mod tests {
                 let lower = bounds.get(a, b).lower;
                 match plan(a, b) {
                     Some(path) => {
-                        let bottleneck =
-                            path.iter().map(|e| e.strength.level()).min().unwrap_or(4);
+                        let bottleneck = path.iter().map(|e| e.strength.level()).min().unwrap_or(4);
                         assert_eq!(
                             bottleneck, lower,
                             "plan {a} -> {b}: bottleneck {bottleneck} vs closure {lower}"

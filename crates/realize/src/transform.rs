@@ -80,10 +80,7 @@ fn noop_step(
     if policy == MessagePolicy::Some {
         let cid = (0..index.len()).find(|&cid| settled(&index.channel(cid)))?;
         let c = index.channel(cid);
-        return Some(ActivationStep::single(NodeUpdate::new(
-            c.to,
-            vec![ChannelAction::skip(c)],
-        )));
+        return Some(ActivationStep::single(NodeUpdate::new(c.to, vec![ChannelAction::skip(c)])));
     }
     let cid = (0..index.len())
         .find(|&cid| state.queue(cid).is_empty() && settled(&index.channel(cid)))?;
@@ -97,7 +94,10 @@ fn noop_step(
 
 /// Proposition 3.3: the identity embedding. The sequence is returned as-is;
 /// it is already syntactically legal in the stronger model.
-pub fn identity(_inst: &SppInstance, seq: &ActivationSeq) -> Result<TransformOutput, TransformError> {
+pub fn identity(
+    _inst: &SppInstance,
+    seq: &ActivationSeq,
+) -> Result<TransformOutput, TransformError> {
     Ok(TransformOutput { seq: seq.clone(), claimed: Strength::Exact, lossless: true })
 }
 
@@ -434,11 +434,8 @@ pub fn elide_u1s_to_u1o(
                 // it, so activate v through one of its empty channels (or
                 // any no-op when v has nothing pending).
                 let pending = sim.state().chosen(v) != sim.state().announced(v);
-                let pick = index
-                    .in_channels(v)
-                    .iter()
-                    .copied()
-                    .find(|&c| sim.state().queue(c).is_empty());
+                let pick =
+                    index.in_channels(v).iter().copied().find(|&c| sim.state().queue(c).is_empty());
                 match (pending, pick) {
                     (_, Some(pc)) => out.push(ActivationStep::single(NodeUpdate::new(
                         v,
@@ -724,10 +721,7 @@ mod tests {
                 .collect(),
         ));
         let seq = vec![two_channels];
-        assert!(matches!(
-            flag_r1s_to_r1o(&inst, &seq),
-            Err(TransformError::BadSourceShape { .. })
-        ));
+        assert!(matches!(flag_r1s_to_r1o(&inst, &seq), Err(TransformError::BadSourceShape { .. })));
         assert!(matches!(
             coalesce_u1o_to_r1s(&inst, &seq),
             Err(TransformError::BadSourceShape { .. })

@@ -142,12 +142,7 @@ mod tests {
         let (_, extended) = extended_bounds(&seps);
         for table in [figure3(), figure4()] {
             let cmp = compare(&extended, &table);
-            assert_eq!(
-                cmp.count(CellVerdict::Conflict),
-                0,
-                "{}:\n{cmp}",
-                table.name
-            );
+            assert_eq!(cmp.count(CellVerdict::Conflict), 0, "{}:\n{cmp}", table.name);
             assert_eq!(cmp.count(CellVerdict::Looser), 0, "{}", table.name);
         }
         let base = derive_bounds(&foundational_facts());

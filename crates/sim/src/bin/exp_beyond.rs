@@ -46,12 +46,8 @@ fn main() {
 
     // Show exactly which formerly-blank published cells are now decided.
     let mut tightened: Vec<(CommModel, CommModel, String, String)> = Vec::new();
-    let mut table = Table::new(vec![
-        "realized".into(),
-        "realizer".into(),
-        "published".into(),
-        "now".into(),
-    ]);
+    let mut table =
+        Table::new(vec!["realized".into(), "realizer".into(), "published".into(), "now".into()]);
     for paper_table in [figure3(), figure4()] {
         for &a in &paper_table.rows {
             for &b in &paper_table.cols {
@@ -59,12 +55,7 @@ fn main() {
                 let now = extended.get(a, b);
                 if now.refines(published) && now != published {
                     tightened.push((a, b, published.token(), now.token()));
-                    table.row(vec![
-                        a.to_string(),
-                        b.to_string(),
-                        published.token(),
-                        now.token(),
-                    ]);
+                    table.row(vec![a.to_string(), b.to_string(), published.token(), now.token()]);
                 }
             }
         }

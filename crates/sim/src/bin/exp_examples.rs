@@ -18,7 +18,8 @@ fn print_run(run: &PaperRun) -> bool {
     println!("== Example {} ({}; instance below) ==", run.name, run.model);
     print!("{}", run.instance);
     let mut runner = Runner::new(&run.instance);
-    let mut table = Table::new(vec!["t".into(), "U(t)".into(), "pi_U(t)(t)".into(), "paper".into()]);
+    let mut table =
+        Table::new(vec!["t".into(), "U(t)".into(), "pi_U(t)(t)".into(), "paper".into()]);
     let mut ok = true;
     for (t, (step, (node, want))) in run.seq.iter().zip(&run.expected).enumerate() {
         runner.step(step);
@@ -103,21 +104,14 @@ fn a2() -> bool {
     }
     println!("\nexhaustive verdicts (Thm 3.9 separation on Fig. 6; the R1A and RMA");
     println!("explorations visit ~650k states — expect about a minute each in release):");
-    let cfg =
-        ExploreConfig { channel_cap: 3, max_states: 1_500_000, max_steps_per_state: 20_000 };
+    let cfg = ExploreConfig { channel_cap: 3, max_states: 1_500_000, max_steps_per_state: 20_000 };
     ok &= oscillation_claims(&run.instance, &["REO", "REF"], &["R1A", "RMA", "REA"], &cfg);
     ok
 }
 
-fn search_claim(
-    run: &PaperRun,
-    model: &str,
-    goal: SearchGoal,
-    expect_found: bool,
-) -> bool {
+fn search_claim(run: &PaperRun, model: &str, goal: SearchGoal, expect_found: bool) -> bool {
     let target = Runner::trace_of(&run.instance, &run.seq);
-    let cfg =
-        ExploreConfig { channel_cap: 6, max_states: 2_000_000, max_steps_per_state: 50_000 };
+    let cfg = ExploreConfig { channel_cap: 6, max_states: 2_000_000, max_steps_per_state: 50_000 };
     let res = search(&run.instance, model.parse().expect("model"), &target, goal, &cfg);
     let ok = matches!(
         (&res, expect_found),
@@ -185,7 +179,9 @@ fn a6() -> bool {
     let mut sched = Cyclic::new(cycle);
     match drive(&mut runner, &mut sched, 1_000) {
         RunOutcome::CycleDetected { period, oscillating, .. } => {
-            println!("simultaneous polling cycles with period {period}, oscillating = {oscillating}");
+            println!(
+                "simultaneous polling cycles with period {period}, oscillating = {oscillating}"
+            );
             println!("(single-updater polling provably converges on DISAGREE — see a1)");
             oscillating
         }

@@ -52,10 +52,20 @@ fn main() {
     let r1o: CommModel = "R1O".parse().expect("model");
 
     let mut table = Table::new(vec!["configuration".into(), "verdict".into()]);
-    analyze_row(&mut table, "all nodes poll (REA)", &inst,
-        &HeteroModel::uniform(inst.node_count(), rea), &cfg);
-    analyze_row(&mut table, "all nodes event-driven (R1O)", &inst,
-        &HeteroModel::uniform(inst.node_count(), r1o), &cfg);
+    analyze_row(
+        &mut table,
+        "all nodes poll (REA)",
+        &inst,
+        &HeteroModel::uniform(inst.node_count(), rea),
+        &cfg,
+    );
+    analyze_row(
+        &mut table,
+        "all nodes event-driven (R1O)",
+        &inst,
+        &HeteroModel::uniform(inst.node_count(), r1o),
+        &cfg,
+    );
     let mut h = HeteroModel::uniform(inst.node_count(), r1o);
     h.set_node(x, POLL);
     analyze_row(&mut table, "x polls, y event-driven", &inst, &h, &cfg);
@@ -74,8 +84,13 @@ fn main() {
     h.set_lossy(Channel::new(x, y));
     h.set_lossy(Channel::new(y, x));
     analyze_row(&mut table, "lossy x<->y", &inst, &h, &cfg);
-    analyze_row(&mut table, "all channels lossy (UEA)", &inst,
-        &HeteroModel::uniform(inst.node_count(), "UEA".parse().expect("model")), &cfg);
+    analyze_row(
+        &mut table,
+        "all channels lossy (UEA)",
+        &inst,
+        &HeteroModel::uniform(inst.node_count(), "UEA".parse().expect("model")),
+        &cfg,
+    );
     println!("{table}");
 
     println!("== Mixed node behavior on Fig. 6 ==\n");

@@ -106,7 +106,9 @@ fn main() {
         table.row(row);
     }
     println!("Oscillation survey (osc! / conv! = exhaustively checked;");
-    println!("osc<M / conv<M = transferred along the realization lattice from probe M; ? = open)\n");
+    println!(
+        "osc<M / conv<M = transferred along the realization lattice from probe M; ? = open)\n"
+    );
     println!("{table}");
 
     // Headline checks from the paper.
@@ -126,7 +128,10 @@ fn main() {
     for m in ["R1A", "RMA", "REA"] {
         ok &= matches!(find("FIG6", m), SurveyOutcome::Converges { .. });
     }
-    println!("paper separations (Thm 3.8, Thm 3.9): {}", if ok { "REPRODUCED" } else { "MISMATCH" });
+    println!(
+        "paper separations (Thm 3.8, Thm 3.9): {}",
+        if ok { "REPRODUCED" } else { "MISMATCH" }
+    );
 
     let json = Json::obj([
         ("experiment", Json::str("survey")),

@@ -20,12 +20,8 @@ use routelab_spp::{gadgets, SppInstance};
 fn sweep(name: &str, inst: &SppInstance, hub: &str, model: CommModel) {
     let hub_id = inst.node_by_name(hub).expect("hub exists");
     println!("== {name}: slowing node {hub} under {model} ==");
-    let mut table = Table::new(vec![
-        "hub period".into(),
-        "outcome".into(),
-        "steps".into(),
-        "messages".into(),
-    ]);
+    let mut table =
+        Table::new(vec!["hub period".into(), "outcome".into(), "steps".into(), "messages".into()]);
     for w in [1u64, 2, 4, 8, 16] {
         let mut periods = vec![1u64; inst.node_count()];
         periods[hub_id.index()] = w;

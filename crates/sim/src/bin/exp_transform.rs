@@ -11,7 +11,11 @@ use routelab_sim::cli;
 use routelab_sim::table::Table;
 use routelab_spp::gadgets;
 
-fn rr_prefix(inst: &routelab_spp::SppInstance, model: CommModel, steps: usize) -> Vec<routelab_core::step::ActivationStep> {
+fn rr_prefix(
+    inst: &routelab_spp::SppInstance,
+    model: CommModel,
+    steps: usize,
+) -> Vec<routelab_core::step::ActivationStep> {
     let mut sched = RoundRobin::new(inst, model);
     let mut runner = Runner::new(inst);
     let mut seq = Vec::with_capacity(steps);
@@ -29,12 +33,8 @@ fn main() {
     let mut ok = true;
 
     println!("Foundational transformations on round-robin runs (4n steps per gadget):\n");
-    let mut table = Table::new(vec![
-        "edge".into(),
-        "kind".into(),
-        "claimed".into(),
-        "gadgets verified".into(),
-    ]);
+    let mut table =
+        Table::new(vec!["edge".into(), "kind".into(), "claimed".into(), "gadgets verified".into()]);
     for edge in foundational_edges() {
         let mut passed = 0;
         for (name, inst) in &corpus {
@@ -61,12 +61,8 @@ fn main() {
     println!("{table}");
 
     println!("Composed realizations (strongest foundational chains):\n");
-    let mut table = Table::new(vec![
-        "pair".into(),
-        "claimed".into(),
-        "achieved".into(),
-        "steps".into(),
-    ]);
+    let mut table =
+        Table::new(vec!["pair".into(), "claimed".into(), "achieved".into(), "steps".into()]);
     let pairs = [
         ("REA", "UMS"),
         ("REO", "RMS"),
@@ -91,7 +87,12 @@ fn main() {
                 ]);
             }
             Ok(None) => {
-                table.row(vec![format!("{from} inside {to}"), "no chain".into(), "-".into(), "-".into()]);
+                table.row(vec![
+                    format!("{from} inside {to}"),
+                    "no chain".into(),
+                    "-".into(),
+                    "-".into(),
+                ]);
             }
             Err(e) => {
                 println!("ERROR {from} -> {to}: {e}");

@@ -144,8 +144,8 @@ impl CellStats {
 pub fn run_one(inst: &SppInstance, model: CommModel, cfg: &CellConfig, run: usize) -> RunRecord {
     let t0 = Instant::now();
     let mut runner = Runner::new(inst);
-    let mut sched = RandomFair::new(inst, model, run_seed(cfg.seed, run))
-        .with_drop_prob(cfg.drop_prob);
+    let mut sched =
+        RandomFair::new(inst, model, run_seed(cfg.seed, run)).with_drop_prob(cfg.drop_prob);
     let report = drive_report(&mut runner, &mut sched, cfg.max_steps);
     let mut rec = RunRecord {
         run,
@@ -176,8 +176,7 @@ pub fn run_one(inst: &SppInstance, model: CommModel, cfg: &CellConfig, run: usiz
 
 /// Runs one cell sequentially on the calling thread.
 pub fn run_cell(inst: &SppInstance, model: CommModel, cfg: &CellConfig) -> CellStats {
-    let records: Vec<RunRecord> =
-        (0..cfg.runs).map(|i| run_one(inst, model, cfg, i)).collect();
+    let records: Vec<RunRecord> = (0..cfg.runs).map(|i| run_one(inst, model, cfg, i)).collect();
     CellStats::from_records(&records)
 }
 
@@ -320,10 +319,8 @@ pub fn run_grid_per_model_threads(
 ) -> Vec<(CommModel, CellStats)> {
     let mut out: Vec<(CommModel, CellStats)> = Vec::with_capacity(models.len());
     std::thread::scope(|s| {
-        let handles: Vec<_> = models
-            .iter()
-            .map(|&m| s.spawn(move || (m, run_cell(inst, m, cfg))))
-            .collect();
+        let handles: Vec<_> =
+            models.iter().map(|&m| s.spawn(move || (m, run_cell(inst, m, cfg)))).collect();
         for h in handles {
             out.push(h.join().expect("simulation thread panicked"));
         }
@@ -427,9 +424,8 @@ mod tests {
     fn cell_reports_carry_observability() {
         let inst = gadgets::good_gadget();
         let models: Vec<CommModel> = vec!["RMS".parse().unwrap(), "UMS".parse().unwrap()];
-        let cells =
-            try_run_grid_with(&inst, &models, &quick(), &PoolConfig::with_threads(2))
-                .expect("no panics");
+        let cells = try_run_grid_with(&inst, &models, &quick(), &PoolConfig::with_threads(2))
+            .expect("no panics");
         for c in &cells {
             assert!(c.total_steps > 0);
             assert!(c.total_sent > 0);

@@ -229,10 +229,7 @@ impl RunReport {
                                 ("nodes", Json::int(g.nodes)),
                                 ("edges", Json::int(g.edges)),
                                 ("wheel_free", Json::Bool(g.wheel_free)),
-                                (
-                                    "cells",
-                                    Json::Arr(g.cells.iter().map(cell_json).collect()),
-                                ),
+                                ("cells", Json::Arr(g.cells.iter().map(cell_json).collect())),
                             ])
                         })
                         .collect(),
@@ -373,8 +370,7 @@ mod tests {
     fn write_json_creates_file() {
         // The directory is passed explicitly — `set_var` would race with
         // other tests reading the environment on parallel test threads.
-        let dir = std::env::temp_dir()
-            .join(format!("routelab-report-test-{}", std::process::id()));
+        let dir = std::env::temp_dir().join(format!("routelab-report-test-{}", std::process::id()));
         let path = write_json_to(&dir, "unit-test", &Json::obj([("ok", Json::Bool(true))]))
             .expect("writable temp dir");
         let text = std::fs::read_to_string(&path).expect("file exists");

@@ -121,16 +121,14 @@ pub fn survey_instance(inst: &SppInstance, cfg: &SurveyConfig) -> Vec<SurveyEntr
         // Oscillation transfers A -> B when B realizes A (any positive
         // realization level preserves oscillations).
         for (probe, v) in &verdicts {
-            if matches!(v, Verdict::CanOscillate { .. }) && bounds.get(*probe, model).lower >= 1
-            {
+            if matches!(v, Verdict::CanOscillate { .. }) && bounds.get(*probe, model).lower >= 1 {
                 return Some(SurveyOutcome::Oscillates { via: Some(*probe) });
             }
         }
         // Convergence transfers B -> A when B realizes A: if A could
         // oscillate, so could B.
         for (probe, v) in &verdicts {
-            if matches!(v, Verdict::AlwaysConverges { .. })
-                && bounds.get(model, *probe).lower >= 1
+            if matches!(v, Verdict::AlwaysConverges { .. }) && bounds.get(model, *probe).lower >= 1
             {
                 return Some(SurveyOutcome::Converges { via: Some(*probe) });
             }
@@ -228,10 +226,7 @@ mod tests {
         };
         let entries = survey_instance(&inst, &cfg);
         for m in ["REO", "REF"] {
-            assert!(
-                matches!(outcome_of(&entries, m), SurveyOutcome::Oscillates { .. }),
-                "{m}"
-            );
+            assert!(matches!(outcome_of(&entries, m), SurveyOutcome::Oscillates { .. }), "{m}");
         }
         assert!(matches!(outcome_of(&entries, "REA"), SurveyOutcome::Converges { .. }));
         // The queueing models inherit the oscillation.
@@ -260,10 +255,7 @@ mod tests {
         };
         let entries = survey_instance(&inst, &cfg);
         for m in ["REO", "REF"] {
-            assert!(
-                matches!(outcome_of(&entries, m), SurveyOutcome::Oscillates { .. }),
-                "{m}"
-            );
+            assert!(matches!(outcome_of(&entries, m), SurveyOutcome::Oscillates { .. }), "{m}");
         }
         for m in ["R1A", "RMA", "REA"] {
             assert!(

@@ -349,11 +349,7 @@ mod tests {
         let g = dispute_digraph(&inst);
         // Vertices: (d), xd, xyd, yd, yxd.
         assert_eq!(g.vertices.len(), 5);
-        let has_dispute_arc = g
-            .edges
-            .iter()
-            .flatten()
-            .any(|(_, k)| *k == DisputeArc::Dispute);
+        let has_dispute_arc = g.edges.iter().flatten().any(|(_, k)| *k == DisputeArc::Dispute);
         assert!(has_dispute_arc);
     }
 

@@ -25,10 +25,7 @@ pub enum SppError {
     UnknownName { name: String },
     /// Two permitted paths at the same node with *different* next hops share a
     /// rank, which Sec. 2.1 forbids.
-    RankTie {
-        node: NodeId,
-        rank: u32,
-    },
+    RankTie { node: NodeId, rank: u32 },
     /// The same path was registered twice at a node.
     DuplicatePath { node: NodeId },
     /// The destination node must not have non-trivial permitted paths.
@@ -54,18 +51,15 @@ impl fmt::Display for SppError {
             SppError::MissingEdge { from, to } => {
                 write!(f, "path uses missing edge {from}-{to}")
             }
-            SppError::WrongDestination { path_dest, expected } => write!(
-                f,
-                "path ends at {path_dest} but the instance destination is {expected}"
-            ),
-            SppError::WrongSource { path_source, expected } => write!(
-                f,
-                "path starts at {path_source} but was registered at {expected}"
-            ),
-            SppError::UnknownNode { node, node_count } => write!(
-                f,
-                "node {node} out of range for a graph with {node_count} nodes"
-            ),
+            SppError::WrongDestination { path_dest, expected } => {
+                write!(f, "path ends at {path_dest} but the instance destination is {expected}")
+            }
+            SppError::WrongSource { path_source, expected } => {
+                write!(f, "path starts at {path_source} but was registered at {expected}")
+            }
+            SppError::UnknownNode { node, node_count } => {
+                write!(f, "node {node} out of range for a graph with {node_count} nodes")
+            }
             SppError::UnknownName { name } => write!(f, "unknown node name {name:?}"),
             SppError::RankTie { node, rank } => write!(
                 f,

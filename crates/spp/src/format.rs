@@ -122,8 +122,7 @@ pub fn from_text(text: &str) -> Result<SppInstance, SppError> {
         let refs: Vec<&str> = paths.iter().map(String::as_str).collect();
         builder.prefer_named(v, &refs)?;
     }
-    let d = builder
-        .node(&dest_name); // name must already exist; `node` is idempotent
+    let d = builder.node(&dest_name); // name must already exist; `node` is idempotent
     builder.dest(d)?;
     builder.build()
 }
@@ -164,10 +163,7 @@ prefs y yxd yd
 
     #[test]
     fn missing_header_rejected() {
-        assert!(matches!(
-            from_text("node d\ndest d\n"),
-            Err(SppError::Parse { .. })
-        ));
+        assert!(matches!(from_text("node d\ndest d\n"), Err(SppError::Parse { .. })));
     }
 
     #[test]

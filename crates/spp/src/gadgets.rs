@@ -82,8 +82,7 @@ pub fn fig6() -> SppInstance {
     b.prefer_named("z", &["zd"]).expect("paths valid");
     b.prefer_named("a", &["azd", "ayd", "axd"]).expect("paths valid");
     b.prefer_named("u", &["uvazd", "uazd", "uaxd"]).expect("paths valid");
-    b.prefer_named("v", &["vuazd", "vazd", "vuayd", "vuaxd", "vayd"])
-        .expect("paths valid");
+    b.prefer_named("v", &["vuazd", "vazd", "vuayd", "vuaxd", "vayd"]).expect("paths valid");
     must(b.build())
 }
 
@@ -101,7 +100,16 @@ pub fn fig7() -> SppInstance {
     }
     must_steps(
         &mut b,
-        &[("a", "d"), ("b", "d"), ("u", "a"), ("u", "b"), ("v", "a"), ("v", "b"), ("s", "u"), ("s", "v")],
+        &[
+            ("a", "d"),
+            ("b", "d"),
+            ("u", "a"),
+            ("u", "b"),
+            ("v", "a"),
+            ("v", "b"),
+            ("s", "u"),
+            ("s", "v"),
+        ],
     );
     b.dest(d).expect("d exists");
     b.prefer_named("a", &["ad"]).expect("paths valid");
@@ -298,8 +306,7 @@ mod tests {
     fn fig6_preferences_match_prose() {
         let g = fig6();
         let a = g.node_by_name("a").unwrap();
-        let prefs: Vec<String> =
-            g.permitted(a).iter().map(|rp| g.fmt_path(&rp.path)).collect();
+        let prefs: Vec<String> = g.permitted(a).iter().map(|rp| g.fmt_path(&rp.path)).collect();
         assert_eq!(prefs, ["azd", "ayd", "axd"]);
         // u refuses every path containing y.
         let u = g.node_by_name("u").unwrap();

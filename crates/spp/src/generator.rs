@@ -130,9 +130,8 @@ pub fn random_instance(cfg: &RandomSppConfig) -> Result<SppInstance, SppError> {
     let mut rng = StdRng::seed_from_u64(cfg.seed);
     let g = random_connected_graph(cfg.nodes, cfg.extra_edges, &mut rng);
     let dest = NodeId(0);
-    let names: Vec<String> = (0..cfg.nodes)
-        .map(|i| if i == 0 { "d".to_string() } else { format!("n{i}") })
-        .collect();
+    let names: Vec<String> =
+        (0..cfg.nodes).map(|i| if i == 0 { "d".to_string() } else { format!("n{i}") }).collect();
 
     let mut permitted: Vec<Vec<RankedPath>> = Vec::with_capacity(cfg.nodes);
     for v in g.nodes() {
@@ -225,17 +224,15 @@ pub fn gao_rexford_instance(
     let mut rng = StdRng::seed_from_u64(seed);
     let mut g = Graph::new(n);
     // Tier 0 is the top; node 0 (the destination) sits at the top tier.
-    let tiers: Vec<u32> = (0..n)
-        .map(|i| if i == 0 { 0 } else { rng.gen_range(0..3) })
-        .collect();
+    let tiers: Vec<u32> = (0..n).map(|i| if i == 0 { 0 } else { rng.gen_range(0..3) }).collect();
 
     // rel[(a,b)] = Step means "a's step toward b" (Up: b is a's provider).
     let mut rel = std::collections::HashMap::new();
     let add = |g: &mut Graph,
-                   rel: &mut std::collections::HashMap<(NodeId, NodeId), Step>,
-                   a: usize,
-                   b: usize,
-                   s: Step| {
+               rel: &mut std::collections::HashMap<(NodeId, NodeId), Step>,
+               a: usize,
+               b: usize,
+               s: Step| {
         let (a, b) = (NodeId(a as u32), NodeId(b as u32));
         if a == b || g.has_edge(a, b) {
             return;
@@ -253,8 +250,7 @@ pub fn gao_rexford_instance(
     // Spanning structure: every non-destination node gets a provider among
     // earlier nodes with a weakly smaller tier.
     for i in 1..n {
-        let candidates: Vec<usize> =
-            (0..i).filter(|&j| tiers[j] <= tiers[i]).collect();
+        let candidates: Vec<usize> = (0..i).filter(|&j| tiers[j] <= tiers[i]).collect();
         let p = *candidates.choose(&mut rng).unwrap_or(&0);
         add(&mut g, &mut rel, i, p, Step::Up);
     }
@@ -276,9 +272,8 @@ pub fn gao_rexford_instance(
     }
 
     let dest = NodeId(0);
-    let names: Vec<String> = (0..n)
-        .map(|i| if i == 0 { "d".to_string() } else { format!("as{i}") })
-        .collect();
+    let names: Vec<String> =
+        (0..n).map(|i| if i == 0 { "d".to_string() } else { format!("as{i}") }).collect();
 
     let mut permitted = Vec::with_capacity(n);
     for v in g.nodes() {
@@ -311,10 +306,7 @@ pub fn gao_rexford_instance(
 
 /// A path (source first) is valley-free when its step sequence matches
 /// `up* across? down*`.
-fn is_valley_free(
-    p: &Path,
-    rel: &std::collections::HashMap<(NodeId, NodeId), Step>,
-) -> bool {
+fn is_valley_free(p: &Path, rel: &std::collections::HashMap<(NodeId, NodeId), Step>) -> bool {
     let mut phase = 0u8; // 0 = climbing, 1 = crossed, 2 = descending
     for w in p.as_slice().windows(2) {
         let s = rel[&(w[0], w[1])];

@@ -158,9 +158,7 @@ impl Graph {
 
     /// Returns `true` if the undirected edge `{a, b}` is present.
     pub fn has_edge(&self, a: NodeId, b: NodeId) -> bool {
-        self.contains(a)
-            && self.contains(b)
-            && self.adjacency[a.index()].binary_search(&b).is_ok()
+        self.contains(a) && self.contains(b) && self.adjacency[a.index()].binary_search(&b).is_ok()
     }
 
     /// The sorted neighbors of `v`.
@@ -181,9 +179,8 @@ impl Graph {
     ///
     /// For each undirected edge both directions are produced (Sec. 2.1).
     pub fn channels(&self) -> impl Iterator<Item = Channel> + '_ {
-        self.nodes().flat_map(move |from| {
-            self.neighbors(from).iter().map(move |&to| Channel { from, to })
-        })
+        self.nodes()
+            .flat_map(move |from| self.neighbors(from).iter().map(move |&to| Channel { from, to }))
     }
 
     /// All channels read by `v` (one per neighbor), in neighbor order.
@@ -250,19 +247,13 @@ mod tests {
     #[test]
     fn self_loop_rejected() {
         let mut g = Graph::new(2);
-        assert_eq!(
-            g.add_edge(NodeId(1), NodeId(1)),
-            Err(SppError::SelfLoop { node: NodeId(1) })
-        );
+        assert_eq!(g.add_edge(NodeId(1), NodeId(1)), Err(SppError::SelfLoop { node: NodeId(1) }));
     }
 
     #[test]
     fn out_of_range_rejected() {
         let mut g = Graph::new(2);
-        assert!(matches!(
-            g.add_edge(NodeId(0), NodeId(7)),
-            Err(SppError::UnknownNode { .. })
-        ));
+        assert!(matches!(g.add_edge(NodeId(0), NodeId(7)), Err(SppError::UnknownNode { .. })));
     }
 
     #[test]
@@ -281,10 +272,7 @@ mod tests {
         let ins: Vec<Channel> = g.in_channels(NodeId(0)).collect();
         assert_eq!(
             ins,
-            vec![
-                Channel::new(NodeId(1), NodeId(0)),
-                Channel::new(NodeId(2), NodeId(0))
-            ]
+            vec![Channel::new(NodeId(1), NodeId(0)), Channel::new(NodeId(2), NodeId(0))]
         );
         let outs: Vec<Channel> = g.out_channels(NodeId(0)).collect();
         assert!(outs.iter().all(|c| c.from == NodeId(0)));

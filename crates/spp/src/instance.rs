@@ -175,9 +175,8 @@ impl SppInstance {
         };
         let mut ids = Vec::with_capacity(names.len());
         for n in &names {
-            let id = self
-                .node_by_name(n)
-                .ok_or_else(|| SppError::UnknownName { name: n.clone() })?;
+            let id =
+                self.node_by_name(n).ok_or_else(|| SppError::UnknownName { name: n.clone() })?;
             ids.push(id);
         }
         Path::new(ids)
@@ -246,10 +245,7 @@ impl SppInstance {
         mut permitted: Vec<Vec<RankedPath>>,
     ) -> Result<Self, SppError> {
         if names.len() != graph.node_count() || permitted.len() != graph.node_count() {
-            return Err(SppError::UnknownNode {
-                node: dest,
-                node_count: graph.node_count(),
-            });
+            return Err(SppError::UnknownNode { node: dest, node_count: graph.node_count() });
         }
         for perms in &mut permitted {
             perms.sort_by(|a, b| a.rank.cmp(&b.rank).then_with(|| a.path.cmp(&b.path)));
@@ -521,8 +517,10 @@ mod tests {
     fn choose_best_prefers_lowest_rank() {
         let inst = disagree();
         let x = inst.node_by_name("x").unwrap();
-        let routes =
-            [Route::from(inst.parse_path("yd").unwrap()), Route::from(inst.parse_path("d").unwrap())];
+        let routes = [
+            Route::from(inst.parse_path("yd").unwrap()),
+            Route::from(inst.parse_path("d").unwrap()),
+        ];
         let best = inst.choose_best(x, routes.iter());
         assert_eq!(inst.fmt_route(&best), "xyd");
         // Destination always picks its trivial path.

@@ -243,10 +243,7 @@ mod tests {
     #[test]
     fn rejects_empty_and_nonsimple() {
         assert_eq!(Path::new(vec![]), Err(SppError::EmptyPath));
-        assert_eq!(
-            Path::from_ids([1, 2, 1]),
-            Err(SppError::PathNotSimple { repeated: NodeId(1) })
-        );
+        assert_eq!(Path::from_ids([1, 2, 1]), Err(SppError::PathNotSimple { repeated: NodeId(1) }));
     }
 
     #[test]

@@ -62,12 +62,8 @@ pub fn is_stable(inst: &SppInstance, pi: &PathAssignment) -> bool {
         if v == inst.dest() {
             continue;
         }
-        let neighbor_routes: Vec<Route> = inst
-            .graph()
-            .neighbors(v)
-            .iter()
-            .map(|&u| pi[u.index()].clone())
-            .collect();
+        let neighbor_routes: Vec<Route> =
+            inst.graph().neighbors(v).iter().map(|&u| pi[u.index()].clone()).collect();
         let best = inst.choose_best(v, neighbor_routes.iter());
         if best != pi[v.index()] {
             return false;

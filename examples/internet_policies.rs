@@ -27,11 +27,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     ]);
     for seed in 0..seeds {
         let gr = gao_rexford_instance(nodes, seed, 6, 5)?;
-        let rnd = random_instance(&RandomSppConfig {
-            nodes,
-            seed,
-            ..RandomSppConfig::default()
-        })?;
+        let rnd = random_instance(&RandomSppConfig { nodes, seed, ..RandomSppConfig::default() })?;
         for (name, inst) in [(format!("gao-rexford #{seed}"), gr), (format!("random #{seed}"), rnd)]
         {
             let wf = is_wheel_free(&inst);

@@ -46,8 +46,7 @@ fn load_instance(spec: &str) -> Result<SppInstance, String> {
             return Ok(inst);
         }
     }
-    let text =
-        std::fs::read_to_string(spec).map_err(|e| format!("cannot read {spec:?}: {e}"))?;
+    let text = std::fs::read_to_string(spec).map_err(|e| format!("cannot read {spec:?}: {e}"))?;
     format::from_text(&text).map_err(|e| format!("cannot parse {spec:?}: {e}"))
 }
 
@@ -66,8 +65,7 @@ fn cmd_models() {
 
 fn cmd_audit(inst: &SppInstance) -> Result<(), String> {
     print!("{inst}");
-    let solutions =
-        enumerate_stable_assignments(inst, 10_000_000).map_err(|e| e.to_string())?;
+    let solutions = enumerate_stable_assignments(inst, 10_000_000).map_err(|e| e.to_string())?;
     println!("stable path assignments: {}", solutions.len());
     for s in solutions.iter().take(8) {
         println!("  {}", fmt_assignment(inst, s));
@@ -98,8 +96,7 @@ fn cmd_audit(inst: &SppInstance) -> Result<(), String> {
 }
 
 fn cmd_solve(inst: &SppInstance) -> Result<(), String> {
-    let solutions =
-        enumerate_stable_assignments(inst, 50_000_000).map_err(|e| e.to_string())?;
+    let solutions = enumerate_stable_assignments(inst, 50_000_000).map_err(|e| e.to_string())?;
     println!("{} stable path assignment(s)", solutions.len());
     for s in &solutions {
         println!("  {}", fmt_assignment(inst, s));
@@ -202,11 +199,7 @@ fn cmd_obs_summarize(args: &[String]) -> Result<(), String> {
     match args.first().map(String::as_str) {
         Some("summarize") => {
             let json = args.iter().any(|a| a == "--json");
-            let dir = args
-                .iter()
-                .skip(1)
-                .find(|a| !a.starts_with("--"))
-                .ok_or(usage)?;
+            let dir = args.iter().skip(1).find(|a| !a.starts_with("--")).ok_or(usage)?;
             let dir = std::path::Path::new(dir);
             let summary = routelab::obs::summarize_dir(dir)
                 .map_err(|e| format!("cannot summarize {}: {e}", dir.display()))?;

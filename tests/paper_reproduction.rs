@@ -55,16 +55,10 @@ fn appendix_a_step_tables_replay_exactly() {
 fn disagree_separation_thm_3_8() {
     let inst = gadgets::disagree();
     let cfg = ExploreConfig::default();
-    assert!(matches!(
-        analyze(&inst, "R1O".parse().unwrap(), &cfg),
-        Verdict::CanOscillate { .. }
-    ));
+    assert!(matches!(analyze(&inst, "R1O".parse().unwrap(), &cfg), Verdict::CanOscillate { .. }));
     for weak in ["REO", "REF", "R1A", "RMA", "REA"] {
         assert!(
-            matches!(
-                analyze(&inst, weak.parse().unwrap(), &cfg),
-                Verdict::AlwaysConverges { .. }
-            ),
+            matches!(analyze(&inst, weak.parse().unwrap(), &cfg), Verdict::AlwaysConverges { .. }),
             "{weak}"
         );
     }
@@ -87,24 +81,26 @@ fn a1_and_a2_oscillations_run_forever() {
 
 #[test]
 fn negative_examples_a3_a4_a5_via_search() {
-    let cfg =
-        ExploreConfig { channel_cap: 6, max_states: 2_000_000, max_steps_per_state: 50_000 };
+    let cfg = ExploreConfig { channel_cap: 6, max_states: 2_000_000, max_steps_per_state: 50_000 };
     let a3 = paper_runs::a3_reo();
     let t3 = Runner::trace_of(&a3.instance, &a3.seq);
-    assert!(search(&a3.instance, "R1O".parse().unwrap(), &t3, SearchGoal::Exact, &cfg)
-        .is_impossible());
+    assert!(
+        search(&a3.instance, "R1O".parse().unwrap(), &t3, SearchGoal::Exact, &cfg).is_impossible()
+    );
 
     let a4 = paper_runs::a4_rea();
     let t4 = Runner::trace_of(&a4.instance, &a4.seq);
     assert!(search(&a4.instance, "R1O".parse().unwrap(), &t4, SearchGoal::Repetition, &cfg)
         .is_impossible());
-    assert!(search(&a4.instance, "R1O".parse().unwrap(), &t4, SearchGoal::Subsequence, &cfg)
-        .is_found());
+    assert!(
+        search(&a4.instance, "R1O".parse().unwrap(), &t4, SearchGoal::Subsequence, &cfg).is_found()
+    );
 
     let a5 = paper_runs::a5_rea();
     let t5 = Runner::trace_of(&a5.instance, &a5.seq);
-    assert!(search(&a5.instance, "R1S".parse().unwrap(), &t5, SearchGoal::Exact, &cfg)
-        .is_impossible());
+    assert!(
+        search(&a5.instance, "R1S".parse().unwrap(), &t5, SearchGoal::Exact, &cfg).is_impossible()
+    );
 }
 
 #[test]

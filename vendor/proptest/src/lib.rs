@@ -227,7 +227,9 @@ pub mod collection {
 pub mod runner {
     //! The case loop behind [`proptest!`](crate::proptest).
 
-    use super::{ProptestConfig, Rng, SeedableRng, StdRng, Strategy, TestCaseError, TestCaseResult};
+    use super::{
+        ProptestConfig, Rng, SeedableRng, StdRng, Strategy, TestCaseError, TestCaseResult,
+    };
 
     fn base_seed(name: &str) -> u64 {
         if let Ok(s) = std::env::var("PROPTEST_SEED") {
@@ -388,7 +390,9 @@ macro_rules! prop_assert_ne {
             (l, r) => $crate::prop_assert!(
                 *l != *r,
                 "assertion failed: {} != {}\n  both: {:?}",
-                stringify!($a), stringify!($b), l
+                stringify!($a),
+                stringify!($b),
+                l
             ),
         }
     };
