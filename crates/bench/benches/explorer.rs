@@ -28,7 +28,12 @@ fn bench_oscillation(c: &mut Criterion) {
 fn bench_trace_search(c: &mut Criterion) {
     let mut group = c.benchmark_group("explorer/trace_search");
     group.sample_size(10);
-    let cfg = ExploreConfig { channel_cap: 6, max_states: 2_000_000, max_steps_per_state: 50_000 };
+    let cfg = ExploreConfig {
+        channel_cap: 6,
+        max_states: 2_000_000,
+        max_steps_per_state: 50_000,
+        threads: None,
+    };
     let a4 = routelab_engine::paper_runs::a4_rea();
     let target = Runner::trace_of(&a4.instance, &a4.seq);
     group.bench_function("a4-repetition-in-R1O(impossible)", |b| {

@@ -112,6 +112,33 @@ impl NetworkState {
         &mut self.queues[c]
     }
 
+    /// Rebuilds a state from its four components (the inverse of the
+    /// accessor view). This is the decode hook for external state codecs —
+    /// exhaustive explorers intern states in packed form and reconstruct
+    /// them on demand — and performs no validation beyond shape: `chosen`
+    /// and `announced` must have one entry per node, `learned` and `queues`
+    /// one entry per dense channel id, with each queue oldest-first.
+    pub fn from_parts(
+        chosen: Vec<Route>,
+        announced: Vec<Route>,
+        learned: Vec<Route>,
+        queues: Vec<Vec<Route>>,
+    ) -> Self {
+        debug_assert_eq!(chosen.len(), announced.len());
+        debug_assert_eq!(learned.len(), queues.len());
+        let queues = queues
+            .into_iter()
+            .map(|routes| {
+                let mut q = FifoChannel::new();
+                for r in routes {
+                    q.push(r);
+                }
+                q
+            })
+            .collect();
+        NetworkState { chosen, announced, learned, queues }
+    }
+
     /// Collapses every queue to its newest message. An exact abstraction
     /// (bisimulation) for reliable all-messages models (`R1A`, `RMA`,
     /// `REA`): every read consumes the whole queue and ρ becomes its newest
@@ -160,6 +187,23 @@ mod tests {
         assert_ne!(a.fingerprint(), b.fingerprint());
         assert!(!b.is_quiescent());
         assert_eq!(b.max_queue_len(), 1);
+    }
+
+    #[test]
+    fn from_parts_round_trips() {
+        let inst = gadgets::disagree();
+        let idx = ChannelIndex::new(inst.graph());
+        let mut s = NetworkState::initial(&inst, &idx);
+        s.queue_mut(0).push(Route::empty());
+        s.queue_mut(0).push(Route::path(Path::trivial(inst.dest())));
+        *s.learned_mut(1) = Route::path(Path::trivial(inst.dest()));
+        let rebuilt = NetworkState::from_parts(
+            s.assignment(),
+            (0..inst.node_count()).map(|v| s.announced(NodeId(v as u32)).clone()).collect(),
+            (0..idx.len()).map(|c| s.learned(c).clone()).collect(),
+            (0..idx.len()).map(|c| s.queue(c).iter().cloned().collect()).collect(),
+        );
+        assert_eq!(s, rebuilt);
     }
 
     #[test]

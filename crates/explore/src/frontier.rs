@@ -1,0 +1,691 @@
+//! Deterministic sharded parallel breadth-first frontier engine.
+//!
+//! Every exhaustive check in this crate — state-graph construction, trace
+//! realization search — is a breadth-first closure over an implicit graph:
+//! intern a root, repeatedly expand un-expanded nodes into candidate
+//! successors, dedup candidates against everything seen, stop on a cap or
+//! an accepting node. [`bfs`] runs that loop with the frontier partitioned
+//! by state-hash shard across `std::thread::scope` workers, under a strict
+//! determinism contract:
+//!
+//! **The result — node ids, node count, edges, parents, truncation point,
+//! accepted node — is bit-identical at any thread count**, and identical to
+//! the plain sequential reference [`bfs_reference`]. The trick is canonical
+//! ordinal numbering: a block of frontier nodes is expanded in parallel
+//! (each parent's successors land in that parent's own slot, in the
+//! parent's canonical successor order), candidates are routed to hash
+//! shards *in (parent, successor) order*, each shard dedups its candidates
+//! in parallel against its persistent map in that same order, and a final
+//! serial merge walks candidates in (parent, successor) order assigning
+//! fresh ids first-occurrence-first. That numbering is exactly what a
+//! sequential breadth-first loop produces, so thread count, scheduling, and
+//! shard assignment can never leak into the output. Caps and acceptance cut
+//! at an exact candidate ordinal, discarding everything after it, for the
+//! same reason.
+//!
+//! The same contract as the run-level pool (`ROUTELAB_THREADS`, PR 1),
+//! pushed down into a single gadget × model cell.
+
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use crate::error::ExploreError;
+
+/// Number of dedup shards. A fixed power of two: enough to keep 8–16
+/// workers busy, few enough that per-shard maps stay dense. Constant so
+/// shard routing can never vary run-to-run.
+pub const SHARDS: usize = 64;
+
+/// Frontier nodes expanded per parallel block. Purely a performance knob —
+/// the ordinal merge makes results independent of block size.
+const BLOCK: usize = 4096;
+
+/// Env var overriding the explorer's worker count (same contract as the
+/// run-level pool's variable of the same name).
+pub const THREADS_ENV: &str = "ROUTELAB_THREADS";
+
+/// Resolves a worker count: explicit setting, else `ROUTELAB_THREADS`, else
+/// the machine's available parallelism.
+pub fn resolved_threads(explicit: Option<usize>) -> usize {
+    explicit
+        .or_else(|| std::env::var(THREADS_ENV).ok().and_then(|v| v.parse().ok()))
+        .filter(|&t| t > 0)
+        .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, usize::from))
+}
+
+/// A client of the frontier engine: how to expand a node, and which nodes
+/// finish the search.
+pub trait Expand: Sync {
+    /// The interned node type (a packed state, possibly with search-local
+    /// annotations such as a progress counter).
+    type Node: Hash + Eq + Clone + Send + Sync;
+    /// Per-edge payload (labels for the state graph, replay steps for trace
+    /// search).
+    type Label: Clone + Send + Sync;
+
+    /// Appends `node`'s successors to `out` in canonical order. Returns
+    /// `true` when some transition was cut by a bound (the closure is then
+    /// incomplete and the caller's verdict must say so).
+    ///
+    /// # Errors
+    ///
+    /// Any [`ExploreError`] aborts the whole search, attributed to its cell.
+    fn expand(
+        &self,
+        id: u32,
+        node: &Self::Node,
+        out: &mut Vec<(Self::Node, Self::Label)>,
+    ) -> Result<bool, ExploreError>;
+
+    /// Called once per node, at interning, in id order. Returning `true`
+    /// stops the search immediately (candidates after this one, in ordinal
+    /// order, are discarded — on every thread count alike).
+    fn accept(&self, _id: u32, _node: &Self::Node) -> bool {
+        false
+    }
+}
+
+/// Engine knobs. `threads` must already be resolved (≥ 1).
+#[derive(Debug, Clone, Copy)]
+pub struct BfsOptions {
+    /// Worker count (1 = run everything inline).
+    pub threads: usize,
+    /// Maximum nodes interned; hitting the cap truncates the search.
+    pub max_nodes: usize,
+    /// Record the full edge list (needed for SCC analysis).
+    pub record_edges: bool,
+    /// Record one (parent, label) link per node (needed to reconstruct a
+    /// path to an accepted node).
+    pub record_parents: bool,
+    /// Heartbeat/progress label for long closures.
+    pub progress_label: &'static str,
+}
+
+/// Aggregate behavior of one [`bfs`] run (feeds `explore.*` telemetry and
+/// the scaling bench).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FrontierStats {
+    /// Worker threads used.
+    pub threads: usize,
+    /// Parallel blocks processed.
+    pub blocks: u64,
+    /// Nodes expanded.
+    pub expanded: u64,
+    /// Successor candidates generated.
+    pub candidates: u64,
+    /// Candidates that resolved to an already-interned node.
+    pub dedup_hits: u64,
+    /// Largest un-expanded frontier observed at a block boundary.
+    pub peak_frontier: usize,
+    /// Final size of the fullest dedup shard.
+    pub shard_max: usize,
+    /// Final size of the emptiest dedup shard.
+    pub shard_min: usize,
+}
+
+impl FrontierStats {
+    /// Dedup hit rate in [0, 1].
+    pub fn dedup_hit_rate(&self) -> f64 {
+        if self.candidates == 0 {
+            0.0
+        } else {
+            self.dedup_hits as f64 / self.candidates as f64
+        }
+    }
+}
+
+/// Output of a frontier run.
+#[derive(Debug, Clone)]
+pub struct BfsResult<N, L> {
+    /// Interned nodes; index = id, id 0 = root.
+    pub nodes: Vec<N>,
+    /// Outgoing `(to, label)` edges per node (empty unless `record_edges`;
+    /// value-preserving self-loops are kept — callers filter if needed).
+    pub edges: Vec<Vec<(u32, L)>>,
+    /// First-discovery `(parent, label)` link per node, `None` for the root
+    /// (empty unless `record_parents`).
+    pub parents: Vec<Option<(u32, L)>>,
+    /// `true` when a bound cut the closure (expand-reported or node cap).
+    pub truncated: bool,
+    /// The first accepted node, if any.
+    pub accepted: Option<u32>,
+    /// Run statistics.
+    pub stats: FrontierStats,
+}
+
+impl<N, L> BfsResult<N, L> {
+    /// Reconstructs the label path root → `id` from the parent links.
+    pub fn path_to(&self, id: u32) -> Vec<L>
+    where
+        L: Clone,
+    {
+        let mut labels = Vec::new();
+        let mut cur = id;
+        while let Some(Some((p, l))) = self.parents.get(cur as usize) {
+            labels.push(l.clone());
+            cur = *p;
+        }
+        labels.reverse();
+        labels
+    }
+}
+
+/// Deterministic shard routing: a fixed-key hash of the node, reduced to a
+/// shard index. Never feeds id assignment — only map placement.
+fn shard_of<N: Hash>(node: &N) -> usize {
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    node.hash(&mut h);
+    (h.finish() as usize) & (SHARDS - 1)
+}
+
+/// How a candidate resolved against the shard maps.
+#[derive(Clone, Copy)]
+enum Resolution {
+    /// Already interned with this id.
+    Old(u32),
+    /// First seen this block; index into the shard's pending list.
+    New(u32),
+}
+
+/// Per-shard output of the parallel dedup phase.
+#[derive(Default)]
+struct ShardOut<N> {
+    /// One resolution per routed candidate, in ordinal order.
+    resolutions: Vec<Resolution>,
+    /// First occurrence of each block-new node, in ordinal order.
+    pending: Vec<N>,
+    /// Block-local dedup map: node → pending index (reused to extend the
+    /// persistent map once global ids exist).
+    pend_map: HashMap<N, u32>,
+    /// Old-node hits (for the dedup hit-rate stat).
+    hits: u64,
+}
+
+type Candidates<N, L> = Vec<(N, L)>;
+
+/// One parent's expansion: its candidate successors plus the "budget cut
+/// here" flag returned by [`Expand::expand`].
+type Slot<N, L> = (Candidates<N, L>, bool);
+
+/// Expands parents `results[i] ↔ id block_start + i`, filling each slot in
+/// place. Panics inside `expand` are caught and attributed to `cell`.
+fn expand_block<E: Expand>(
+    exp: &E,
+    arena: &[E::Node],
+    block_start: usize,
+    slots: &mut [Slot<E::Node, E::Label>],
+    threads: usize,
+    cell: &str,
+) -> Result<(), ExploreError> {
+    let run_range = |offset: usize, slots: &mut [Slot<E::Node, E::Label>]| {
+        for (i, slot) in slots.iter_mut().enumerate() {
+            let id = block_start + offset + i;
+            let node = &arena[id];
+            let expanded =
+                catch_unwind(AssertUnwindSafe(|| exp.expand(id as u32, node, &mut slot.0)));
+            match expanded {
+                Ok(r) => slot.1 = r?,
+                Err(payload) => {
+                    return Err(ExploreError::worker_panic(cell, panic_message(&*payload)))
+                }
+            }
+        }
+        Ok(())
+    };
+    if threads <= 1 || slots.len() <= 1 {
+        return run_range(0, slots);
+    }
+    let chunk = slots.len().div_ceil(threads);
+    let mut failures: Vec<(usize, ExploreError)> = Vec::new();
+    std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for (w, chunk_slots) in slots.chunks_mut(chunk).enumerate() {
+            let run_range = &run_range;
+            handles.push((w, scope.spawn(move || run_range(w * chunk, chunk_slots))));
+        }
+        for (w, h) in handles {
+            match h.join() {
+                Ok(Ok(())) => {}
+                Ok(Err(e)) => failures.push((w, e)),
+                // A panic that escaped catch_unwind (e.g. in the harness
+                // itself) — still attribute it.
+                Err(payload) => {
+                    failures.push((w, ExploreError::worker_panic(cell, panic_message(&*payload))))
+                }
+            }
+        }
+    });
+    // Earliest worker's failure wins, deterministically.
+    failures.sort_by_key(|&(w, _)| w);
+    match failures.into_iter().next() {
+        Some((_, e)) => Err(e),
+        None => Ok(()),
+    }
+}
+
+/// Resolves every routed candidate of the block against the shard maps —
+/// shards in parallel, each walking its bucket in ordinal order.
+fn dedup_block<N, L>(
+    shard_maps: &[HashMap<N, u32>],
+    buckets: &[Vec<(u32, u32)>],
+    results: &[(Candidates<N, L>, bool)],
+    threads: usize,
+) -> Vec<ShardOut<N>>
+where
+    N: Hash + Eq + Clone + Send + Sync,
+    L: Sync,
+{
+    let resolve_shard = |s: usize| -> ShardOut<N> {
+        let mut out = ShardOut {
+            resolutions: Vec::with_capacity(buckets[s].len()),
+            pending: Vec::new(),
+            pend_map: HashMap::new(),
+            hits: 0,
+        };
+        for &(pi, si) in &buckets[s] {
+            let node = &results[pi as usize].0[si as usize].0;
+            if let Some(&id) = shard_maps[s].get(node) {
+                out.hits += 1;
+                out.resolutions.push(Resolution::Old(id));
+            } else if let Some(&p) = out.pend_map.get(node) {
+                // A duplicate within the block still resolves to an
+                // already-interned node by merge time — count it as a hit,
+                // matching the sequential reference's accounting.
+                out.hits += 1;
+                out.resolutions.push(Resolution::New(p));
+            } else {
+                let p = out.pending.len() as u32;
+                out.pend_map.insert(node.clone(), p);
+                out.pending.push(node.clone());
+                out.resolutions.push(Resolution::New(p));
+            }
+        }
+        out
+    };
+    if threads <= 1 {
+        return (0..SHARDS).map(resolve_shard).collect();
+    }
+    let mut outs: Vec<Option<ShardOut<N>>> = (0..SHARDS).map(|_| None).collect();
+    let chunk = SHARDS.div_ceil(threads.min(SHARDS));
+    std::thread::scope(|scope| {
+        for (w, out_chunk) in outs.chunks_mut(chunk).enumerate() {
+            let resolve_shard = &resolve_shard;
+            scope.spawn(move || {
+                for (i, slot) in out_chunk.iter_mut().enumerate() {
+                    *slot = Some(resolve_shard(w * chunk + i));
+                }
+            });
+        }
+    });
+    outs.into_iter().map(|o| o.expect("every shard resolved")).collect()
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Runs the sharded parallel breadth-first closure from `root`.
+///
+/// # Errors
+///
+/// Propagates the first [`ExploreError`] (in deterministic order) from
+/// expansion, attributed to `cell`.
+pub fn bfs<E: Expand>(
+    exp: &E,
+    root: E::Node,
+    cell: &str,
+    opts: &BfsOptions,
+) -> Result<BfsResult<E::Node, E::Label>, ExploreError> {
+    let threads = opts.threads.max(1);
+    let mut stats = FrontierStats { threads, ..FrontierStats::default() };
+
+    let mut arena: Vec<E::Node> = Vec::new();
+    let mut shard_maps: Vec<HashMap<E::Node, u32>> = (0..SHARDS).map(|_| HashMap::new()).collect();
+    let mut edges: Vec<Vec<(u32, E::Label)>> = Vec::new();
+    let mut parents: Vec<Option<(u32, E::Label)>> = Vec::new();
+    let mut truncated = false;
+    let mut accepted = None;
+
+    shard_maps[shard_of(&root)].insert(root.clone(), 0);
+    if opts.record_edges {
+        edges.push(Vec::new());
+    }
+    if opts.record_parents {
+        parents.push(None);
+    }
+    if exp.accept(0, &root) {
+        accepted = Some(0);
+    }
+    arena.push(root);
+
+    let mut heartbeat = routelab_obs::Heartbeat::new(opts.progress_label, opts.max_nodes as u64);
+    let mut expanded = 0usize;
+    'search: while expanded < arena.len() && accepted.is_none() {
+        stats.peak_frontier = stats.peak_frontier.max(arena.len() - expanded);
+        let block_start = expanded;
+        let block_len = (arena.len() - expanded).min(BLOCK);
+        expanded += block_len;
+        stats.blocks += 1;
+        stats.expanded += block_len as u64;
+        heartbeat.tick(arena.len() as u64);
+
+        // Phase 1 (parallel): expand every parent of the block into its own
+        // slot, in the parent's canonical successor order.
+        let mut results: Vec<Slot<E::Node, E::Label>> =
+            (0..block_len).map(|_| (Vec::new(), false)).collect();
+        expand_block(exp, &arena, block_start, &mut results, threads, cell)?;
+
+        // Phase 2 (serial, cheap): route candidates to shards in ordinal
+        // (parent, successor) order, so each shard's bucket is
+        // ordinal-sorted.
+        let mut buckets: Vec<Vec<(u32, u32)>> = (0..SHARDS).map(|_| Vec::new()).collect();
+        for (pi, (cands, cut)) in results.iter().enumerate() {
+            truncated |= cut;
+            stats.candidates += cands.len() as u64;
+            for (si, (node, _)) in cands.iter().enumerate() {
+                buckets[shard_of(node)].push((pi as u32, si as u32));
+            }
+        }
+
+        // Phase 3 (parallel): per-shard dedup against the persistent maps,
+        // each bucket walked in ordinal order.
+        let mut outs = dedup_block(&shard_maps, &buckets, &results, threads);
+        for o in &outs {
+            stats.dedup_hits += o.hits;
+        }
+
+        // Phase 4 (serial): fixed-order merge. Walk candidates in ordinal
+        // order, assigning fresh ids first-occurrence-first — exactly the
+        // numbering of a sequential BFS. Caps and acceptance stop at an
+        // exact ordinal, discarding the rest of the block.
+        let mut cursor = [0usize; SHARDS];
+        let mut assigned: Vec<Vec<Option<u32>>> =
+            outs.iter().map(|o| vec![None; o.pending.len()]).collect();
+        for (pi, (cands, _)) in results.into_iter().enumerate() {
+            let from = (block_start + pi) as u32;
+            for (node, label) in cands {
+                let s = shard_of(&node);
+                let r = outs[s].resolutions[cursor[s]];
+                cursor[s] += 1;
+                let to = match r {
+                    Resolution::Old(id) => id,
+                    Resolution::New(p) => match assigned[s][p as usize] {
+                        Some(id) => id,
+                        None => {
+                            if arena.len() >= opts.max_nodes {
+                                truncated = true;
+                                break 'search;
+                            }
+                            let id = arena.len() as u32;
+                            assigned[s][p as usize] = Some(id);
+                            if opts.record_edges {
+                                edges.push(Vec::new());
+                            }
+                            if opts.record_parents {
+                                parents.push(Some((from, label.clone())));
+                            }
+                            if exp.accept(id, &node) {
+                                accepted = Some(id);
+                            }
+                            arena.push(node);
+                            id
+                        }
+                    },
+                };
+                if opts.record_edges {
+                    edges[from as usize].push((to, label));
+                }
+                if accepted.is_some() {
+                    break 'search;
+                }
+            }
+        }
+
+        // Phase 5 (serial, cheap): publish the block's assignments into the
+        // persistent shard maps (unassigned pendings were cut — never
+        // published, as in the sequential loop).
+        for (s, out) in outs.iter_mut().enumerate() {
+            for (node, p) in out.pend_map.drain() {
+                if let Some(id) = assigned[s][p as usize] {
+                    shard_maps[s].insert(node, id);
+                }
+            }
+        }
+    }
+
+    stats.shard_max = shard_maps.iter().map(HashMap::len).max().unwrap_or(0);
+    stats.shard_min = shard_maps.iter().map(HashMap::len).min().unwrap_or(0);
+    Ok(BfsResult { nodes: arena, edges, parents, truncated, accepted, stats })
+}
+
+/// The plain sequential reference implementation: one queue, one map, no
+/// blocks. Kept deliberately independent of [`bfs`]'s machinery — the
+/// differential tests assert the two agree bit-for-bit.
+///
+/// # Errors
+///
+/// Propagates the first [`ExploreError`] from expansion.
+pub fn bfs_reference<E: Expand>(
+    exp: &E,
+    root: E::Node,
+    cell: &str,
+    opts: &BfsOptions,
+) -> Result<BfsResult<E::Node, E::Label>, ExploreError> {
+    let mut arena: Vec<E::Node> = Vec::new();
+    let mut ids: HashMap<E::Node, u32> = HashMap::new();
+    let mut edges: Vec<Vec<(u32, E::Label)>> = Vec::new();
+    let mut parents: Vec<Option<(u32, E::Label)>> = Vec::new();
+    let mut truncated = false;
+    let mut accepted = None;
+    let mut stats = FrontierStats { threads: 1, ..FrontierStats::default() };
+
+    ids.insert(root.clone(), 0);
+    if opts.record_edges {
+        edges.push(Vec::new());
+    }
+    if opts.record_parents {
+        parents.push(None);
+    }
+    if exp.accept(0, &root) {
+        accepted = Some(0);
+    }
+    arena.push(root);
+
+    let mut expanded = 0usize;
+    'search: while expanded < arena.len() && accepted.is_none() {
+        stats.peak_frontier = stats.peak_frontier.max(arena.len() - expanded);
+        let from = expanded as u32;
+        expanded += 1;
+        stats.expanded += 1;
+        let mut cands = Vec::new();
+        let cut =
+            catch_unwind(AssertUnwindSafe(|| exp.expand(from, &arena[from as usize], &mut cands)))
+                .map_err(|p| ExploreError::worker_panic(cell, panic_message(&*p)))??;
+        truncated |= cut;
+        stats.candidates += cands.len() as u64;
+        for (node, label) in cands {
+            let to = match ids.get(&node) {
+                Some(&id) => {
+                    stats.dedup_hits += 1;
+                    id
+                }
+                None => {
+                    if arena.len() >= opts.max_nodes {
+                        truncated = true;
+                        break 'search;
+                    }
+                    let id = arena.len() as u32;
+                    ids.insert(node.clone(), id);
+                    if opts.record_edges {
+                        edges.push(Vec::new());
+                    }
+                    if opts.record_parents {
+                        parents.push(Some((from, label.clone())));
+                    }
+                    if exp.accept(id, &node) {
+                        accepted = Some(id);
+                    }
+                    arena.push(node);
+                    id
+                }
+            };
+            if opts.record_edges {
+                edges[from as usize].push((to, label));
+            }
+            if accepted.is_some() {
+                break 'search;
+            }
+        }
+    }
+    stats.blocks = stats.expanded;
+    Ok(BfsResult { nodes: arena, edges, parents, truncated, accepted, stats })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A synthetic graph over u64 node values: each node n < limit expands
+    /// to a deterministic pseudo-random fan-out, exercising dedup heavily.
+    struct Synthetic {
+        limit: u64,
+        fan: u64,
+        accept_at: Option<u64>,
+    }
+
+    impl Expand for Synthetic {
+        type Node = u64;
+        type Label = u64;
+        fn expand(
+            &self,
+            _id: u32,
+            node: &u64,
+            out: &mut Vec<(u64, u64)>,
+        ) -> Result<bool, ExploreError> {
+            for k in 0..self.fan {
+                // A fixed mixing function: collides often, covers slowly.
+                let succ =
+                    (node.wrapping_mul(6364136223846793005).wrapping_add(k * 1442695040888963407)
+                        >> 33)
+                        % self.limit;
+                out.push((succ, k));
+            }
+            Ok(false)
+        }
+        fn accept(&self, _id: u32, node: &u64) -> bool {
+            Some(*node) == self.accept_at
+        }
+    }
+
+    fn opts(threads: usize) -> BfsOptions {
+        BfsOptions {
+            threads,
+            max_nodes: usize::MAX,
+            record_edges: true,
+            record_parents: true,
+            progress_label: "test.frontier",
+        }
+    }
+
+    fn assert_identical(a: &BfsResult<u64, u64>, b: &BfsResult<u64, u64>) {
+        assert_eq!(a.nodes, b.nodes);
+        assert_eq!(a.edges, b.edges);
+        assert_eq!(a.parents, b.parents);
+        assert_eq!(a.truncated, b.truncated);
+        assert_eq!(a.accepted, b.accepted);
+    }
+
+    #[test]
+    fn parallel_matches_reference_at_every_thread_count() {
+        let g = Synthetic { limit: 5_000, fan: 7, accept_at: None };
+        let reference = bfs_reference(&g, 0, "synthetic", &opts(1)).unwrap();
+        assert!(reference.nodes.len() > 1_000);
+        for threads in [1, 2, 3, 8] {
+            let par = bfs(&g, 0, "synthetic", &opts(threads)).unwrap();
+            assert_identical(&par, &reference);
+            assert_eq!(par.stats.threads, threads);
+            assert_eq!(par.stats.dedup_hits, reference.stats.dedup_hits);
+            assert_eq!(par.stats.candidates, reference.stats.candidates);
+        }
+    }
+
+    #[test]
+    fn truncation_point_is_thread_invariant() {
+        let g = Synthetic { limit: 50_000, fan: 9, accept_at: None };
+        let mut o = opts(1);
+        o.max_nodes = 1234;
+        let reference = bfs_reference(&g, 0, "synthetic", &o).unwrap();
+        assert!(reference.truncated);
+        assert_eq!(reference.nodes.len(), 1234);
+        for threads in [1, 2, 8] {
+            let mut o = opts(threads);
+            o.max_nodes = 1234;
+            let par = bfs(&g, 0, "synthetic", &o).unwrap();
+            assert_identical(&par, &reference);
+        }
+    }
+
+    #[test]
+    fn acceptance_is_thread_invariant() {
+        let g = Synthetic { limit: 5_000, fan: 7, accept_at: Some(4_321) };
+        let reference = bfs_reference(&g, 0, "synthetic", &opts(1)).unwrap();
+        for threads in [1, 2, 8] {
+            let par = bfs(&g, 0, "synthetic", &opts(threads)).unwrap();
+            assert_identical(&par, &reference);
+        }
+        if let Some(id) = reference.accepted {
+            assert_eq!(reference.nodes[id as usize], 4_321);
+            // The parent chain replays to the accepted node.
+            let path = reference.path_to(id);
+            assert!(!path.is_empty());
+        }
+    }
+
+    #[test]
+    fn worker_panics_become_typed_errors() {
+        struct Bomb;
+        impl Expand for Bomb {
+            type Node = u64;
+            type Label = ();
+            fn expand(
+                &self,
+                _id: u32,
+                node: &u64,
+                out: &mut Vec<(u64, ())>,
+            ) -> Result<bool, ExploreError> {
+                if *node == 3 {
+                    panic!("boom at {node}");
+                }
+                out.push((node + 1, ()));
+                Ok(false)
+            }
+        }
+        for runner in [bfs::<Bomb>, bfs_reference::<Bomb>] {
+            let err = runner(&Bomb, 0, "BOMB × R1O", &opts(2)).expect_err("must fail");
+            assert_eq!(err.cell, "BOMB × R1O");
+            assert!(err.to_string().contains("boom at 3"), "{err}");
+        }
+    }
+
+    #[test]
+    fn accept_on_root_short_circuits() {
+        let g = Synthetic { limit: 10, fan: 2, accept_at: Some(0) };
+        let r = bfs(&g, 0, "synthetic", &opts(4)).unwrap();
+        assert_eq!(r.accepted, Some(0));
+        assert_eq!(r.nodes.len(), 1);
+        assert_eq!(r.stats.expanded, 0);
+    }
+
+    #[test]
+    fn resolved_threads_prefers_explicit() {
+        assert_eq!(resolved_threads(Some(3)), 3);
+        assert!(resolved_threads(None) >= 1);
+    }
+}

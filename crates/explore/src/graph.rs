@@ -1,6 +1,10 @@
 //! Reachable-state-graph construction and SCC decomposition.
-
-use std::collections::HashMap;
+//!
+//! States are interned in packed form (see [`crate::pack`]) and the graph
+//! is built by the sharded parallel frontier engine ([`crate::frontier`]):
+//! state ids, counts, edges, and truncation points are bit-identical at any
+//! thread count, and identical to the retained sequential reference
+//! ([`build_spec_reference`]) that the differential tests compare against.
 
 use routelab_core::model::CommModel;
 use routelab_engine::exec::execute_step;
@@ -9,6 +13,9 @@ use routelab_engine::state::NetworkState;
 use routelab_spp::SppInstance;
 
 use crate::effects::{all_steps, Spec};
+use crate::error::ExploreError;
+use crate::frontier::{self, BfsOptions, BfsResult, FrontierStats};
+use crate::pack::{PackedState, StateCodec};
 
 /// Bounds for exhaustive exploration.
 #[derive(Debug, Clone, Copy)]
@@ -20,16 +27,31 @@ pub struct ExploreConfig {
     pub max_states: usize,
     /// Maximum canonical steps enumerated per state.
     pub max_steps_per_state: usize,
+    /// Explorer worker threads; `None` resolves `ROUTELAB_THREADS`, then
+    /// the machine's available parallelism. Results never depend on it.
+    pub threads: Option<usize>,
 }
 
 impl Default for ExploreConfig {
     fn default() -> Self {
-        ExploreConfig { channel_cap: 3, max_states: 150_000, max_steps_per_state: 10_000 }
+        ExploreConfig {
+            channel_cap: 3,
+            max_states: 150_000,
+            max_steps_per_state: 10_000,
+            threads: None,
+        }
+    }
+}
+
+impl ExploreConfig {
+    /// The worker count this config resolves to (≥ 1).
+    pub fn resolved_threads(&self) -> usize {
+        frontier::resolved_threads(self.threads)
     }
 }
 
 /// A labeled transition of the state graph.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct EdgeLabel {
     /// Target state index.
     pub to: usize,
@@ -45,11 +67,17 @@ pub struct EdgeLabel {
     pub step: crate::effects::CanonicalStep,
 }
 
-/// The explored portion of a model's state graph.
+/// The explored portion of a model's state graph. States live in a packed
+/// arena; decode on demand with [`StateGraph::state`] or query the cheap
+/// packed predicates through [`StateGraph::codec`].
 #[derive(Debug, Clone)]
 pub struct StateGraph {
-    /// States, index 0 = initial.
-    pub states: Vec<NetworkState>,
+    /// The per-instance codec the packed states were interned with.
+    pub codec: StateCodec,
+    /// The dense channel index of the instance's graph.
+    pub index: ChannelIndex,
+    /// Packed states, index 0 = initial.
+    pub packed: Vec<PackedState>,
     /// Fingerprint of each state's path assignment π (not the full state).
     pub pi_fp: Vec<u64>,
     /// Outgoing edges per state (state-preserving self-loops elided).
@@ -57,94 +85,151 @@ pub struct StateGraph {
     /// `true` when some transition was cut by the channel cap or the state
     /// or per-state step budget — absence verdicts are then bounded.
     pub truncated: bool,
+    /// Frontier-engine statistics for this build.
+    pub stats: FrontierStats,
 }
 
-fn pi_fingerprint(state: &NetworkState) -> u64 {
-    use std::hash::{Hash, Hasher};
-    let mut h = std::collections::hash_map::DefaultHasher::new();
-    state.assignment().hash(&mut h);
-    h.finish()
+impl StateGraph {
+    /// Number of explored states.
+    pub fn len(&self) -> usize {
+        self.packed.len()
+    }
+
+    /// `true` for a graph without states (never produced by `build`).
+    pub fn is_empty(&self) -> bool {
+        self.packed.is_empty()
+    }
+
+    /// Decodes state `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the arena entry fails to decode — an internal invariant
+    /// violation, since every entry was produced by the same codec.
+    pub fn state(&self, i: usize) -> NetworkState {
+        self.codec.decode(&self.packed[i]).expect("arena entries decode with their own codec")
+    }
 }
 
-/// Builds the reachable state graph of `inst` under `model`.
-///
-/// For reliable all-messages models (`R1A`/`RMA`/`REA`) states are built
-/// modulo the queue-to-newest-message abstraction, which is a bisimulation
-/// there and keeps the polling state spaces finite without truncation.
-pub fn build(inst: &SppInstance, model: CommModel, cfg: &ExploreConfig) -> StateGraph {
-    build_spec(inst, Spec::Uniform(model), cfg)
+/// The frontier label of a graph edge: [`EdgeLabel`] minus the target id
+/// (which only exists after dedup).
+#[derive(Debug, Clone)]
+struct EdgePayload {
+    attended: Vec<usize>,
+    kept: Vec<usize>,
+    dropped: Vec<usize>,
+    changes_pi: bool,
+    step: crate::effects::CanonicalStep,
 }
 
-/// Builds the reachable state graph for a uniform or heterogeneous model.
-pub fn build_spec(inst: &SppInstance, spec: Spec<'_>, cfg: &ExploreConfig) -> StateGraph {
-    let collapse = spec.collapsible();
-    let index = ChannelIndex::new(inst.graph());
-    let initial = NetworkState::initial(inst, &index);
-    let mut ids: HashMap<NetworkState, usize> = HashMap::new();
-    ids.insert(initial.clone(), 0);
-    let mut g = StateGraph {
-        states: vec![initial],
-        pi_fp: Vec::new(),
-        edges: vec![Vec::new()],
-        truncated: false,
-    };
-    g.pi_fp.push(pi_fingerprint(&g.states[0]));
+/// The frontier-engine client for state-graph construction.
+struct GraphExpand<'a> {
+    inst: &'a SppInstance,
+    index: &'a ChannelIndex,
+    spec: Spec<'a>,
+    codec: &'a StateCodec,
+    collapse: bool,
+    cfg: &'a ExploreConfig,
+}
 
-    // The build can explore millions of states on wheel-carrying gadgets;
-    // the heartbeat makes budget consumption visible while it runs (gauges
-    // to the telemetry sink, a periodic status line to stderr).
-    let mut heartbeat = routelab_obs::Heartbeat::new("explore.states", cfg.max_states as u64);
-    let mut frontier = vec![0usize];
-    while let Some(si) = frontier.pop() {
-        heartbeat.tick(g.states.len() as u64);
-        let state = g.states[si].clone();
-        let (steps, capped) =
-            all_steps(spec, &index, &state, inst.node_count(), cfg.max_steps_per_state);
-        g.truncated |= capped;
+impl frontier::Expand for GraphExpand<'_> {
+    type Node = PackedState;
+    type Label = EdgePayload;
+
+    fn expand(
+        &self,
+        _id: u32,
+        packed: &PackedState,
+        out: &mut Vec<(PackedState, EdgePayload)>,
+    ) -> Result<bool, ExploreError> {
+        let state = self.codec.decode(packed)?;
+        let (steps, capped) = all_steps(
+            self.spec,
+            self.index,
+            &state,
+            self.inst.node_count(),
+            self.cfg.max_steps_per_state,
+        );
+        let mut truncated = capped;
         for cs in steps {
-            let activation = cs.to_activation(spec, &index);
+            let activation = cs.to_activation(self.spec, self.index);
             let mut next = state.clone();
-            let effect = execute_step(inst, &index, &mut next, &activation);
-            if collapse {
+            let effect = execute_step(self.inst, self.index, &mut next, &activation);
+            if self.collapse {
                 // Exact abstraction for R·A models: only the newest queued
                 // message can ever be learned.
                 next.collapse_queues_to_newest();
             }
-            if next == state {
-                continue; // state-preserving: handled by noop annotations
-            }
-            if next.max_queue_len() > cfg.channel_cap {
-                g.truncated = true;
+            if next.max_queue_len() > self.cfg.channel_cap {
+                truncated = true;
                 continue;
             }
-            let ti = match ids.get(&next) {
-                Some(&t) => t,
-                None => {
-                    if g.states.len() >= cfg.max_states {
-                        g.truncated = true;
-                        continue;
-                    }
-                    let t = g.states.len();
-                    ids.insert(next.clone(), t);
-                    g.pi_fp.push(pi_fingerprint(&next));
-                    g.states.push(next);
-                    g.edges.push(Vec::new());
-                    frontier.push(t);
-                    t
-                }
-            };
-            g.edges[si].push(EdgeLabel {
-                to: ti,
-                attended: cs.attended(spec),
-                kept: effect.kept_on.clone(),
-                dropped: effect.dropped_on.clone(),
-                changes_pi: !effect.changed.is_empty(),
-                step: cs.clone(),
-            });
+            let next_packed = self.codec.encode(&next)?;
+            if next_packed == *packed {
+                continue; // state-preserving: handled by noop annotations
+            }
+            out.push((
+                next_packed,
+                EdgePayload {
+                    attended: cs.attended(self.spec),
+                    kept: effect.kept_on,
+                    dropped: effect.dropped_on,
+                    changes_pi: !effect.changed.is_empty(),
+                    step: cs,
+                },
+            ));
         }
+        Ok(truncated)
     }
+}
+
+/// The cell descriptor used for error attribution and telemetry.
+pub(crate) fn cell_of(inst: &SppInstance, spec: Spec<'_>) -> String {
+    match spec {
+        Spec::Uniform(m) => format!("{inst} × {m}"),
+        Spec::Hetero(_) => format!("{inst} × hetero"),
+    }
+}
+
+fn assemble(
+    codec: StateCodec,
+    index: ChannelIndex,
+    r: BfsResult<PackedState, EdgePayload>,
+) -> StateGraph {
+    let pi_fp = r.nodes.iter().map(|p| codec.pi_fingerprint(p)).collect();
+    let edges = r
+        .edges
+        .into_iter()
+        .map(|out| {
+            out.into_iter()
+                .map(|(to, p)| EdgeLabel {
+                    to: to as usize,
+                    attended: p.attended,
+                    kept: p.kept,
+                    dropped: p.dropped,
+                    changes_pi: p.changes_pi,
+                    step: p.step,
+                })
+                .collect()
+        })
+        .collect();
+    let g = StateGraph {
+        codec,
+        index,
+        packed: r.nodes,
+        pi_fp,
+        edges,
+        truncated: r.truncated,
+        stats: r.stats,
+    };
     if routelab_obs::enabled() {
-        routelab_obs::gauge("explore.states", g.states.len() as u64);
+        routelab_obs::gauge("explore.states", g.len() as u64);
+        routelab_obs::gauge("explore.threads", g.stats.threads as u64);
+        routelab_obs::gauge("explore.peak_frontier", g.stats.peak_frontier as u64);
+        routelab_obs::gauge("explore.shard_max", g.stats.shard_max as u64);
+        routelab_obs::gauge("explore.shard_min", g.stats.shard_min as u64);
+        routelab_obs::counter("explore.candidates", g.stats.candidates);
+        routelab_obs::counter("explore.dedup_hits", g.stats.dedup_hits);
         routelab_obs::counter("explore.builds", 1);
         if g.truncated {
             routelab_obs::counter("explore.builds_truncated", 1);
@@ -153,11 +238,91 @@ pub fn build_spec(inst: &SppInstance, spec: Spec<'_>, cfg: &ExploreConfig) -> St
     g
 }
 
+/// Builds the reachable state graph of `inst` under `model`.
+///
+/// For reliable all-messages models (`R1A`/`RMA`/`REA`) states are built
+/// modulo the queue-to-newest-message abstraction, which is a bisimulation
+/// there and keeps the polling state spaces finite without truncation.
+///
+/// # Panics
+///
+/// Panics on an [`ExploreError`] (route universe overflow, worker panic);
+/// use [`try_build_spec`] to handle those.
+pub fn build(inst: &SppInstance, model: CommModel, cfg: &ExploreConfig) -> StateGraph {
+    build_spec(inst, Spec::Uniform(model), cfg)
+}
+
+/// Builds the reachable state graph for a uniform or heterogeneous model.
+///
+/// # Panics
+///
+/// Panics on an [`ExploreError`]; use [`try_build_spec`] to handle those.
+pub fn build_spec(inst: &SppInstance, spec: Spec<'_>, cfg: &ExploreConfig) -> StateGraph {
+    try_build_spec(inst, spec, cfg).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Builds the reachable state graph, reporting failures as typed errors
+/// attributed to the gadget × model cell.
+///
+/// # Errors
+///
+/// Any [`ExploreError`] raised while interning or expanding states.
+pub fn try_build_spec(
+    inst: &SppInstance,
+    spec: Spec<'_>,
+    cfg: &ExploreConfig,
+) -> Result<StateGraph, ExploreError> {
+    build_with(inst, spec, cfg, false)
+}
+
+/// The retained sequential reference build: same output contract as
+/// [`try_build_spec`], but computed by the plain one-queue-one-map loop.
+/// The differential tests assert both agree bit-for-bit.
+///
+/// # Errors
+///
+/// Any [`ExploreError`] raised while interning or expanding states.
+pub fn build_spec_reference(
+    inst: &SppInstance,
+    spec: Spec<'_>,
+    cfg: &ExploreConfig,
+) -> Result<StateGraph, ExploreError> {
+    build_with(inst, spec, cfg, true)
+}
+
+fn build_with(
+    inst: &SppInstance,
+    spec: Spec<'_>,
+    cfg: &ExploreConfig,
+    reference: bool,
+) -> Result<StateGraph, ExploreError> {
+    let _span = routelab_obs::span("explore.build");
+    let cell = cell_of(inst, spec);
+    let index = ChannelIndex::new(inst.graph());
+    let codec = StateCodec::new(inst, &index, cell.as_str())?;
+    let root = codec.encode(&NetworkState::initial(inst, &index))?;
+    let exp =
+        GraphExpand { inst, index: &index, spec, codec: &codec, collapse: spec.collapsible(), cfg };
+    let opts = BfsOptions {
+        threads: cfg.resolved_threads(),
+        max_nodes: cfg.max_states,
+        record_edges: true,
+        record_parents: false,
+        progress_label: "explore.states",
+    };
+    let r = if reference {
+        frontier::bfs_reference(&exp, root, &cell, &opts)?
+    } else {
+        frontier::bfs(&exp, root, &cell, &opts)?
+    };
+    Ok(assemble(codec, index, r))
+}
+
 /// Tarjan's strongly connected components (iterative). Components are
 /// returned in reverse topological order; singleton components without a
 /// self-edge are included (callers filter).
 pub fn sccs(g: &StateGraph) -> Vec<Vec<usize>> {
-    let n = g.states.len();
+    let n = g.len();
     let mut index_of = vec![usize::MAX; n];
     let mut low = vec![0usize; n];
     let mut on_stack = vec![false; n];
@@ -221,11 +386,13 @@ mod tests {
         let g = build(&inst, "REA".parse().unwrap(), &ExploreConfig::default());
         assert!(!g.truncated);
         // Initial, d-announced, v-learned, v-announcement-consumed…
-        assert!(g.states.len() <= 8, "{}", g.states.len());
+        assert!(g.len() <= 8, "{}", g.len());
         // From the converged terminal state there are no outgoing edges.
-        let terminal =
-            g.states.iter().position(|s| s.is_quiescent()).expect("line2 reaches quiescence");
+        let terminal = (0..g.len())
+            .find(|&i| g.codec.is_quiescent(&g.packed[i]))
+            .expect("line2 reaches quiescence");
         assert!(g.edges[terminal].is_empty());
+        assert!(g.state(terminal).is_quiescent());
     }
 
     #[test]
@@ -259,10 +426,11 @@ mod tests {
     #[test]
     fn truncation_reported_on_tiny_caps() {
         let inst = gadgets::disagree();
-        let cfg = ExploreConfig { channel_cap: 1, max_states: 4, max_steps_per_state: 4 };
+        let cfg =
+            ExploreConfig { channel_cap: 1, max_states: 4, max_steps_per_state: 4, threads: None };
         let g = build(&inst, "RMS".parse().unwrap(), &cfg);
         assert!(g.truncated);
-        assert!(g.states.len() <= 4);
+        assert!(g.len() <= 4);
     }
 
     #[test]
@@ -271,13 +439,31 @@ mod tests {
         let g = build(&inst, "REO".parse().unwrap(), &ExploreConfig::default());
         let comps = sccs(&g);
         let total: usize = comps.iter().map(Vec::len).sum();
-        assert_eq!(total, g.states.len());
+        assert_eq!(total, g.len());
         // Each state appears exactly once.
-        let mut seen = vec![false; g.states.len()];
+        let mut seen = vec![false; g.len()];
         for c in &comps {
             for &s in c {
                 assert!(!seen[s]);
                 seen[s] = true;
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_build_matches_reference_exactly() {
+        let inst = gadgets::disagree();
+        let cfg = ExploreConfig::default();
+        for model in ["R1O", "RMA", "RES", "U1O"] {
+            let spec = Spec::Uniform(model.parse().unwrap());
+            let reference = build_spec_reference(&inst, spec, &cfg).unwrap();
+            for threads in [1, 2, 8] {
+                let c = ExploreConfig { threads: Some(threads), ..cfg };
+                let g = try_build_spec(&inst, spec, &c).unwrap();
+                assert_eq!(g.packed, reference.packed, "{model} @{threads}");
+                assert_eq!(g.pi_fp, reference.pi_fp, "{model} @{threads}");
+                assert_eq!(g.edges, reference.edges, "{model} @{threads}");
+                assert_eq!(g.truncated, reference.truncated, "{model} @{threads}");
             }
         }
     }

@@ -41,12 +41,18 @@
 //! ```
 
 pub mod effects;
+pub mod error;
+pub mod frontier;
 pub mod graph;
 pub mod oscillation;
+pub mod pack;
 pub mod trace_search;
 pub mod witness;
 
+pub use error::{ExploreError, ExploreErrorKind};
+pub use frontier::FrontierStats;
 pub use graph::{ExploreConfig, StateGraph};
-pub use oscillation::{analyze, Verdict};
-pub use trace_search::{search, SearchGoal, SearchResult};
+pub use oscillation::{analyze, try_analyze, Verdict};
+pub use pack::{PackedState, StateCodec};
+pub use trace_search::{search, try_search, SearchGoal, SearchResult};
 pub use witness::{oscillation_witness, OscillationWitness};

@@ -22,11 +22,12 @@ use routelab_core::dims::NeighborScope;
 use routelab_core::hetero::HeteroModel;
 use routelab_core::model::CommModel;
 use routelab_engine::index::ChannelIndex;
-use routelab_engine::state::NetworkState;
 use routelab_spp::SppInstance;
 
 use crate::effects::Spec;
-use crate::graph::{build_spec, ExploreConfig, StateGraph};
+use crate::error::ExploreError;
+use crate::graph::{build_spec, try_build_spec, ExploreConfig, StateGraph};
+use crate::pack::{PackedState, StateCodec};
 
 /// Outcome of exhaustive oscillation analysis.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -57,15 +58,21 @@ pub enum Verdict {
 /// `true` when channel `c` can be attended at `state` without changing it:
 /// its queue is empty, its reader has nothing pending to announce, and — for
 /// scope `E`, where the reader must process *all* its channels — every queue
-/// into the reader is empty.
-fn noop_attendable(spec: Spec<'_>, index: &ChannelIndex, state: &NetworkState, c: usize) -> bool {
+/// into the reader is empty. Reads the packed state directly; no decode.
+fn noop_attendable(
+    spec: Spec<'_>,
+    codec: &StateCodec,
+    index: &ChannelIndex,
+    state: &PackedState,
+    c: usize,
+) -> bool {
     let reader = index.channel(c).to;
-    if !state.queue(c).is_empty() || state.chosen(reader) != state.announced(reader) {
+    if !codec.queue_empty(state, c) || !codec.chosen_eq_announced(state, reader) {
         return false;
     }
     match spec.scope(reader) {
         NeighborScope::Every => {
-            index.in_channels(reader).iter().all(|&cc| state.queue(cc).is_empty())
+            index.in_channels(reader).iter().all(|&cc| codec.queue_empty(state, cc))
         }
         _ => true,
     }
@@ -78,7 +85,7 @@ fn sccs_restricted(
     nodes: &[usize],
     edge_ok: &dyn Fn(usize, usize) -> bool,
 ) -> Vec<Vec<usize>> {
-    let mut in_set = vec![false; g.states.len()];
+    let mut in_set = vec![false; g.len()];
     for &s in nodes {
         in_set[s] = true;
     }
@@ -153,23 +160,19 @@ fn sccs_restricted(
 /// eventually avoid those dropping edges, so they are removed and the
 /// component re-decomposed until either a component passes every condition
 /// or nothing is left.
-pub(crate) fn find_fair_scc(
-    inst: &SppInstance,
-    spec: Spec<'_>,
-    g: &StateGraph,
-) -> Option<Vec<usize>> {
-    let index = ChannelIndex::new(inst.graph());
+pub(crate) fn find_fair_scc(spec: Spec<'_>, g: &StateGraph) -> Option<Vec<usize>> {
+    let index = &g.index;
     let channel_count = index.len();
 
     // Banned (state, edge idx) pairs accompanying a candidate state set.
     type BannedEdges = std::collections::HashSet<(usize, usize)>;
-    let all_nodes: Vec<usize> = (0..g.states.len()).collect();
+    let all_nodes: Vec<usize> = (0..g.len()).collect();
     let mut work: Vec<(Vec<usize>, BannedEdges)> = vec![(all_nodes, BannedEdges::new())];
 
     while let Some((nodes, banned)) = work.pop() {
         let edge_ok = |s: usize, ei: usize| !banned.contains(&(s, ei));
         for comp in sccs_restricted(g, &nodes, &edge_ok) {
-            let mut member = vec![false; g.states.len()];
+            let mut member = vec![false; g.len()];
             for &s in &comp {
                 member[s] = true;
             }
@@ -197,7 +200,7 @@ pub(crate) fn find_fair_scc(
             // 2. Every channel attended (anti-monotone likewise).
             let all_attended = (0..channel_count).all(|c| {
                 internal.iter().map(edge).any(|e| e.attended.contains(&c))
-                    || comp.iter().any(|&s| noop_attendable(spec, &index, &g.states[s], c))
+                    || comp.iter().any(|&s| noop_attendable(spec, &g.codec, index, &g.packed[s], c))
             });
             if !all_attended {
                 continue;
@@ -227,14 +230,14 @@ pub(crate) fn find_fair_scc(
 }
 
 /// Analyzes a prebuilt graph.
-pub fn analyze_graph(inst: &SppInstance, spec: Spec<'_>, g: &StateGraph) -> Verdict {
-    if let Some(comp) = find_fair_scc(inst, spec, g) {
-        return Verdict::CanOscillate { states: g.states.len(), scc_size: comp.len() };
+pub fn analyze_graph(spec: Spec<'_>, g: &StateGraph) -> Verdict {
+    if let Some(comp) = find_fair_scc(spec, g) {
+        return Verdict::CanOscillate { states: g.len(), scc_size: comp.len() };
     }
     if g.truncated {
-        Verdict::NoOscillationWithinBound { states: g.states.len() }
+        Verdict::NoOscillationWithinBound { states: g.len() }
     } else {
-        Verdict::AlwaysConverges { states: g.states.len() }
+        Verdict::AlwaysConverges { states: g.len() }
     }
 }
 
@@ -250,9 +253,41 @@ pub fn analyze_hetero(inst: &SppInstance, model: &HeteroModel, cfg: &ExploreConf
 }
 
 /// Builds the graph and analyzes it for any model view.
+///
+/// # Panics
+///
+/// Panics on an [`ExploreError`]; use [`try_analyze_spec`] to handle those.
 pub fn analyze_spec(inst: &SppInstance, spec: Spec<'_>, cfg: &ExploreConfig) -> Verdict {
     let g = build_spec(inst, spec, cfg);
-    analyze_graph(inst, spec, &g)
+    analyze_graph(spec, &g)
+}
+
+/// Builds the graph and analyzes it, reporting explorer failures as typed
+/// errors attributed to the gadget × model cell.
+///
+/// # Errors
+///
+/// Any [`ExploreError`] raised while building the state graph.
+pub fn try_analyze(
+    inst: &SppInstance,
+    model: CommModel,
+    cfg: &ExploreConfig,
+) -> Result<Verdict, ExploreError> {
+    try_analyze_spec(inst, Spec::Uniform(model), cfg)
+}
+
+/// Fallible variant of [`analyze_spec`].
+///
+/// # Errors
+///
+/// Any [`ExploreError`] raised while building the state graph.
+pub fn try_analyze_spec(
+    inst: &SppInstance,
+    spec: Spec<'_>,
+    cfg: &ExploreConfig,
+) -> Result<Verdict, ExploreError> {
+    let g = try_build_spec(inst, spec, cfg)?;
+    Ok(analyze_graph(spec, &g))
 }
 
 #[cfg(test)]
@@ -302,18 +337,18 @@ mod tests {
     #[test]
     fn example_a2_fig6_separates_reo_ref_from_polling() {
         // Theorem 3.9: Fig. 6 oscillates in REO and REF but not in the
-        // polling models. REA is checked here (≈19k states); R1A and RMA
-        // share a ≈650k-state space and are covered by the release-only
-        // test below and by `exp-examples`.
+        // polling models. REO's oscillating SCC sits within the default
+        // 150k-state budget of the breadth-first order, and REA is checked
+        // here exhaustively (≈19k states); REF (≈278k states), R1A and RMA
+        // (≈650k states each) are covered by the release-only test below
+        // and by `exp-examples`.
         let inst = gadgets::fig6();
         let cfg = ExploreConfig { channel_cap: 3, ..ExploreConfig::default() };
-        for model in ["REO", "REF"] {
-            let v = analyze(&inst, model.parse().unwrap(), &cfg);
-            assert!(
-                matches!(v, Verdict::CanOscillate { .. }),
-                "{model} must admit the Fig. 6 oscillation (got {v:?})"
-            );
-        }
+        let v = analyze(&inst, "REO".parse().unwrap(), &cfg);
+        assert!(
+            matches!(v, Verdict::CanOscillate { .. }),
+            "REO must admit the Fig. 6 oscillation (got {v:?})"
+        );
         let v = analyze(&inst, "REA".parse().unwrap(), &cfg);
         assert!(
             matches!(v, Verdict::AlwaysConverges { .. }),
@@ -328,8 +363,12 @@ mod tests {
     )]
     fn example_a2_fig6_polling_r1a_rma_converge_exhaustively() {
         let inst = gadgets::fig6();
-        let cfg =
-            ExploreConfig { channel_cap: 3, max_states: 1_500_000, max_steps_per_state: 20_000 };
+        let cfg = ExploreConfig {
+            channel_cap: 3,
+            max_states: 1_500_000,
+            max_steps_per_state: 20_000,
+            threads: None,
+        };
         for model in ["R1A", "RMA"] {
             let v = analyze(&inst, model.parse().unwrap(), &cfg);
             assert!(
@@ -337,6 +376,13 @@ mod tests {
                 "{model} must force Fig. 6 to converge (got {v:?})"
             );
         }
+        // REF's full space is ≈278k states — past the 150k debug budget in
+        // breadth-first order, but exhaustively oscillating here.
+        let v = analyze(&inst, "REF".parse().unwrap(), &cfg);
+        assert!(
+            matches!(v, Verdict::CanOscillate { .. }),
+            "REF must admit the Fig. 6 oscillation (got {v:?})"
+        );
     }
 
     #[test]
@@ -440,7 +486,8 @@ mod tests {
     #[test]
     fn truncated_exploration_downgrades_verdict() {
         let inst = gadgets::good_gadget();
-        let cfg = ExploreConfig { channel_cap: 1, max_states: 16, max_steps_per_state: 8 };
+        let cfg =
+            ExploreConfig { channel_cap: 1, max_states: 16, max_steps_per_state: 8, threads: None };
         let v = analyze(&inst, "REA".parse().unwrap(), &cfg);
         assert!(matches!(v, Verdict::NoOscillationWithinBound { .. }), "{v:?}");
     }

@@ -1,0 +1,350 @@
+//! Packed network states: route-interned, flat `u16` encodings.
+//!
+//! Exhaustive exploration used to intern full [`NetworkState`] clones —
+//! four heap structures per state, dozens of `Route` allocations each. But
+//! every route a state can ever mention is drawn from a fixed universe
+//! derivable from the instance alone: ε plus the permitted paths of every
+//! node (a node only ever chooses/announces permitted paths, and ρ/queue
+//! entries are neighbors' announcements). Interning that universe once
+//! yields a dense route-id space, and a state becomes one flat `u16`
+//! buffer:
+//!
+//! ```text
+//! [chosen: n][announced: n][learned: m][queue lens: m][queue contents…]
+//! ```
+//!
+//! (`n` nodes, `m` dense channel ids, queues oldest-first.) The encoding is
+//! injective — equal buffers iff equal states — so hash-dedup over
+//! [`PackedState`] is exact, at a fraction of the memory of the 654k-state
+//! Appendix A.2 sweeps. Route-table construction is deterministic (node
+//! order, then rank order), so packed bytes are reproducible across runs
+//! and thread counts.
+
+use std::collections::HashMap;
+
+use routelab_engine::index::ChannelIndex;
+use routelab_engine::state::NetworkState;
+use routelab_spp::{NodeId, Path, Route, SppInstance};
+
+use crate::error::ExploreError;
+
+/// A state encoded as a flat route-id buffer (layout in the module docs).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct PackedState(Box<[u16]>);
+
+impl PackedState {
+    /// Buffer length in `u16`s (for memory accounting).
+    pub fn len_u16(&self) -> usize {
+        self.0.len()
+    }
+}
+
+/// The per-instance codec: route universe + layout dimensions.
+#[derive(Debug, Clone)]
+pub struct StateCodec {
+    n: usize,
+    m: usize,
+    routes: Vec<Route>,
+    ids: HashMap<Route, u16>,
+    /// Instance × model descriptor used to attribute errors to their cell.
+    cell: String,
+}
+
+impl StateCodec {
+    /// Builds the codec for an instance. The route table is ε followed by
+    /// every node's permitted paths in (node id, rank) order — a canonical
+    /// enumeration independent of exploration order.
+    ///
+    /// # Errors
+    ///
+    /// [`ExploreErrorKind::RouteTableOverflow`](crate::error::ExploreErrorKind)
+    /// when the universe exceeds the `u16` id space.
+    pub fn new(
+        inst: &SppInstance,
+        index: &ChannelIndex,
+        cell: impl Into<String>,
+    ) -> Result<Self, ExploreError> {
+        let cell = cell.into();
+        let mut routes = vec![Route::empty()];
+        let mut ids = HashMap::new();
+        ids.insert(Route::empty(), 0u16);
+        let intern = |r: Route, routes: &mut Vec<Route>, ids: &mut HashMap<Route, u16>| {
+            if !ids.contains_key(&r) {
+                let id = routes.len();
+                ids.insert(r.clone(), id as u16);
+                routes.push(r);
+            }
+        };
+        // The destination's trivial path first (its π in every state), then
+        // each node's permitted paths in preference order.
+        intern(Route::path(Path::trivial(inst.dest())), &mut routes, &mut ids);
+        for v in inst.nodes() {
+            for rp in inst.permitted(v) {
+                intern(Route::path(rp.path.clone()), &mut routes, &mut ids);
+            }
+        }
+        if routes.len() > usize::from(u16::MAX) {
+            return Err(ExploreError {
+                cell,
+                kind: crate::error::ExploreErrorKind::RouteTableOverflow { routes: routes.len() },
+            });
+        }
+        Ok(StateCodec { n: inst.node_count(), m: index.len(), routes, ids, cell })
+    }
+
+    /// The cell descriptor errors are attributed to.
+    pub fn cell(&self) -> &str {
+        &self.cell
+    }
+
+    /// Number of interned routes.
+    pub fn route_count(&self) -> usize {
+        self.routes.len()
+    }
+
+    /// The id of `r` within this instance's route universe, if interned.
+    pub fn route_id(&self, r: &Route) -> Option<u16> {
+        self.ids.get(r).copied()
+    }
+
+    fn rid(&self, r: &Route) -> Result<u16, ExploreError> {
+        self.ids
+            .get(r)
+            .copied()
+            .ok_or_else(|| ExploreError::unknown_route(&self.cell, format!("{r:?}")))
+    }
+
+    /// Encodes a state.
+    ///
+    /// # Errors
+    ///
+    /// [`ExploreErrorKind::UnknownRoute`](crate::error::ExploreErrorKind)
+    /// when the state mentions a route outside the instance's universe.
+    pub fn encode(&self, s: &NetworkState) -> Result<PackedState, ExploreError> {
+        let mut buf = Vec::with_capacity(2 * self.n + 2 * self.m + 4);
+        for v in 0..self.n {
+            buf.push(self.rid(s.chosen(NodeId(v as u32)))?);
+        }
+        for v in 0..self.n {
+            buf.push(self.rid(s.announced(NodeId(v as u32)))?);
+        }
+        for c in 0..self.m {
+            buf.push(self.rid(s.learned(c))?);
+        }
+        for c in 0..self.m {
+            let len = s.queue(c).len();
+            debug_assert!(len <= usize::from(u16::MAX));
+            buf.push(len as u16);
+        }
+        for c in 0..self.m {
+            for r in s.queue(c).iter() {
+                buf.push(self.rid(r)?);
+            }
+        }
+        Ok(PackedState(buf.into_boxed_slice()))
+    }
+
+    fn route(&self, id: u16, p: &PackedState) -> Result<Route, ExploreError> {
+        self.routes.get(usize::from(id)).cloned().ok_or_else(|| {
+            ExploreError::corrupt(
+                &self.cell,
+                format!(
+                    "route id {id} out of range ({} routes, buffer {:?})",
+                    self.routes.len(),
+                    p
+                ),
+            )
+        })
+    }
+
+    /// Decodes a packed state back into a [`NetworkState`].
+    ///
+    /// # Errors
+    ///
+    /// [`ExploreErrorKind::CorruptState`](crate::error::ExploreErrorKind)
+    /// when the buffer does not match the codec's layout.
+    pub fn decode(&self, p: &PackedState) -> Result<NetworkState, ExploreError> {
+        let header = 2 * self.n + 2 * self.m;
+        if p.0.len() < header {
+            return Err(ExploreError::corrupt(
+                &self.cell,
+                format!("buffer holds {} u16s, header needs {header}", p.0.len()),
+            ));
+        }
+        let chosen =
+            p.0[..self.n].iter().map(|&id| self.route(id, p)).collect::<Result<Vec<_>, _>>()?;
+        let announced = p.0[self.n..2 * self.n]
+            .iter()
+            .map(|&id| self.route(id, p))
+            .collect::<Result<Vec<_>, _>>()?;
+        let learned = p.0[2 * self.n..2 * self.n + self.m]
+            .iter()
+            .map(|&id| self.route(id, p))
+            .collect::<Result<Vec<_>, _>>()?;
+        let mut queues = Vec::with_capacity(self.m);
+        let mut at = header;
+        for c in 0..self.m {
+            let len = usize::from(p.0[2 * self.n + self.m + c]);
+            let end = at + len;
+            if end > p.0.len() {
+                return Err(ExploreError::corrupt(
+                    &self.cell,
+                    format!("queue {c} runs past the buffer ({end} > {})", p.0.len()),
+                ));
+            }
+            queues.push(
+                p.0[at..end].iter().map(|&id| self.route(id, p)).collect::<Result<Vec<_>, _>>()?,
+            );
+            at = end;
+        }
+        Ok(NetworkState::from_parts(chosen, announced, learned, queues))
+    }
+
+    /// Queue length of channel `c` — read straight from the packed header.
+    pub fn queue_len(&self, p: &PackedState, c: usize) -> usize {
+        usize::from(p.0[2 * self.n + self.m + c])
+    }
+
+    /// `true` when channel `c`'s queue is empty.
+    pub fn queue_empty(&self, p: &PackedState, c: usize) -> bool {
+        self.queue_len(p, c) == 0
+    }
+
+    /// `true` when node `v`'s choice equals its last announcement.
+    pub fn chosen_eq_announced(&self, p: &PackedState, v: NodeId) -> bool {
+        p.0[v.index()] == p.0[self.n + v.index()]
+    }
+
+    /// `true` when the packed state is quiescent (all queues empty, every
+    /// choice announced) — mirrors [`NetworkState::is_quiescent`].
+    pub fn is_quiescent(&self, p: &PackedState) -> bool {
+        (0..self.m).all(|c| self.queue_empty(p, c))
+            && (0..self.n).all(|v| p.0[v] == p.0[self.n + v])
+    }
+
+    /// The packed π region (chosen route ids) — equal slices iff equal path
+    /// assignments.
+    pub fn pi_ids<'p>(&self, p: &'p PackedState) -> &'p [u16] {
+        &p.0[..self.n]
+    }
+
+    /// A 64-bit fingerprint of the packed π region (for π-change tests on
+    /// the state graph; collisions only ever merge equal-π classes checks,
+    /// and the fingerprint is compared for equality, never ordered).
+    pub fn pi_fingerprint(&self, p: &PackedState) -> u64 {
+        use std::hash::{Hash, Hasher};
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        self.pi_ids(p).hash(&mut h);
+        h.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use routelab_core::step::{ActivationStep, ChannelAction, NodeUpdate};
+    use routelab_engine::exec::execute_step;
+    use routelab_spp::gadgets;
+
+    fn codec_for(inst: &SppInstance) -> (ChannelIndex, StateCodec) {
+        let index = ChannelIndex::new(inst.graph());
+        let codec = StateCodec::new(inst, &index, "test-cell").expect("codec");
+        (index, codec)
+    }
+
+    /// Rebuilds `s` with channel 0's queue replaced by `queue0` (states are
+    /// externally immutable, so tests perturb them through `from_parts`).
+    fn with_queue0(
+        inst: &SppInstance,
+        index: &ChannelIndex,
+        s: &NetworkState,
+        queue0: Vec<Route>,
+    ) -> NetworkState {
+        let mut queues: Vec<Vec<Route>> =
+            (0..index.len()).map(|c| s.queue(c).iter().cloned().collect()).collect();
+        queues[0] = queue0;
+        NetworkState::from_parts(
+            s.assignment(),
+            inst.nodes().map(|v| s.announced(v).clone()).collect(),
+            (0..index.len()).map(|c| s.learned(c).clone()).collect(),
+            queues,
+        )
+    }
+
+    #[test]
+    fn round_trips_along_real_executions() {
+        // Drive a few dozen random-ish steps on each gadget and round-trip
+        // every intermediate state through the codec.
+        for (name, inst) in gadgets::corpus() {
+            let (index, codec) = codec_for(&inst);
+            let mut state = NetworkState::initial(&inst, &index);
+            let p = codec.encode(&state).expect("encode initial");
+            assert_eq!(codec.decode(&p).expect("decode"), state, "{name} initial");
+            for round in 0..6 {
+                for v in inst.nodes() {
+                    let actions = index
+                        .in_channels(v)
+                        .iter()
+                        .map(|&cid| ChannelAction::read_all(index.channel(cid)))
+                        .collect();
+                    let step = ActivationStep::single(NodeUpdate::new(v, actions));
+                    execute_step(&inst, &index, &mut state, &step);
+                    let p = codec.encode(&state).expect("encode");
+                    let back = codec.decode(&p).expect("decode");
+                    assert_eq!(back, state, "{name} round {round} node {v:?}");
+                    assert_eq!(codec.is_quiescent(&p), state.is_quiescent());
+                    for c in 0..index.len() {
+                        assert_eq!(codec.queue_len(&p, c), state.queue(c).len());
+                    }
+                    for v in inst.nodes() {
+                        assert_eq!(
+                            codec.chosen_eq_announced(&p, v),
+                            state.chosen(v) == state.announced(v)
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn encoding_is_injective_on_distinct_states() {
+        let inst = gadgets::disagree();
+        let (index, codec) = codec_for(&inst);
+        let a = NetworkState::initial(&inst, &index);
+        let b = with_queue0(&inst, &index, &a, vec![Route::empty()]);
+        let pa = codec.encode(&a).unwrap();
+        let pb = codec.encode(&b).unwrap();
+        assert_ne!(pa, pb);
+        // And π fingerprints agree exactly when π agrees.
+        assert_eq!(codec.pi_fingerprint(&pa), codec.pi_fingerprint(&pb));
+        assert_eq!(codec.pi_ids(&pa), codec.pi_ids(&pb));
+    }
+
+    #[test]
+    fn unknown_route_is_reported_with_cell() {
+        let inst = gadgets::disagree();
+        let (index, codec) = codec_for(&inst);
+        let init = NetworkState::initial(&inst, &index);
+        // A route that is no node's permitted path: the bare path (x) —
+        // paths must end at the destination, so (x) alone is never
+        // permitted.
+        let x = inst.node_by_name("x").unwrap();
+        let s = with_queue0(&inst, &index, &init, vec![Route::path(Path::trivial(x))]);
+        let err = codec.encode(&s).expect_err("foreign route");
+        assert_eq!(err.cell, "test-cell");
+        assert!(err.to_string().contains("permitted-path universe"), "{err}");
+    }
+
+    #[test]
+    fn corrupt_buffers_are_reported() {
+        let inst = gadgets::line2();
+        let (index, codec) = codec_for(&inst);
+        let s = NetworkState::initial(&inst, &index);
+        let p = codec.encode(&s).unwrap();
+        let truncated = PackedState(p.0[..1].to_vec().into_boxed_slice());
+        let err = codec.decode(&truncated).expect_err("short buffer");
+        assert!(matches!(err.kind, crate::error::ExploreErrorKind::CorruptState { .. }));
+        assert!(p.len_u16() > 4);
+    }
+}

@@ -1,7 +1,10 @@
 //! Exhaustive search for an activation sequence of a model inducing a given
 //! path-assignment trace (used to verify Examples A.3–A.5 mechanically).
-
-use std::collections::HashMap;
+//!
+//! Runs on the sharded frontier engine ([`crate::frontier`]): search nodes
+//! are `(packed state, matched-prefix-length)` pairs, so the closure is
+//! deterministic at every thread count and a found witness is always the
+//! breadth-first shortest one.
 
 use routelab_core::model::CommModel;
 use routelab_core::step::{ActivationSeq, ActivationStep};
@@ -12,7 +15,10 @@ use routelab_engine::trace::PathTrace;
 use routelab_spp::SppInstance;
 
 use crate::effects::{all_steps, Spec};
-use crate::graph::ExploreConfig;
+use crate::error::ExploreError;
+use crate::frontier::{bfs, BfsOptions, Expand};
+use crate::graph::{cell_of, ExploreConfig};
+use crate::pack::{PackedState, StateCodec};
 
 /// Which Definition 3.2 relation the found sequence must induce.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -54,6 +60,105 @@ impl SearchResult {
     }
 }
 
+/// A search node: the packed network state plus the search's own position
+/// counter (how much of the target has been matched).
+type SearchNode = (PackedState, u32);
+
+struct SearchExpand<'a> {
+    inst: &'a SppInstance,
+    index: &'a ChannelIndex,
+    model: CommModel,
+    codec: &'a StateCodec,
+    /// Per target entry, the π of that entry as codec route ids — `None`
+    /// when the entry mentions a route outside the instance's universe (no
+    /// reachable state can ever match it).
+    target_ids: &'a [Option<Vec<u16>>],
+    goal: SearchGoal,
+    last: u32,
+    must_settle: bool,
+    cfg: &'a ExploreConfig,
+}
+
+impl SearchExpand<'_> {
+    fn matches_at(&self, t: u32, pi: &[u16]) -> bool {
+        self.target_ids.get(t as usize).and_then(Option::as_deref) == Some(pi)
+    }
+}
+
+impl Expand for SearchExpand<'_> {
+    type Node = SearchNode;
+    type Label = ActivationStep;
+
+    fn expand(
+        &self,
+        _id: u32,
+        node: &SearchNode,
+        out: &mut Vec<(SearchNode, ActivationStep)>,
+    ) -> Result<bool, ExploreError> {
+        let (packed, progress) = node;
+        let progress = *progress;
+        let state = self.codec.decode(packed)?;
+        let spec = Spec::Uniform(self.model);
+        let (steps, capped) = all_steps(
+            spec,
+            self.index,
+            &state,
+            self.inst.node_count(),
+            self.cfg.max_steps_per_state,
+        );
+        let mut truncated = capped;
+        for cs in steps {
+            let activation = cs.to_activation(spec, self.index);
+            let mut next = state.clone();
+            execute_step(self.inst, self.index, &mut next, &activation);
+            if next.max_queue_len() > self.cfg.channel_cap {
+                truncated = true;
+                continue;
+            }
+            let next_packed = self.codec.encode(&next)?;
+            let pi = self.codec.pi_ids(&next_packed);
+            let next_progress = match self.goal {
+                SearchGoal::Exact => {
+                    if progress == self.last {
+                        // Settling phase: the infinite tail of the base is
+                        // constant, so every extra entry must repeat it.
+                        if !self.matches_at(self.last, pi) {
+                            continue;
+                        }
+                        self.last
+                    } else if self.matches_at(progress + 1, pi) {
+                        progress + 1
+                    } else {
+                        continue;
+                    }
+                }
+                SearchGoal::Repetition => {
+                    if self.matches_at(progress + 1, pi) {
+                        progress + 1
+                    } else if self.matches_at(progress, pi) {
+                        progress
+                    } else {
+                        continue;
+                    }
+                }
+                SearchGoal::Subsequence => {
+                    if self.matches_at(progress + 1, pi) {
+                        progress + 1
+                    } else {
+                        progress
+                    }
+                }
+            };
+            out.push(((next_packed, next_progress), activation));
+        }
+        Ok(truncated)
+    }
+
+    fn accept(&self, _id: u32, node: &SearchNode) -> bool {
+        node.1 == self.last && (!self.must_settle || self.codec.is_quiescent(&node.0))
+    }
+}
+
 /// Searches for an activation sequence of `model` whose trace realizes
 /// `target` per `goal`. The search is exhaustive over canonical step
 /// effects with memoization on (state, matched-prefix-length); when it
@@ -69,6 +174,10 @@ impl SearchResult {
 /// argument of Example A.3: "the outstanding messages must be processed;
 /// this causes π_s(10) = svbd". A subsequence realization constrains only a
 /// finite prefix, so it accepts as soon as the whole target has appeared.
+///
+/// # Panics
+///
+/// On an internal [`ExploreError`]; use [`try_search`] to handle those.
 pub fn search(
     inst: &SppInstance,
     model: CommModel,
@@ -76,121 +185,61 @@ pub fn search(
     goal: SearchGoal,
     cfg: &ExploreConfig,
 ) -> SearchResult {
+    try_search(inst, model, target, goal, cfg).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Fallible variant of [`search`], attributing failures to their cell.
+///
+/// # Errors
+///
+/// Any [`ExploreError`] raised while packing states or expanding the
+/// frontier (route-universe overflow, corrupt buffers, worker panics).
+pub fn try_search(
+    inst: &SppInstance,
+    model: CommModel,
+    target: &PathTrace,
+    goal: SearchGoal,
+    cfg: &ExploreConfig,
+) -> Result<SearchResult, ExploreError> {
     let index = ChannelIndex::new(inst.graph());
     let initial = NetworkState::initial(inst, &index);
     if target.is_empty() || target.get(0) != Some(&initial.assignment()) {
-        return SearchResult::Impossible { visited: 0 };
+        return Ok(SearchResult::Impossible { visited: 0 });
     }
-    let last = target.len() - 1;
-    let must_settle = matches!(goal, SearchGoal::Exact | SearchGoal::Repetition);
-    let accepts = |state: &NetworkState, progress: usize| {
-        progress == last && (!must_settle || state.is_quiescent())
+    let codec = StateCodec::new(inst, &index, cell_of(inst, Spec::Uniform(model)))?;
+    let target_ids: Vec<Option<Vec<u16>>> = (0..target.len())
+        .map(|t| {
+            target.get(t).expect("t < target.len()").iter().map(|r| codec.route_id(r)).collect()
+        })
+        .collect();
+    let exp = SearchExpand {
+        inst,
+        index: &index,
+        model,
+        codec: &codec,
+        target_ids: &target_ids,
+        goal,
+        last: (target.len() - 1) as u32,
+        must_settle: matches!(goal, SearchGoal::Exact | SearchGoal::Repetition),
+        cfg,
     };
-    if accepts(&initial, 0) {
-        return SearchResult::Found(Vec::new());
-    }
-
-    // DFS with memoized (state, progress) pairs and parent links for
-    // witness reconstruction.
-    type Key = (NetworkState, usize);
-    let mut parent: HashMap<Key, Option<(Key, ActivationStep)>> = HashMap::new();
-    let start: Key = (initial, 0);
-    parent.insert(start.clone(), None);
-    let mut stack = vec![start];
-    let mut truncated = false;
-    let mut heartbeat = routelab_obs::Heartbeat::new("search.visited", cfg.max_states as u64);
-
-    while let Some(key) = stack.pop() {
-        heartbeat.tick(parent.len() as u64);
-        let (state, progress) = &key;
-        let (steps, capped) = all_steps(
-            Spec::Uniform(model),
-            &index,
-            state,
-            inst.node_count(),
-            cfg.max_steps_per_state,
-        );
-        truncated |= capped;
-        for cs in steps {
-            let activation = cs.to_activation(Spec::Uniform(model), &index);
-            let mut next = state.clone();
-            execute_step(inst, &index, &mut next, &activation);
-            if next.max_queue_len() > cfg.channel_cap {
-                truncated = true;
-                continue;
-            }
-            let pi = next.assignment();
-            let at_last = *progress == last;
-            let next_progress = match goal {
-                SearchGoal::Exact => {
-                    if at_last {
-                        // Settling phase: the infinite tail of the base is
-                        // constant, so every extra entry must repeat it.
-                        if Some(&pi) != target.get(last) {
-                            continue;
-                        }
-                        last
-                    } else if Some(&pi) == target.get(progress + 1) {
-                        progress + 1
-                    } else {
-                        continue;
-                    }
-                }
-                SearchGoal::Repetition => {
-                    if Some(&pi) == target.get(progress + 1) {
-                        progress + 1
-                    } else if Some(&pi) == target.get(*progress) {
-                        *progress
-                    } else {
-                        continue;
-                    }
-                }
-                SearchGoal::Subsequence => {
-                    if Some(&pi) == target.get(progress + 1) {
-                        progress + 1
-                    } else {
-                        *progress
-                    }
-                }
-            };
-            let next_key: Key = (next, next_progress);
-            if parent.contains_key(&next_key) {
-                continue;
-            }
-            parent.insert(next_key.clone(), Some((key.clone(), activation.clone())));
-            if accepts(&next_key.0, next_progress) {
-                return SearchResult::Found(reconstruct(&parent, next_key));
-            }
-            if parent.len() >= cfg.max_states {
-                return SearchResult::BoundExceeded { visited: parent.len() };
-            }
-            stack.push(next_key);
-        }
-    }
+    let opts = BfsOptions {
+        threads: cfg.resolved_threads(),
+        max_nodes: cfg.max_states,
+        record_edges: false,
+        record_parents: true,
+        progress_label: "search.visited",
+    };
+    let root = (codec.encode(&initial)?, 0u32);
+    let r = bfs(&exp, root, codec.cell(), &opts)?;
     if routelab_obs::enabled() {
-        routelab_obs::gauge("search.visited", parent.len() as u64);
+        routelab_obs::gauge("search.visited", r.nodes.len() as u64);
     }
-    if truncated {
-        SearchResult::BoundExceeded { visited: parent.len() }
-    } else {
-        SearchResult::Impossible { visited: parent.len() }
-    }
-}
-
-/// A search node: the network state plus the search's own position counter.
-type SearchKey = (NetworkState, usize);
-
-fn reconstruct(
-    parent: &HashMap<SearchKey, Option<(SearchKey, ActivationStep)>>,
-    mut key: SearchKey,
-) -> ActivationSeq {
-    let mut seq = Vec::new();
-    while let Some(Some((prev, step))) = parent.get(&key) {
-        seq.push(step.clone());
-        key = prev.clone();
-    }
-    seq.reverse();
-    seq
+    Ok(match r.accepted {
+        Some(id) => SearchResult::Found(r.path_to(id)),
+        None if r.truncated => SearchResult::BoundExceeded { visited: r.nodes.len() },
+        None => SearchResult::Impossible { visited: r.nodes.len() },
+    })
 }
 
 #[cfg(test)]
@@ -206,7 +255,12 @@ mod tests {
     }
 
     fn cfg() -> ExploreConfig {
-        ExploreConfig { channel_cap: 6, max_states: 2_000_000, max_steps_per_state: 50_000 }
+        ExploreConfig {
+            channel_cap: 6,
+            max_states: 2_000_000,
+            max_steps_per_state: 50_000,
+            threads: None,
+        }
     }
 
     /// The candidate equals the target followed by settle steps repeating
@@ -329,8 +383,30 @@ mod tests {
     fn bound_exceeded_reported() {
         let run = paper_runs::a3_reo();
         let target = target_of(&run);
-        let tight = ExploreConfig { channel_cap: 6, max_states: 3, max_steps_per_state: 50_000 };
+        let tight = ExploreConfig {
+            channel_cap: 6,
+            max_states: 3,
+            max_steps_per_state: 50_000,
+            threads: None,
+        };
         let res = search(&run.instance, "RMS".parse().unwrap(), &target, SearchGoal::Exact, &tight);
         assert!(matches!(res, SearchResult::BoundExceeded { .. }), "{res:?}");
+    }
+
+    #[test]
+    fn search_is_thread_invariant() {
+        // The same witness (not merely *a* witness) at every thread count.
+        let run = paper_runs::a3_reo();
+        let target = target_of(&run);
+        let mut found = Vec::new();
+        for threads in [1usize, 2, 8] {
+            let cfg = ExploreConfig { threads: Some(threads), ..cfg() };
+            let res =
+                search(&run.instance, "REO".parse().unwrap(), &target, SearchGoal::Exact, &cfg);
+            let SearchResult::Found(seq) = res else { panic!("{res:?}") };
+            found.push(seq);
+        }
+        assert_eq!(found[0], found[1]);
+        assert_eq!(found[0], found[2]);
     }
 }

@@ -14,7 +14,6 @@ use std::collections::{HashMap, VecDeque};
 
 use routelab_core::model::CommModel;
 use routelab_core::step::ActivationSeq;
-use routelab_engine::index::ChannelIndex;
 use routelab_spp::SppInstance;
 
 use crate::effects::Spec;
@@ -22,7 +21,7 @@ use crate::graph::{build_spec, ExploreConfig, StateGraph};
 use crate::oscillation::find_fair_scc;
 
 /// A replayable divergence witness.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct OscillationWitness {
     /// Steps leading from the initial state into the SCC.
     pub prefix: ActivationSeq,
@@ -87,9 +86,15 @@ pub fn oscillation_witness_spec(
     cfg: &ExploreConfig,
 ) -> Option<OscillationWitness> {
     let g = build_spec(inst, spec, cfg);
-    let comp = find_fair_scc(inst, spec, &g)?;
-    let index = ChannelIndex::new(inst.graph());
-    let mut member = vec![false; g.states.len()];
+    witness_from_graph(spec, &g)
+}
+
+/// Extracts an oscillation witness from a prebuilt graph (used by the
+/// differential tests to compare parallel- and reference-built graphs).
+pub fn witness_from_graph(spec: Spec<'_>, g: &StateGraph) -> Option<OscillationWitness> {
+    let comp = find_fair_scc(spec, g)?;
+    let index = &g.index;
+    let mut member = vec![false; g.len()];
     for &s in &comp {
         member[s] = true;
     }
@@ -105,14 +110,14 @@ pub fn oscillation_witness_spec(
     let cb = g.edges[ca][cei].to;
 
     // Prefix: initial state -> ca (unrestricted).
-    let prefix_edges = bfs_path(&g, 0, ca, None)?;
+    let prefix_edges = bfs_path(g, 0, ca, None)?;
     // Cycle: the changing edge plus a return path cb -> ca inside the SCC.
-    let back = bfs_path(&g, cb, ca, Some(&member))?;
+    let back = bfs_path(g, cb, ca, Some(&member))?;
 
     let to_steps = |edges: &[(usize, usize)]| -> ActivationSeq {
-        edges.iter().map(|&(s, ei)| g.edges[s][ei].step.to_activation(spec, &index)).collect()
+        edges.iter().map(|&(s, ei)| g.edges[s][ei].step.to_activation(spec, index)).collect()
     };
-    let mut cycle = vec![g.edges[ca][cei].step.to_activation(spec, &index)];
+    let mut cycle = vec![g.edges[ca][cei].step.to_activation(spec, index)];
     cycle.extend(to_steps(&back));
     Some(OscillationWitness { prefix: to_steps(&prefix_edges), cycle })
 }

@@ -19,11 +19,11 @@ use routelab_sim::table::Table;
 fn main() {
     let opts = cli::parse_common("exp-beyond");
     if !opts.rest.is_empty() {
-        eprintln!("usage: exp-beyond [--quiet] [--obs]");
+        eprintln!("usage: exp-beyond [--threads N] [--quiet] [--obs]");
         opts.exit(2);
     }
     let t0 = Instant::now();
-    let cfg = ExploreConfig::default();
+    let cfg = ExploreConfig { threads: opts.pool.threads, ..ExploreConfig::default() };
     opts.progress("harvesting exhaustive verdicts for all 24 models on DISAGREE…");
     let mut harvest_span = routelab_obs::span("beyond.harvest");
     let seps = disagree_separations(&cfg);

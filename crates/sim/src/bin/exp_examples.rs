@@ -1,7 +1,9 @@
 //! Experiments E3–E8: reproduce the executions and separation claims of
 //! Examples A.1–A.6 (Figures 5–9).
 //!
-//! Usage: `exp-examples [a1|a2|a3|a4|a5|a6|all]` (default `all`).
+//! Usage: `exp-examples [--threads N] [a1|a2|a3|a4|a5|a6|all]` (default
+//! `all`). `--threads` (or `ROUTELAB_THREADS`) sizes the sharded frontier
+//! engine inside each exploration; every thread count prints the same bytes.
 
 use routelab_core::model::CommModel;
 use routelab_engine::outcome::{drive, RunOutcome};
@@ -12,25 +14,16 @@ use routelab_explore::graph::ExploreConfig;
 use routelab_explore::oscillation::{analyze, Verdict};
 use routelab_explore::trace_search::{search, SearchGoal, SearchResult};
 use routelab_sim::cli;
+use routelab_sim::examples::step_table;
 use routelab_sim::table::Table;
 
 fn print_run(run: &PaperRun) -> bool {
     println!("== Example {} ({}; instance below) ==", run.name, run.model);
     print!("{}", run.instance);
-    let mut runner = Runner::new(&run.instance);
-    let mut table =
-        Table::new(vec!["t".into(), "U(t)".into(), "pi_U(t)(t)".into(), "paper".into()]);
-    let mut ok = true;
-    for (t, (step, (node, want))) in run.seq.iter().zip(&run.expected).enumerate() {
-        runner.step(step);
-        let v = run.instance.node_by_name(node).expect("node");
-        let got = run.instance.fmt_route(runner.state().chosen(v));
-        ok &= got == *want;
-        table.row(vec![(t + 1).to_string(), node.to_string(), got, want.to_string()]);
-    }
-    println!("{table}");
-    println!("step table {}\n", if ok { "MATCHES the paper" } else { "MISMATCH" });
-    ok
+    let steps = step_table(run);
+    println!("{}", steps.table);
+    println!("step table {}\n", if steps.matches_paper { "MATCHES the paper" } else { "MISMATCH" });
+    steps.matches_paper
 }
 
 fn oscillation_claims(
@@ -57,7 +50,7 @@ fn oscillation_claims(
     ok
 }
 
-fn a1() -> bool {
+fn a1(threads: Option<usize>) -> bool {
     let (run, cycle) = paper_runs::a1_r1o();
     let mut ok = print_run(&run);
 
@@ -80,12 +73,12 @@ fn a1() -> bool {
         &run.instance,
         &["R1O", "RMO"],
         &["REO", "REF", "R1A", "RMA", "REA"],
-        &ExploreConfig::default(),
+        &ExploreConfig { threads, ..ExploreConfig::default() },
     );
     ok
 }
 
-fn a2() -> bool {
+fn a2(threads: Option<usize>) -> bool {
     let (run, cycle) = paper_runs::a2_reo();
     let mut ok = print_run(&run);
     println!("driving the fair REO cycle (v, u, a) after the 13-step prefix:");
@@ -104,14 +97,30 @@ fn a2() -> bool {
     }
     println!("\nexhaustive verdicts (Thm 3.9 separation on Fig. 6; the R1A and RMA");
     println!("explorations visit ~650k states — expect about a minute each in release):");
-    let cfg = ExploreConfig { channel_cap: 3, max_states: 1_500_000, max_steps_per_state: 20_000 };
+    let cfg = ExploreConfig {
+        channel_cap: 3,
+        max_states: 1_500_000,
+        max_steps_per_state: 20_000,
+        threads,
+    };
     ok &= oscillation_claims(&run.instance, &["REO", "REF"], &["R1A", "RMA", "REA"], &cfg);
     ok
 }
 
-fn search_claim(run: &PaperRun, model: &str, goal: SearchGoal, expect_found: bool) -> bool {
+fn search_claim(
+    run: &PaperRun,
+    model: &str,
+    goal: SearchGoal,
+    expect_found: bool,
+    threads: Option<usize>,
+) -> bool {
     let target = Runner::trace_of(&run.instance, &run.seq);
-    let cfg = ExploreConfig { channel_cap: 6, max_states: 2_000_000, max_steps_per_state: 50_000 };
+    let cfg = ExploreConfig {
+        channel_cap: 6,
+        max_states: 2_000_000,
+        max_steps_per_state: 50_000,
+        threads,
+    };
     let res = search(&run.instance, model.parse().expect("model"), &target, goal, &cfg);
     let ok = matches!(
         (&res, expect_found),
@@ -135,32 +144,32 @@ fn search_claim(run: &PaperRun, model: &str, goal: SearchGoal, expect_found: boo
     ok
 }
 
-fn a3() -> bool {
+fn a3(threads: Option<usize>) -> bool {
     let run = paper_runs::a3_reo();
     let mut ok = print_run(&run);
     println!("Prop 3.10 via exhaustive search (Fig. 7):");
-    ok &= search_claim(&run, "R1O", SearchGoal::Exact, false);
-    ok &= search_claim(&run, "R1O", SearchGoal::Subsequence, true);
-    ok &= search_claim(&run, "RMS", SearchGoal::Exact, true);
+    ok &= search_claim(&run, "R1O", SearchGoal::Exact, false, threads);
+    ok &= search_claim(&run, "R1O", SearchGoal::Subsequence, true, threads);
+    ok &= search_claim(&run, "RMS", SearchGoal::Exact, true, threads);
     ok
 }
 
-fn a4() -> bool {
+fn a4(threads: Option<usize>) -> bool {
     let run = paper_runs::a4_rea();
     let mut ok = print_run(&run);
     println!("Prop 3.11 via exhaustive search (Fig. 8):");
-    ok &= search_claim(&run, "R1O", SearchGoal::Repetition, false);
-    ok &= search_claim(&run, "R1O", SearchGoal::Subsequence, true);
-    ok &= search_claim(&run, "R1S", SearchGoal::Repetition, true);
+    ok &= search_claim(&run, "R1O", SearchGoal::Repetition, false, threads);
+    ok &= search_claim(&run, "R1O", SearchGoal::Subsequence, true, threads);
+    ok &= search_claim(&run, "R1S", SearchGoal::Repetition, true, threads);
     ok
 }
 
-fn a5() -> bool {
+fn a5(threads: Option<usize>) -> bool {
     let run = paper_runs::a5_rea();
     let mut ok = print_run(&run);
     println!("Props 3.12/3.13 via exhaustive search (Fig. 9):");
-    ok &= search_claim(&run, "R1S", SearchGoal::Exact, false);
-    ok &= search_claim(&run, "RMS", SearchGoal::Exact, true);
+    ok &= search_claim(&run, "R1S", SearchGoal::Exact, false, threads);
+    ok &= search_claim(&run, "RMS", SearchGoal::Exact, true, threads);
     ok
 }
 
@@ -195,13 +204,14 @@ fn a6() -> bool {
 fn main() {
     let opts = cli::parse_common("exp-examples");
     let arg = opts.rest.first().cloned().unwrap_or_else(|| "all".into());
+    let threads = opts.pool.threads;
     let mut ok = true;
     let run_a = |name: &str, ok: &mut bool| match name {
-        "a1" => *ok &= a1(),
-        "a2" => *ok &= a2(),
-        "a3" => *ok &= a3(),
-        "a4" => *ok &= a4(),
-        "a5" => *ok &= a5(),
+        "a1" => *ok &= a1(threads),
+        "a2" => *ok &= a2(threads),
+        "a3" => *ok &= a3(threads),
+        "a4" => *ok &= a4(threads),
+        "a5" => *ok &= a5(threads),
         "a6" => *ok &= a6(),
         other => {
             eprintln!("unknown example {other:?}; expected a1..a6 or all");

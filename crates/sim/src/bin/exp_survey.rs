@@ -67,6 +67,7 @@ fn main() {
                 channel_cap: 3,
                 max_states: probe_budget(name),
                 max_steps_per_state: 20_000,
+                threads: opts.pool.threads,
             },
             direct_budget: Some(DIRECT_BUDGET),
             ..SurveyConfig::default()

@@ -32,6 +32,7 @@
 
 pub mod beyond;
 pub mod cli;
+pub mod examples;
 pub mod montecarlo;
 pub mod pool;
 pub mod report;

@@ -204,32 +204,27 @@ mod tests {
 
     #[test]
     fn fig6_survey_quick_claims() {
-        // Debug-friendly subset of Example A.2: the REO/REF oscillations,
-        // REA convergence, and the transfer of the oscillation into the
-        // queueing models. (R1A/RMA need a ~650k-state exploration; see the
-        // release-only test below.)
+        // Debug-friendly subset of Example A.2: the REO oscillation, REA
+        // convergence, and the transfer of the oscillation into the queueing
+        // models. Breadth-first order needs REO's full 141,847-state space
+        // before its fair SCC closes; REF (≈278k) and R1A/RMA (≈654k each)
+        // are covered by the release-only test below.
         let inst = gadgets::fig6();
         let cfg = SurveyConfig {
-            // 25k states suffice: the REO/REF oscillating SCCs show up early
-            // and REA's full (collapsed) space has 19,304 states.
             explore: ExploreConfig {
                 channel_cap: 3,
-                max_states: 25_000,
+                max_states: 150_000,
                 ..ExploreConfig::default()
             },
-            probes: ["R1O", "REO", "REF", "REA", "U1O"]
-                .iter()
-                .map(|s| s.parse().expect("model"))
-                .collect(),
+            probes: ["REO", "REA"].iter().map(|s| s.parse().expect("model")).collect(),
             direct_fallback: false,
             direct_budget: None,
         };
         let entries = survey_instance(&inst, &cfg);
-        for m in ["REO", "REF"] {
-            assert!(matches!(outcome_of(&entries, m), SurveyOutcome::Oscillates { .. }), "{m}");
-        }
-        assert!(matches!(outcome_of(&entries, "REA"), SurveyOutcome::Converges { .. }));
-        // The queueing models inherit the oscillation.
+        assert!(matches!(outcome_of(&entries, "REO"), SurveyOutcome::Oscillates { via: None }));
+        assert!(matches!(outcome_of(&entries, "REA"), SurveyOutcome::Converges { via: None }));
+        // The queueing models inherit the oscillation (REO is realized
+        // exactly by RMS and UMS — Fig. 3/4 row REO).
         for m in ["RMS", "UMS"] {
             assert!(
                 matches!(outcome_of(&entries, m), SurveyOutcome::Oscillates { via: Some(_) }),
@@ -250,6 +245,7 @@ mod tests {
                 channel_cap: 3,
                 max_states: 1_500_000,
                 max_steps_per_state: 20_000,
+                threads: None,
             },
             ..SurveyConfig::default()
         };

@@ -81,7 +81,12 @@ fn a1_and_a2_oscillations_run_forever() {
 
 #[test]
 fn negative_examples_a3_a4_a5_via_search() {
-    let cfg = ExploreConfig { channel_cap: 6, max_states: 2_000_000, max_steps_per_state: 50_000 };
+    let cfg = ExploreConfig {
+        channel_cap: 6,
+        max_states: 2_000_000,
+        max_steps_per_state: 50_000,
+        threads: None,
+    };
     let a3 = paper_runs::a3_reo();
     let t3 = Runner::trace_of(&a3.instance, &a3.seq);
     assert!(
