@@ -1,11 +1,17 @@
 //! Thread-scaling of the sharded frontier engine on the Appendix A.2
 //! acceptance workload: the Fig. 6 polling cells (R1A, RMA) whose
-//! exhaustive closures visit ≈654k states each under channel cap 3.
+//! exhaustive closures visit ≈654k raw states each under channel cap 3 —
+//! run both with the default state-space reduction (route-class
+//! projection + queue normal forms + symmetry quotient) and with
+//! `reduce` off.
 //!
 //! For every thread count the run re-verifies the determinism contract —
 //! interned states, π fingerprints, and edge lists must be bit-identical
-//! to the single-thread build — and records wall clock plus the engine's
-//! shard statistics into `results/BENCH_explore.json`.
+//! to the single-thread build of the same mode — and that the reduced and
+//! unreduced builds agree on the oscillation verdict. Wall clock, the
+//! engine's shard statistics, and the reduction counters (class rewrites,
+//! absorbed reads, set collapses, symmetry hits, group order) go to
+//! `results/BENCH_explore.json`.
 //!
 //! The speedup column is only meaningful on a multi-core host; the JSON
 //! records `host_parallelism` so a single-core CI runner's numbers (ties
@@ -16,6 +22,7 @@ use std::time::Instant;
 use routelab_core::model::CommModel;
 use routelab_explore::effects::Spec;
 use routelab_explore::graph::{try_build_spec, ExploreConfig, StateGraph};
+use routelab_explore::oscillation::analyze_graph;
 use routelab_sim::report::{write_json_to, Json};
 use routelab_spp::gadgets;
 
@@ -30,69 +37,108 @@ fn main() {
     let host_parallelism = std::thread::available_parallelism().map_or(1, usize::from);
     println!("explore_scaling: host parallelism {host_parallelism}");
 
-    let mut models_json = Vec::new();
+    let mut cells_json = Vec::new();
     let mut all_identical = true;
+    let mut all_consistent = true;
     for model_s in ["R1A", "RMA"] {
         let model: CommModel = model_s.parse().expect("static model");
-        let mut baseline: Option<StateGraph> = None;
-        let mut walls = Vec::new();
-        let mut runs_json = Vec::new();
-        for &threads in &THREADS {
-            let cfg = ExploreConfig {
-                channel_cap: 3,
-                max_states: 1_500_000,
-                max_steps_per_state: 20_000,
-                threads: Some(threads),
-            };
-            let t0 = Instant::now();
-            let g = try_build_spec(&inst, Spec::Uniform(model), &cfg)
-                .unwrap_or_else(|e| panic!("FIG6 × {model_s} @{threads}t: {e}"));
-            let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
-            let same = baseline.as_ref().is_none_or(|b| identical(b, &g));
-            all_identical &= same;
-            println!(
-                "explore_scaling/FIG6×{model_s} t{threads}: {} states in {:.0} ms \
-                 (dedup hit-rate {:.1}%, peak frontier {}, shards {}..{}{})",
-                g.len(),
-                wall_ms,
-                g.stats.dedup_hit_rate() * 100.0,
-                g.stats.peak_frontier,
-                g.stats.shard_min,
-                g.stats.shard_max,
-                if same { "" } else { ", MISMATCH vs 1-thread build" },
-            );
-            runs_json.push(Json::obj([
-                ("threads", Json::int(threads)),
-                ("wall_ms", Json::Num(wall_ms)),
-                ("states", Json::int(g.len())),
-                ("candidates", Json::int(g.stats.candidates as usize)),
-                ("dedup_hits", Json::int(g.stats.dedup_hits as usize)),
-                ("peak_frontier", Json::int(g.stats.peak_frontier)),
-                ("shard_min", Json::int(g.stats.shard_min)),
-                ("shard_max", Json::int(g.stats.shard_max)),
-                ("identical_to_single_thread", Json::Bool(same)),
-            ]));
-            walls.push(wall_ms);
-            if baseline.is_none() {
-                baseline = Some(g);
+        let spec = Spec::Uniform(model);
+        let mut verdicts = Vec::new();
+        for reduce in [true, false] {
+            let mode = if reduce { "reduced" } else { "unreduced" };
+            let mut baseline: Option<StateGraph> = None;
+            let mut walls = Vec::new();
+            let mut runs_json = Vec::new();
+            let mut states = 0usize;
+            let mut reduction_json = Json::Null;
+            for &threads in &THREADS {
+                let cfg = ExploreConfig {
+                    channel_cap: 3,
+                    max_states: 1_500_000,
+                    max_steps_per_state: 20_000,
+                    threads: Some(threads),
+                    reduce,
+                };
+                let t0 = Instant::now();
+                let g = try_build_spec(&inst, spec, &cfg)
+                    .unwrap_or_else(|e| panic!("FIG6 × {model_s} {mode} @{threads}t: {e}"));
+                let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+                let same = baseline.as_ref().is_none_or(|b| identical(b, &g));
+                all_identical &= same;
+                println!(
+                    "explore_scaling/FIG6×{model_s} {mode} t{threads}: {} states in {:.0} ms \
+                     (dedup hit-rate {:.1}%, peak frontier {}, shards {}..{}{})",
+                    g.len(),
+                    wall_ms,
+                    g.stats.dedup_hit_rate() * 100.0,
+                    g.stats.peak_frontier,
+                    g.stats.shard_min,
+                    g.stats.shard_max,
+                    if same { "" } else { ", MISMATCH vs 1-thread build" },
+                );
+                runs_json.push(Json::obj([
+                    ("threads", Json::int(threads)),
+                    ("wall_ms", Json::Num(wall_ms)),
+                    ("states", Json::int(g.len())),
+                    ("candidates", Json::int(g.stats.candidates as usize)),
+                    ("dedup_hits", Json::int(g.stats.dedup_hits as usize)),
+                    ("peak_frontier", Json::int(g.stats.peak_frontier)),
+                    ("shard_min", Json::int(g.stats.shard_min)),
+                    ("shard_max", Json::int(g.stats.shard_max)),
+                    ("identical_to_single_thread", Json::Bool(same)),
+                ]));
+                walls.push(wall_ms);
+                states = g.len();
+                if reduce {
+                    let r = g.reduction;
+                    reduction_json = Json::obj([
+                        ("canon_rewrites", Json::int(r.canon_rewrites as usize)),
+                        ("absorb_pops", Json::int(r.absorb_pops as usize)),
+                        ("set_collapses", Json::int(r.set_collapses as usize)),
+                        ("sym_hits", Json::int(r.sym_hits as usize)),
+                        ("group_order", Json::int(r.group_order)),
+                    ]);
+                }
+                if baseline.is_none() {
+                    verdicts.push(analyze_graph(spec, &g));
+                    baseline = Some(g);
+                }
             }
+            let speedup_8t = walls[0] / walls[THREADS.len() - 1];
+            println!(
+                "explore_scaling/FIG6×{model_s} {mode}: speedup at 8 threads = {speedup_8t:.2}×"
+            );
+            cells_json.push(Json::obj([
+                ("model", Json::str(model_s)),
+                ("gadget", Json::str("FIG6")),
+                ("reduce", Json::Bool(reduce)),
+                ("states", Json::int(states)),
+                ("reduction", reduction_json),
+                ("runs", Json::Arr(runs_json)),
+                ("speedup_8t", Json::Num(speedup_8t)),
+            ]));
         }
-        let speedup_8t = walls[0] / walls[THREADS.len() - 1];
-        println!("explore_scaling/FIG6×{model_s}: speedup at 8 threads = {speedup_8t:.2}×");
-        models_json.push(Json::obj([
-            ("model", Json::str(model_s)),
-            ("gadget", Json::str("FIG6")),
-            ("runs", Json::Arr(runs_json)),
-            ("speedup_8t", Json::Num(speedup_8t)),
-        ]));
+        let consistent =
+            std::mem::discriminant(&verdicts[0]) == std::mem::discriminant(&verdicts[1]);
+        all_consistent &= consistent;
+        println!(
+            "explore_scaling/FIG6×{model_s}: reduced verdict {:?} vs unreduced {:?}{}",
+            verdicts[0],
+            verdicts[1],
+            if consistent { "" } else { " — MISMATCH" },
+        );
     }
 
     let json = Json::obj([
         ("bench", Json::str("explore_scaling")),
-        ("workload", Json::str("A.2: FIG6 × {R1A, RMA}, channel cap 3, exhaustive (~654k states)")),
+        (
+            "workload",
+            Json::str("A.2: FIG6 × {R1A, RMA}, channel cap 3, exhaustive (~654k raw states)"),
+        ),
         ("host_parallelism", Json::int(host_parallelism)),
         ("bit_identical_across_thread_counts", Json::Bool(all_identical)),
-        ("cells", Json::Arr(models_json)),
+        ("reduced_verdicts_match_unreduced", Json::Bool(all_consistent)),
+        ("cells", Json::Arr(cells_json)),
     ]);
     let dir = std::env::var("ROUTELAB_RESULTS_DIR")
         .unwrap_or_else(|_| concat!(env!("CARGO_MANIFEST_DIR"), "/../../results").to_string());
@@ -101,4 +147,5 @@ fn main() {
         Err(e) => eprintln!("could not write BENCH_explore.json: {e}"),
     }
     assert!(all_identical, "determinism contract violated across thread counts");
+    assert!(all_consistent, "reduction changed an oscillation verdict");
 }

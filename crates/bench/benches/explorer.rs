@@ -32,7 +32,7 @@ fn bench_trace_search(c: &mut Criterion) {
         channel_cap: 6,
         max_states: 2_000_000,
         max_steps_per_state: 50_000,
-        threads: None,
+        ..ExploreConfig::default()
     };
     let a4 = routelab_engine::paper_runs::a4_rea();
     let target = Runner::trace_of(&a4.instance, &a4.seq);

@@ -26,6 +26,14 @@ pub enum ExploreErrorKind {
         /// The offending route, rendered.
         route: String,
     },
+    /// A queue grew past the packed length-field width (u16); the state
+    /// cannot be encoded without silently truncating it.
+    PathTooLong {
+        /// The dense channel id whose queue overflowed.
+        channel: usize,
+        /// The offending queue length.
+        len: usize,
+    },
     /// A packed state failed to decode (corrupt arena entry).
     CorruptState {
         /// Human-readable description of the corruption.
@@ -65,6 +73,11 @@ impl ExploreError {
         }
     }
 
+    /// A queue-length overflow error for `cell`.
+    pub fn path_too_long(cell: impl Into<String>, channel: usize, len: usize) -> Self {
+        ExploreError { cell: cell.into(), kind: ExploreErrorKind::PathTooLong { channel, len } }
+    }
+
     /// A corrupt-state error for `cell`.
     pub fn corrupt(cell: impl Into<String>, detail: impl Into<String>) -> Self {
         ExploreError {
@@ -83,6 +96,9 @@ impl fmt::Display for ExploreError {
             }
             ExploreErrorKind::UnknownRoute { route } => {
                 write!(f, "route {route} is outside the instance's permitted-path universe")
+            }
+            ExploreErrorKind::PathTooLong { channel, len } => {
+                write!(f, "queue on channel {channel} holds {len} routes, exceeding the packed u16 length field")
             }
             ExploreErrorKind::CorruptState { detail } => {
                 write!(f, "corrupt packed state: {detail}")
@@ -115,5 +131,8 @@ mod tests {
         assert!(e.to_string().contains("xyd"), "{e}");
         let e = ExploreError::corrupt("c", "short buffer");
         assert!(e.to_string().contains("short buffer"), "{e}");
+        let e = ExploreError::path_too_long("c", 3, 70_000);
+        assert!(e.to_string().contains("70000"), "{e}");
+        assert!(e.to_string().contains("channel 3"), "{e}");
     }
 }

@@ -367,6 +367,10 @@ pub fn bfs<E: Expand>(
 
     let mut heartbeat = routelab_obs::Heartbeat::new(opts.progress_label, opts.max_nodes as u64);
     let mut expanded = 0usize;
+    // Reusable per-parent successor slots: cleared and refilled every block,
+    // so candidate buffers keep their capacity across the whole search
+    // instead of being reallocated per block.
+    let mut results: Vec<Slot<E::Node, E::Label>> = Vec::new();
     'search: while expanded < arena.len() && accepted.is_none() {
         stats.peak_frontier = stats.peak_frontier.max(arena.len() - expanded);
         let block_start = expanded;
@@ -378,15 +382,20 @@ pub fn bfs<E: Expand>(
 
         // Phase 1 (parallel): expand every parent of the block into its own
         // slot, in the parent's canonical successor order.
-        let mut results: Vec<Slot<E::Node, E::Label>> =
-            (0..block_len).map(|_| (Vec::new(), false)).collect();
-        expand_block(exp, &arena, block_start, &mut results, threads, cell)?;
+        for slot in results.iter_mut() {
+            slot.0.clear();
+            slot.1 = false;
+        }
+        while results.len() < block_len {
+            results.push((Vec::new(), false));
+        }
+        expand_block(exp, &arena, block_start, &mut results[..block_len], threads, cell)?;
 
         // Phase 2 (serial, cheap): route candidates to shards in ordinal
         // (parent, successor) order, so each shard's bucket is
         // ordinal-sorted.
         let mut buckets: Vec<Vec<(u32, u32)>> = (0..SHARDS).map(|_| Vec::new()).collect();
-        for (pi, (cands, cut)) in results.iter().enumerate() {
+        for (pi, (cands, cut)) in results[..block_len].iter().enumerate() {
             truncated |= cut;
             stats.candidates += cands.len() as u64;
             for (si, (node, _)) in cands.iter().enumerate() {
@@ -396,7 +405,7 @@ pub fn bfs<E: Expand>(
 
         // Phase 3 (parallel): per-shard dedup against the persistent maps,
         // each bucket walked in ordinal order.
-        let mut outs = dedup_block(&shard_maps, &buckets, &results, threads);
+        let mut outs = dedup_block(&shard_maps, &buckets, &results[..block_len], threads);
         for o in &outs {
             stats.dedup_hits += o.hits;
         }
@@ -408,9 +417,9 @@ pub fn bfs<E: Expand>(
         let mut cursor = [0usize; SHARDS];
         let mut assigned: Vec<Vec<Option<u32>>> =
             outs.iter().map(|o| vec![None; o.pending.len()]).collect();
-        for (pi, (cands, _)) in results.into_iter().enumerate() {
+        for (pi, result) in results.iter_mut().enumerate().take(block_len) {
             let from = (block_start + pi) as u32;
-            for (node, label) in cands {
+            for (node, label) in result.0.drain(..) {
                 let s = shard_of(&node);
                 let r = outs[s].resolutions[cursor[s]];
                 cursor[s] += 1;

@@ -6,6 +6,8 @@
 //! thread count, and identical to the retained sequential reference
 //! ([`build_spec_reference`]) that the differential tests compare against.
 
+use std::sync::Arc;
+
 use routelab_core::model::CommModel;
 use routelab_engine::exec::execute_step;
 use routelab_engine::index::ChannelIndex;
@@ -16,6 +18,7 @@ use crate::effects::{all_steps, Spec};
 use crate::error::ExploreError;
 use crate::frontier::{self, BfsOptions, BfsResult, FrontierStats};
 use crate::pack::{PackedState, StateCodec};
+use crate::reduce::{Reducer, ReductionStats, SymTables};
 
 /// Bounds for exhaustive exploration.
 #[derive(Debug, Clone, Copy)]
@@ -30,6 +33,12 @@ pub struct ExploreConfig {
     /// Explorer worker threads; `None` resolves `ROUTELAB_THREADS`, then
     /// the machine's available parallelism. Results never depend on it.
     pub threads: Option<usize>,
+    /// Apply the state-space reduction layer ([`crate::reduce`]): queue
+    /// normal forms plus symmetry canonicalization. On by default; verdicts
+    /// are identical either way (the differential suite proves it), only
+    /// state counts and memory differ. Disable to obtain the literal
+    /// unreduced graph (witness extraction does so internally).
+    pub reduce: bool,
 }
 
 impl Default for ExploreConfig {
@@ -39,6 +48,7 @@ impl Default for ExploreConfig {
             max_states: 150_000,
             max_steps_per_state: 10_000,
             threads: None,
+            reduce: true,
         }
     }
 }
@@ -65,6 +75,11 @@ pub struct EdgeLabel {
     pub changes_pi: bool,
     /// The canonical step generating this transition (for witness replay).
     pub step: crate::effects::CanonicalStep,
+    /// Symmetry-group element that canonicalized the raw successor into
+    /// `to` (0 = identity, i.e. the successor was already canonical). Only
+    /// nonzero in reduced builds of symmetric instances; fairness analysis
+    /// un-folds the quotient through these annotations.
+    pub sym: u16,
 }
 
 /// The explored portion of a model's state graph. States live in a packed
@@ -87,6 +102,12 @@ pub struct StateGraph {
     pub truncated: bool,
     /// Frontier-engine statistics for this build.
     pub stats: FrontierStats,
+    /// Reduction-layer activity (zeroed when the build ran unreduced).
+    pub reduction: ReductionStats,
+    /// Symmetry tables of the build, when reduction was on and the
+    /// instance's automorphism group is nontrivial. Fairness analysis uses
+    /// them to un-fold the quotient.
+    pub(crate) sym: Option<Arc<SymTables>>,
 }
 
 impl StateGraph {
@@ -120,6 +141,7 @@ struct EdgePayload {
     dropped: Vec<usize>,
     changes_pi: bool,
     step: crate::effects::CanonicalStep,
+    sym: u16,
 }
 
 /// The frontier-engine client for state-graph construction.
@@ -130,6 +152,7 @@ struct GraphExpand<'a> {
     codec: &'a StateCodec,
     collapse: bool,
     cfg: &'a ExploreConfig,
+    reduce: Option<&'a Reducer>,
 }
 
 impl frontier::Expand for GraphExpand<'_> {
@@ -151,31 +174,60 @@ impl frontier::Expand for GraphExpand<'_> {
             self.cfg.max_steps_per_state,
         );
         let mut truncated = capped;
+        let mut absorbed: Vec<usize> = Vec::new();
         for cs in steps {
             let activation = cs.to_activation(self.spec, self.index);
             let mut next = state.clone();
             let effect = execute_step(self.inst, self.index, &mut next, &activation);
-            if self.collapse {
-                // Exact abstraction for R·A models: only the newest queued
-                // message can ever be learned.
-                next.collapse_queues_to_newest();
-            }
-            if next.max_queue_len() > self.cfg.channel_cap {
-                truncated = true;
-                continue;
+            if let Some(red) = self.reduce {
+                red.normalize(&mut next, &mut absorbed);
+                if red.exceeds_cap(&next, self.cfg.channel_cap) {
+                    truncated = true;
+                    continue;
+                }
+            } else {
+                if self.collapse {
+                    // Exact abstraction for R·A models: only the newest
+                    // queued message can ever be learned.
+                    next.collapse_queues_to_newest();
+                }
+                if next.max_queue_len() > self.cfg.channel_cap {
+                    truncated = true;
+                    continue;
+                }
             }
             let next_packed = self.codec.encode(&next)?;
+            // The self-loop test runs *before* canonicalization: a real
+            // transition whose canonical image happens to equal the source
+            // is a genuine quotient self-loop and must be kept.
             if next_packed == *packed {
                 continue; // state-preserving: handled by noop annotations
+            }
+            let (next_packed, sym) = match self.reduce {
+                Some(red) => red.canonicalize(next_packed),
+                None => (next_packed, 0),
+            };
+            let mut attended = cs.attended(self.spec);
+            let mut kept = effect.kept_on;
+            if !absorbed.is_empty() {
+                // Absorbed reads fire inside this merged edge: the edge
+                // attends (and keeps on) the channels it drained.
+                attended.extend_from_slice(&absorbed);
+                attended.sort_unstable();
+                attended.dedup();
+                kept.extend_from_slice(&absorbed);
+                kept.sort_unstable();
+                kept.dedup();
             }
             out.push((
                 next_packed,
                 EdgePayload {
-                    attended: cs.attended(self.spec),
-                    kept: effect.kept_on,
+                    attended,
+                    kept,
                     dropped: effect.dropped_on,
                     changes_pi: !effect.changed.is_empty(),
                     step: cs,
+                    sym,
                 },
             ));
         }
@@ -195,6 +247,8 @@ fn assemble(
     codec: StateCodec,
     index: ChannelIndex,
     r: BfsResult<PackedState, EdgePayload>,
+    reduction: ReductionStats,
+    sym: Option<Arc<SymTables>>,
 ) -> StateGraph {
     let pi_fp = r.nodes.iter().map(|p| codec.pi_fingerprint(p)).collect();
     let edges = r
@@ -209,6 +263,7 @@ fn assemble(
                     dropped: p.dropped,
                     changes_pi: p.changes_pi,
                     step: p.step,
+                    sym: p.sym,
                 })
                 .collect()
         })
@@ -221,6 +276,8 @@ fn assemble(
         edges,
         truncated: r.truncated,
         stats: r.stats,
+        reduction,
+        sym,
     };
     if routelab_obs::enabled() {
         routelab_obs::gauge("explore.states", g.len() as u64);
@@ -233,6 +290,13 @@ fn assemble(
         routelab_obs::counter("explore.builds", 1);
         if g.truncated {
             routelab_obs::counter("explore.builds_truncated", 1);
+        }
+        if g.reduction.enabled {
+            routelab_obs::gauge("explore.sym_group", g.reduction.group_order as u64);
+            routelab_obs::counter("explore.reduce_canon_rewrites", g.reduction.canon_rewrites);
+            routelab_obs::counter("explore.reduce_absorb_pops", g.reduction.absorb_pops);
+            routelab_obs::counter("explore.reduce_set_collapses", g.reduction.set_collapses);
+            routelab_obs::counter("explore.reduce_sym_hits", g.reduction.sym_hits);
         }
     }
     g
@@ -300,9 +364,21 @@ fn build_with(
     let cell = cell_of(inst, spec);
     let index = ChannelIndex::new(inst.graph());
     let codec = StateCodec::new(inst, &index, cell.as_str())?;
+    let reducer = cfg.reduce.then(|| Reducer::new(inst, &index, &codec, spec));
     let root = codec.encode(&NetworkState::initial(inst, &index))?;
-    let exp =
-        GraphExpand { inst, index: &index, spec, codec: &codec, collapse: spec.collapsible(), cfg };
+    let root = match &reducer {
+        Some(red) => red.canonicalize(root).0,
+        None => root,
+    };
+    let exp = GraphExpand {
+        inst,
+        index: &index,
+        spec,
+        codec: &codec,
+        collapse: spec.collapsible(),
+        cfg,
+        reduce: reducer.as_ref(),
+    };
     let opts = BfsOptions {
         threads: cfg.resolved_threads(),
         max_nodes: cfg.max_states,
@@ -315,7 +391,11 @@ fn build_with(
     } else {
         frontier::bfs(&exp, root, &cell, &opts)?
     };
-    Ok(assemble(codec, index, r))
+    let (reduction, sym) = match reducer {
+        Some(red) => (red.stats(), red.sym.clone()),
+        None => (ReductionStats::default(), None),
+    };
+    Ok(assemble(codec, index, r, reduction, sym))
 }
 
 /// Tarjan's strongly connected components (iterative). Components are
@@ -398,14 +478,22 @@ mod tests {
     #[test]
     fn disagree_r1o_graph_has_cycles() {
         let inst = gadgets::disagree();
-        let g = build(&inst, "R1O".parse().unwrap(), &ExploreConfig::default());
-        // Divergent schedules can pump any queue past any cap (e.g. x keeps
-        // announcing while d never reads), so truncation is expected here;
-        // the oscillating SCC must still be inside the explored region.
-        assert!(g.truncated);
-        let comps = sccs(&g);
-        let biggest = comps.iter().map(Vec::len).max().unwrap();
-        assert!(biggest > 1, "R1O on DISAGREE must contain a nontrivial SCC");
+        let cfg = ExploreConfig::default();
+        // Unreduced, divergent schedules pump queues past any cap (e.g. x
+        // keeps announcing while d never reads), so the raw build
+        // truncates. The class projection turns those announcements into
+        // absorbed ε-reads, making the reduced build exhaustive. The
+        // oscillating SCC must be inside the explored region either way.
+        let raw = build(&inst, "R1O".parse().unwrap(), &ExploreConfig { reduce: false, ..cfg });
+        assert!(raw.truncated);
+        let g = build(&inst, "R1O".parse().unwrap(), &cfg);
+        assert!(!g.truncated);
+        assert!(g.reduction.canon_rewrites > 0);
+        for graph in [&raw, &g] {
+            let comps = sccs(graph);
+            let biggest = comps.iter().map(Vec::len).max().unwrap();
+            assert!(biggest > 1, "R1O on DISAGREE must contain a nontrivial SCC");
+        }
     }
 
     #[test]
@@ -426,8 +514,12 @@ mod tests {
     #[test]
     fn truncation_reported_on_tiny_caps() {
         let inst = gadgets::disagree();
-        let cfg =
-            ExploreConfig { channel_cap: 1, max_states: 4, max_steps_per_state: 4, threads: None };
+        let cfg = ExploreConfig {
+            channel_cap: 1,
+            max_states: 4,
+            max_steps_per_state: 4,
+            ..ExploreConfig::default()
+        };
         let g = build(&inst, "RMS".parse().unwrap(), &cfg);
         assert!(g.truncated);
         assert!(g.len() <= 4);

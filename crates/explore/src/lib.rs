@@ -46,6 +46,7 @@ pub mod frontier;
 pub mod graph;
 pub mod oscillation;
 pub mod pack;
+pub mod reduce;
 pub mod trace_search;
 pub mod witness;
 
@@ -54,5 +55,6 @@ pub use frontier::FrontierStats;
 pub use graph::{ExploreConfig, StateGraph};
 pub use oscillation::{analyze, try_analyze, Verdict};
 pub use pack::{PackedState, StateCodec};
+pub use reduce::ReductionStats;
 pub use trace_search::{search, try_search, SearchGoal, SearchResult};
 pub use witness::{oscillation_witness, OscillationWitness};

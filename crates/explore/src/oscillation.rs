@@ -230,14 +230,28 @@ pub(crate) fn find_fair_scc(spec: Spec<'_>, g: &StateGraph) -> Option<Vec<usize>
 }
 
 /// Analyzes a prebuilt graph.
+///
+/// A symmetry-reduced graph is analyzed on its orbit un-folding
+/// ([`crate::reduce::unfold_symmetry`]): per-channel attendance is not
+/// invariant under the group action, so the fairness refinement on the raw
+/// quotient would be unsound (the Emerson–Sistla caveat). The reported
+/// `states` counts are always the built graph's — the quotient's, for
+/// reduced builds.
 pub fn analyze_graph(spec: Spec<'_>, g: &StateGraph) -> Verdict {
-    if let Some(comp) = find_fair_scc(spec, g) {
-        return Verdict::CanOscillate { states: g.len(), scc_size: comp.len() };
+    let states = g.len();
+    let fair = if g.sym.is_some() {
+        let unfolded = crate::reduce::unfold_symmetry(g);
+        find_fair_scc(spec, &unfolded)
+    } else {
+        find_fair_scc(spec, g)
+    };
+    if let Some(comp) = fair {
+        return Verdict::CanOscillate { states, scc_size: comp.len() };
     }
     if g.truncated {
-        Verdict::NoOscillationWithinBound { states: g.len() }
+        Verdict::NoOscillationWithinBound { states }
     } else {
-        Verdict::AlwaysConverges { states: g.len() }
+        Verdict::AlwaysConverges { states }
     }
 }
 
@@ -339,9 +353,9 @@ mod tests {
         // Theorem 3.9: Fig. 6 oscillates in REO and REF but not in the
         // polling models. REO's oscillating SCC sits within the default
         // 150k-state budget of the breadth-first order, and REA is checked
-        // here exhaustively (≈19k states); REF (≈278k states), R1A and RMA
-        // (≈650k states each) are covered by the release-only test below
-        // and by `exp-examples`.
+        // here exhaustively (≈5k reduced states); REF (≈128k reduced),
+        // R1A and RMA (a few hundred reduced states, ≈654k raw) are
+        // covered by the release-only test below and by `exp-examples`.
         let inst = gadgets::fig6();
         let cfg = ExploreConfig { channel_cap: 3, ..ExploreConfig::default() };
         let v = analyze(&inst, "REO".parse().unwrap(), &cfg);
@@ -359,7 +373,7 @@ mod tests {
     #[test]
     #[cfg_attr(
         debug_assertions,
-        ignore = "≈650k-state exploration; run with `cargo test --release` or `exp-examples a2`"
+        ignore = "≈128k-state REF exploration; run with `cargo test --release` or `exp-examples a2`"
     )]
     fn example_a2_fig6_polling_r1a_rma_converge_exhaustively() {
         let inst = gadgets::fig6();
@@ -367,7 +381,7 @@ mod tests {
             channel_cap: 3,
             max_states: 1_500_000,
             max_steps_per_state: 20_000,
-            threads: None,
+            ..ExploreConfig::default()
         };
         for model in ["R1A", "RMA"] {
             let v = analyze(&inst, model.parse().unwrap(), &cfg);
@@ -376,8 +390,9 @@ mod tests {
                 "{model} must force Fig. 6 to converge (got {v:?})"
             );
         }
-        // REF's full space is ≈278k states — past the 150k debug budget in
-        // breadth-first order, but exhaustively oscillating here.
+        // REF's reduced space is ≈128k states (≈278k raw) — close enough
+        // to the 150k debug budget that it stays in this release-only
+        // test, exhaustively oscillating here.
         let v = analyze(&inst, "REF".parse().unwrap(), &cfg);
         assert!(
             matches!(v, Verdict::CanOscillate { .. }),
@@ -486,8 +501,12 @@ mod tests {
     #[test]
     fn truncated_exploration_downgrades_verdict() {
         let inst = gadgets::good_gadget();
-        let cfg =
-            ExploreConfig { channel_cap: 1, max_states: 16, max_steps_per_state: 8, threads: None };
+        let cfg = ExploreConfig {
+            channel_cap: 1,
+            max_states: 16,
+            max_steps_per_state: 8,
+            ..ExploreConfig::default()
+        };
         let v = analyze(&inst, "REA".parse().unwrap(), &cfg);
         assert!(matches!(v, Verdict::NoOscillationWithinBound { .. }), "{v:?}");
     }

@@ -21,6 +21,7 @@
 //! and thread counts.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use routelab_engine::index::ChannelIndex;
 use routelab_engine::state::NetworkState;
@@ -29,13 +30,28 @@ use routelab_spp::{NodeId, Path, Route, SppInstance};
 use crate::error::ExploreError;
 
 /// A state encoded as a flat route-id buffer (layout in the module docs).
+///
+/// The buffer is reference-counted: the frontier engine keeps each packed
+/// state in several places at once (dedup maps, pending queues, the arena),
+/// and `Arc` turns those clones into pointer bumps instead of buffer copies
+/// — shared-ownership interning.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
-pub struct PackedState(Box<[u16]>);
+pub struct PackedState(Arc<[u16]>);
 
 impl PackedState {
     /// Buffer length in `u16`s (for memory accounting).
     pub fn len_u16(&self) -> usize {
         self.0.len()
+    }
+
+    /// The raw route-id buffer (for the reduction layer's canonicalizers).
+    pub(crate) fn as_u16s(&self) -> &[u16] {
+        &self.0
+    }
+
+    /// Wraps a raw buffer produced by a canonicalizer.
+    pub(crate) fn from_u16s(buf: Vec<u16>) -> Self {
+        PackedState(buf.into())
     }
 }
 
@@ -97,6 +113,21 @@ impl StateCodec {
         &self.cell
     }
 
+    /// Node count `n` of the layout.
+    pub(crate) fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Channel count `m` of the layout.
+    pub(crate) fn m(&self) -> usize {
+        self.m
+    }
+
+    /// The interned route universe, id order.
+    pub(crate) fn routes(&self) -> &[Route] {
+        &self.routes
+    }
+
     /// Number of interned routes.
     pub fn route_count(&self) -> usize {
         self.routes.len()
@@ -133,15 +164,16 @@ impl StateCodec {
         }
         for c in 0..self.m {
             let len = s.queue(c).len();
-            debug_assert!(len <= usize::from(u16::MAX));
-            buf.push(len as u16);
+            let len =
+                u16::try_from(len).map_err(|_| ExploreError::path_too_long(&self.cell, c, len))?;
+            buf.push(len);
         }
         for c in 0..self.m {
             for r in s.queue(c).iter() {
                 buf.push(self.rid(r)?);
             }
         }
-        Ok(PackedState(buf.into_boxed_slice()))
+        Ok(PackedState(buf.into()))
     }
 
     fn route(&self, id: u16, p: &PackedState) -> Result<Route, ExploreError> {
@@ -337,12 +369,33 @@ mod tests {
     }
 
     #[test]
+    fn oversized_queue_is_a_checked_error_not_a_truncation() {
+        // A queue longer than u16::MAX used to slip past a debug_assert and
+        // truncate its length field in release builds; it must now be a
+        // typed error carrying the cell and the channel.
+        let inst = gadgets::disagree();
+        let (index, codec) = codec_for(&inst);
+        let init = NetworkState::initial(&inst, &index);
+        let huge = vec![Route::empty(); usize::from(u16::MAX) + 1];
+        let s = with_queue0(&inst, &index, &init, huge);
+        let err = codec.encode(&s).expect_err("oversized queue");
+        assert_eq!(err.cell, "test-cell");
+        assert!(
+            matches!(
+                err.kind,
+                crate::error::ExploreErrorKind::PathTooLong { channel: 0, len } if len == 65_536
+            ),
+            "{err:?}"
+        );
+    }
+
+    #[test]
     fn corrupt_buffers_are_reported() {
         let inst = gadgets::line2();
         let (index, codec) = codec_for(&inst);
         let s = NetworkState::initial(&inst, &index);
         let p = codec.encode(&s).unwrap();
-        let truncated = PackedState(p.0[..1].to_vec().into_boxed_slice());
+        let truncated = PackedState(p.0[..1].to_vec().into());
         let err = codec.decode(&truncated).expect_err("short buffer");
         assert!(matches!(err.kind, crate::error::ExploreErrorKind::CorruptState { .. }));
         assert!(p.len_u16() > 4);

@@ -259,7 +259,7 @@ mod tests {
             channel_cap: 6,
             max_states: 2_000_000,
             max_steps_per_state: 50_000,
-            threads: None,
+            ..ExploreConfig::default()
         }
     }
 
@@ -387,7 +387,7 @@ mod tests {
             channel_cap: 6,
             max_states: 3,
             max_steps_per_state: 50_000,
-            threads: None,
+            ..ExploreConfig::default()
         };
         let res = search(&run.instance, "RMS".parse().unwrap(), &target, SearchGoal::Exact, &tight);
         assert!(matches!(res, SearchResult::BoundExceeded { .. }), "{res:?}");

@@ -80,12 +80,18 @@ pub fn oscillation_witness(
 }
 
 /// Extracts an oscillation witness for any model view (uniform or mixed).
+///
+/// The graph is always built *unreduced* (overriding `cfg.reduce`): witness
+/// steps are replayed literally against the execution engine, and edges of a
+/// reduced graph denote normalized/canonicalized transitions whose raw
+/// successors differ from the recorded targets.
 pub fn oscillation_witness_spec(
     inst: &SppInstance,
     spec: Spec<'_>,
     cfg: &ExploreConfig,
 ) -> Option<OscillationWitness> {
-    let g = build_spec(inst, spec, cfg);
+    let cfg = ExploreConfig { reduce: false, ..*cfg };
+    let g = build_spec(inst, spec, &cfg);
     witness_from_graph(spec, &g)
 }
 

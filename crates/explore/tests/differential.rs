@@ -24,13 +24,13 @@ fn assert_same_graph(cell: &str, threads: usize, par: &StateGraph, reference: &S
     assert_eq!(par.truncated, reference.truncated, "{cell} @{threads}t: truncation flag");
 }
 
-#[test]
-fn parallel_explorer_is_bit_identical_to_reference_across_the_whole_taxonomy() {
+fn taxonomy_sweep(reduce: bool) {
     let cfg = ExploreConfig {
         channel_cap: 2,
         max_states: 1_000,
         max_steps_per_state: 20_000,
         threads: None,
+        reduce,
     };
     for (name, inst) in gadgets::corpus() {
         for model in CommModel::all() {
@@ -57,6 +57,18 @@ fn parallel_explorer_is_bit_identical_to_reference_across_the_whole_taxonomy() {
 }
 
 #[test]
+fn parallel_explorer_is_bit_identical_to_reference_across_the_whole_taxonomy() {
+    taxonomy_sweep(false);
+}
+
+#[test]
+fn reduced_parallel_explorer_is_bit_identical_to_reference_across_the_whole_taxonomy() {
+    // The reduction layer runs inside the frontier expansion, so the
+    // determinism contract must hold for quotient graphs too.
+    taxonomy_sweep(true);
+}
+
+#[test]
 fn parallel_explorer_matches_reference_on_larger_oscillating_cells() {
     // A deeper sweep over the cells whose verdicts carry the paper's
     // separations, at a budget big enough to include the fair SCCs.
@@ -64,7 +76,7 @@ fn parallel_explorer_matches_reference_on_larger_oscillating_cells() {
         channel_cap: 3,
         max_states: 30_000,
         max_steps_per_state: 20_000,
-        threads: None,
+        ..ExploreConfig::default()
     };
     for (name, model) in
         [("DISAGREE", "R1O"), ("DISAGREE", "RMA"), ("BAD-GADGET", "REA"), ("GOOD-GADGET", "R1O")]

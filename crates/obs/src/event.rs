@@ -124,6 +124,16 @@ fn escape_into(out: &mut String, s: &str) {
             c if (c as u32) < 0x20 => {
                 let _ = write!(out, "\\u{:04x}", c as u32);
             }
+            c if (c as u32) > 0xFFFF => {
+                // Non-BMP: JSON \u escapes carry only 16 bits, so emit the
+                // UTF-16 surrogate pair rather than the raw code point —
+                // keeps the log consumable by readers that choke on astral
+                // characters in any byte encoding.
+                let mut units = [0u16; 2];
+                for u in c.encode_utf16(&mut units) {
+                    let _ = write!(out, "\\u{u:04x}");
+                }
+            }
             c => out.push(c),
         }
     }
@@ -531,6 +541,39 @@ mod tests {
         }
         assert!(out.contains(r#""fields":{"model":"RMS","states":12}"#), "{out}");
         assert!(out.contains(r#""buckets":{"1":1,"8":1}"#), "{out}");
+    }
+
+    #[test]
+    fn astral_plane_strings_round_trip_as_surrogate_pairs() {
+        // Every non-BMP character must be written as a \uXXXX\uXXXX
+        // surrogate pair (never raw), and parse back to the original
+        // string. BMP characters stay raw.
+        for s in ["😀", "a😀b", "𝔸𝕊ℂ", "🜁🜂🜃🜄", "paired \u{1F600}\u{1F680} twice", "é😀é"]
+        {
+            let mut out = String::new();
+            Event::Meta { proc: s.into(), pid: 1 }.encode(&mut out);
+            assert!(
+                out.is_ascii() || s.chars().any(|c| (c as u32) <= 0xFFFF && !c.is_ascii()),
+                "{s:?}: only BMP characters may appear unescaped, got {out:?}"
+            );
+            assert!(
+                s.chars().all(|c| (c as u32) <= 0xFFFF)
+                    || out.contains("\\ud8")
+                    || out.contains("\\ud9")
+                    || out.contains("\\uda")
+                    || out.contains("\\udb"),
+                "{s:?}: expected a high surrogate escape in {out:?}"
+            );
+            let line = out.lines().next().unwrap();
+            let v = parse_json(line).unwrap_or_else(|e| panic!("{line}: {e}"));
+            assert_eq!(v.get("proc").and_then(JVal::as_str), Some(s), "{out:?}");
+        }
+        // Spot-check the exact encoding of U+1F600.
+        let mut out = String::new();
+        Event::SpanEnd { name: "s", ns: 1, dur_ns: 1, fields: vec![("emoji", "😀".into())] }
+            .encode(&mut out);
+        assert!(out.contains(r#""emoji":"\ud83d\ude00""#), "{out:?}");
+        assert!(!out.contains('😀'), "{out:?}");
     }
 
     #[test]

@@ -22,8 +22,9 @@
 use routelab_core::closure::{derive_bounds, BoundsMatrix};
 use routelab_core::edges::{foundational_facts, Facts, NegativeFact};
 use routelab_core::model::CommModel;
+use routelab_explore::error::ExploreError;
 use routelab_explore::graph::ExploreConfig;
-use routelab_explore::oscillation::{analyze, Verdict};
+use routelab_explore::oscillation::{try_analyze, Verdict};
 use routelab_spp::SppInstance;
 
 /// An empirical separation: `instance` oscillates in `oscillates_in` but
@@ -39,17 +40,33 @@ pub struct Separation {
 }
 
 /// Harvests separations from one instance by checking the given models
-/// exhaustively (only unconditional verdicts contribute).
+/// exhaustively (only unconditional verdicts contribute). Panics on an
+/// [`ExploreError`]; see [`try_harvest`].
 pub fn harvest(
     name: &'static str,
     inst: &SppInstance,
     models: &[CommModel],
     cfg: &ExploreConfig,
 ) -> Vec<Separation> {
+    try_harvest(name, inst, models, cfg).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Fallible variant of [`harvest`].
+///
+/// # Errors
+///
+/// Returns the first [`ExploreError`] any check hits; the error names the
+/// offending gadget × model cell.
+pub fn try_harvest(
+    name: &'static str,
+    inst: &SppInstance,
+    models: &[CommModel],
+    cfg: &ExploreConfig,
+) -> Result<Vec<Separation>, ExploreError> {
     let mut oscillating = Vec::new();
     let mut converging = Vec::new();
     for &m in models {
-        match analyze(inst, m, cfg) {
+        match try_analyze(inst, m, cfg)? {
             Verdict::CanOscillate { .. } => oscillating.push(m),
             Verdict::AlwaysConverges { .. } => converging.push(m),
             Verdict::NoOscillationWithinBound { .. } => {}
@@ -61,14 +78,24 @@ pub fn harvest(
             out.push(Separation { instance: name, oscillates_in: a, converges_in: c });
         }
     }
-    out
+    Ok(out)
 }
 
 /// The default harvesting run: every model on DISAGREE (all 24 state spaces
-/// are small there).
+/// are small there). Panics on an [`ExploreError`]; see
+/// [`try_disagree_separations`].
 pub fn disagree_separations(cfg: &ExploreConfig) -> Vec<Separation> {
+    try_disagree_separations(cfg).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Fallible variant of [`disagree_separations`].
+///
+/// # Errors
+///
+/// Returns the first [`ExploreError`] any check hits.
+pub fn try_disagree_separations(cfg: &ExploreConfig) -> Result<Vec<Separation>, ExploreError> {
     let inst = routelab_spp::gadgets::disagree();
-    harvest("DISAGREE", &inst, &CommModel::all(), cfg)
+    try_harvest("DISAGREE", &inst, &CommModel::all(), cfg)
 }
 
 /// Extends the foundational facts with empirical negatives and re-derives

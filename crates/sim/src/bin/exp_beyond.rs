@@ -11,7 +11,7 @@ use routelab_core::edges::foundational_facts;
 use routelab_core::model::CommModel;
 use routelab_core::paper::{compare, figure3, figure4, CellVerdict};
 use routelab_explore::graph::ExploreConfig;
-use routelab_sim::beyond::{disagree_separations, extended_bounds, newly_determined};
+use routelab_sim::beyond::{extended_bounds, newly_determined, try_disagree_separations};
 use routelab_sim::cli;
 use routelab_sim::report::{write_json, Json};
 use routelab_sim::table::Table;
@@ -19,14 +19,24 @@ use routelab_sim::table::Table;
 fn main() {
     let opts = cli::parse_common("exp-beyond");
     if !opts.rest.is_empty() {
-        eprintln!("usage: exp-beyond [--threads N] [--quiet] [--obs]");
+        eprintln!("usage: exp-beyond [--threads N] [--quiet] [--obs] [--no-reduce]");
         opts.exit(2);
     }
     let t0 = Instant::now();
-    let cfg = ExploreConfig { threads: opts.pool.threads, ..ExploreConfig::default() };
+    let cfg = ExploreConfig {
+        threads: opts.pool.threads,
+        reduce: opts.reduce(),
+        ..ExploreConfig::default()
+    };
     opts.progress("harvesting exhaustive verdicts for all 24 models on DISAGREE…");
     let mut harvest_span = routelab_obs::span("beyond.harvest");
-    let seps = disagree_separations(&cfg);
+    let seps = match try_disagree_separations(&cfg) {
+        Ok(seps) => seps,
+        Err(e) => {
+            eprintln!("exp-beyond: {e}");
+            opts.exit(2);
+        }
+    };
     harvest_span.field("separations", seps.len());
     drop(harvest_span);
     println!("{} empirical separations found\n", seps.len());

@@ -1,9 +1,11 @@
 //! Experiments E3–E8: reproduce the executions and separation claims of
 //! Examples A.1–A.6 (Figures 5–9).
 //!
-//! Usage: `exp-examples [--threads N] [a1|a2|a3|a4|a5|a6|all]` (default
-//! `all`). `--threads` (or `ROUTELAB_THREADS`) sizes the sharded frontier
-//! engine inside each exploration; every thread count prints the same bytes.
+//! Usage: `exp-examples [--threads N] [--no-reduce] [a1|a2|a3|a4|a5|a6|all]`
+//! (default `all`). `--threads` (or `ROUTELAB_THREADS`) sizes the sharded
+//! frontier engine inside each exploration; every thread count prints the
+//! same bytes. `--no-reduce` disables the state-space reduction (verdicts
+//! are identical, only the explored-state counts change).
 
 use routelab_core::model::CommModel;
 use routelab_engine::outcome::{drive, RunOutcome};
@@ -11,8 +13,8 @@ use routelab_engine::paper_runs::{self, PaperRun};
 use routelab_engine::runner::Runner;
 use routelab_engine::schedule::Cyclic;
 use routelab_explore::graph::ExploreConfig;
-use routelab_explore::oscillation::{analyze, Verdict};
-use routelab_explore::trace_search::{search, SearchGoal, SearchResult};
+use routelab_explore::oscillation::{try_analyze, Verdict};
+use routelab_explore::trace_search::{try_search, SearchGoal, SearchResult};
 use routelab_sim::cli;
 use routelab_sim::examples::step_table;
 use routelab_sim::table::Table;
@@ -34,23 +36,34 @@ fn oscillation_claims(
 ) -> bool {
     let mut table = Table::new(vec!["model".into(), "verdict".into(), "paper".into()]);
     let mut ok = true;
-    for m in oscillating {
-        let v = analyze(inst, m.parse::<CommModel>().expect("model"), cfg);
-        let good = matches!(v, Verdict::CanOscillate { .. });
+    let mut check = |m: &str, want_oscillation: bool| {
+        let v = match try_analyze(inst, m.parse::<CommModel>().expect("model"), cfg) {
+            Ok(v) => v,
+            Err(e) => {
+                eprintln!("exp-examples: {e}");
+                ok = false;
+                return;
+            }
+        };
+        let (good, paper) = if want_oscillation {
+            (matches!(v, Verdict::CanOscillate { .. }), "oscillates")
+        } else {
+            (matches!(v, Verdict::AlwaysConverges { .. }), "always converges")
+        };
         ok &= good;
-        table.row(vec![m.to_string(), format!("{v:?}"), "oscillates".into()]);
+        table.row(vec![m.to_string(), format!("{v:?}"), paper.into()]);
+    };
+    for m in oscillating {
+        check(m, true);
     }
     for m in converging {
-        let v = analyze(inst, m.parse::<CommModel>().expect("model"), cfg);
-        let good = matches!(v, Verdict::AlwaysConverges { .. });
-        ok &= good;
-        table.row(vec![m.to_string(), format!("{v:?}"), "always converges".into()]);
+        check(m, false);
     }
     println!("{table}");
     ok
 }
 
-fn a1(threads: Option<usize>) -> bool {
+fn a1(base: &ExploreConfig) -> bool {
     let (run, cycle) = paper_runs::a1_r1o();
     let mut ok = print_run(&run);
 
@@ -73,12 +86,12 @@ fn a1(threads: Option<usize>) -> bool {
         &run.instance,
         &["R1O", "RMO"],
         &["REO", "REF", "R1A", "RMA", "REA"],
-        &ExploreConfig { threads, ..ExploreConfig::default() },
+        base,
     );
     ok
 }
 
-fn a2(threads: Option<usize>) -> bool {
+fn a2(base: &ExploreConfig) -> bool {
     let (run, cycle) = paper_runs::a2_reo();
     let mut ok = print_run(&run);
     println!("driving the fair REO cycle (v, u, a) after the 13-step prefix:");
@@ -95,13 +108,13 @@ fn a2(threads: Option<usize>) -> bool {
             ok = false;
         }
     }
-    println!("\nexhaustive verdicts (Thm 3.9 separation on Fig. 6; the R1A and RMA");
-    println!("explorations visit ~650k states — expect about a minute each in release):");
+    println!("\nexhaustive verdicts (Thm 3.9 separation on Fig. 6; the reduced R1A and");
+    println!("RMA explorations close in a few hundred states — ~654k raw with --no-reduce):");
     let cfg = ExploreConfig {
         channel_cap: 3,
         max_states: 1_500_000,
         max_steps_per_state: 20_000,
-        threads,
+        ..*base
     };
     ok &= oscillation_claims(&run.instance, &["REO", "REF"], &["R1A", "RMA", "REA"], &cfg);
     ok
@@ -112,16 +125,22 @@ fn search_claim(
     model: &str,
     goal: SearchGoal,
     expect_found: bool,
-    threads: Option<usize>,
+    base: &ExploreConfig,
 ) -> bool {
     let target = Runner::trace_of(&run.instance, &run.seq);
     let cfg = ExploreConfig {
         channel_cap: 6,
         max_states: 2_000_000,
         max_steps_per_state: 50_000,
-        threads,
+        ..*base
     };
-    let res = search(&run.instance, model.parse().expect("model"), &target, goal, &cfg);
+    let res = match try_search(&run.instance, model.parse().expect("model"), &target, goal, &cfg) {
+        Ok(res) => res,
+        Err(e) => {
+            eprintln!("exp-examples: {e}");
+            return false;
+        }
+    };
     let ok = matches!(
         (&res, expect_found),
         (SearchResult::Found(_), true) | (SearchResult::Impossible { .. }, false)
@@ -144,32 +163,32 @@ fn search_claim(
     ok
 }
 
-fn a3(threads: Option<usize>) -> bool {
+fn a3(base: &ExploreConfig) -> bool {
     let run = paper_runs::a3_reo();
     let mut ok = print_run(&run);
     println!("Prop 3.10 via exhaustive search (Fig. 7):");
-    ok &= search_claim(&run, "R1O", SearchGoal::Exact, false, threads);
-    ok &= search_claim(&run, "R1O", SearchGoal::Subsequence, true, threads);
-    ok &= search_claim(&run, "RMS", SearchGoal::Exact, true, threads);
+    ok &= search_claim(&run, "R1O", SearchGoal::Exact, false, base);
+    ok &= search_claim(&run, "R1O", SearchGoal::Subsequence, true, base);
+    ok &= search_claim(&run, "RMS", SearchGoal::Exact, true, base);
     ok
 }
 
-fn a4(threads: Option<usize>) -> bool {
+fn a4(base: &ExploreConfig) -> bool {
     let run = paper_runs::a4_rea();
     let mut ok = print_run(&run);
     println!("Prop 3.11 via exhaustive search (Fig. 8):");
-    ok &= search_claim(&run, "R1O", SearchGoal::Repetition, false, threads);
-    ok &= search_claim(&run, "R1O", SearchGoal::Subsequence, true, threads);
-    ok &= search_claim(&run, "R1S", SearchGoal::Repetition, true, threads);
+    ok &= search_claim(&run, "R1O", SearchGoal::Repetition, false, base);
+    ok &= search_claim(&run, "R1O", SearchGoal::Subsequence, true, base);
+    ok &= search_claim(&run, "R1S", SearchGoal::Repetition, true, base);
     ok
 }
 
-fn a5(threads: Option<usize>) -> bool {
+fn a5(base: &ExploreConfig) -> bool {
     let run = paper_runs::a5_rea();
     let mut ok = print_run(&run);
     println!("Props 3.12/3.13 via exhaustive search (Fig. 9):");
-    ok &= search_claim(&run, "R1S", SearchGoal::Exact, false, threads);
-    ok &= search_claim(&run, "RMS", SearchGoal::Exact, true, threads);
+    ok &= search_claim(&run, "R1S", SearchGoal::Exact, false, base);
+    ok &= search_claim(&run, "RMS", SearchGoal::Exact, true, base);
     ok
 }
 
@@ -204,14 +223,18 @@ fn a6() -> bool {
 fn main() {
     let opts = cli::parse_common("exp-examples");
     let arg = opts.rest.first().cloned().unwrap_or_else(|| "all".into());
-    let threads = opts.pool.threads;
+    let base = ExploreConfig {
+        threads: opts.pool.threads,
+        reduce: opts.reduce(),
+        ..ExploreConfig::default()
+    };
     let mut ok = true;
     let run_a = |name: &str, ok: &mut bool| match name {
-        "a1" => *ok &= a1(threads),
-        "a2" => *ok &= a2(threads),
-        "a3" => *ok &= a3(threads),
-        "a4" => *ok &= a4(threads),
-        "a5" => *ok &= a5(threads),
+        "a1" => *ok &= a1(&base),
+        "a2" => *ok &= a2(&base),
+        "a3" => *ok &= a3(&base),
+        "a4" => *ok &= a4(&base),
+        "a5" => *ok &= a5(&base),
         "a6" => *ok &= a6(),
         other => {
             eprintln!("unknown example {other:?}; expected a1..a6 or all");

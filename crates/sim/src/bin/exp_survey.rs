@@ -3,14 +3,17 @@
 //! converge? Exhaustive verdicts on probe models transfer along the
 //! realization lattice, exactly as the paper argues in Sec. 3.5.
 //!
-//! Budgets are per gadget: FIG6 gets the full 1.5M-state cap its polling
-//! convergence proofs need (R1A/RMA are exhaustive at ~654k states, about
-//! 80 s each on one core); every other gadget decides its probes well under
-//! a 250k cap. Phase-2 direct checks of the unreliable `M`/`E`-scope models
-//! are pinned to 25k states — enough to settle DISAGREE and GOOD-GADGET
-//! exhaustively, while the wheel-carrying gadgets would need >1M states
-//! (minutes and gigabytes each) only to stay open, so they honestly print
-//! `?` instead.
+//! Budgets are per gadget: FIG6 keeps a 1.5M-state probe cap so that the
+//! `--no-reduce` escape hatch can still finish its polling convergence
+//! proofs exhaustively (R1A/RMA are ~654k raw states; the default reduced
+//! build reaches quiescence in a few hundred); every other gadget decides
+//! its probes well under a 250k cap. Phase-2 direct checks of the
+//! lattice-undecided models get 400k states: the largest such space —
+//! FIG6 under U1A/UMA, finite only because the unreliable-All set collapse
+//! bounds its queues — is exhaustive at 365,721 reduced states, so every
+//! cell of the table now prints a decided verdict. The `--no-reduce` run
+//! keeps a 25k phase-2 cap and is allowed to leave cells open (see
+//! [`direct_budget`]).
 //!
 //! Prints the text table and writes `results/exp-survey.json` (schema in
 //! EXPERIMENTS.md).
@@ -20,13 +23,14 @@ use std::time::Instant;
 use routelab_explore::graph::ExploreConfig;
 use routelab_sim::cli;
 use routelab_sim::report::{write_json, Json};
-use routelab_sim::survey::{survey_instance, SurveyConfig, SurveyOutcome};
+use routelab_sim::survey::{try_survey_instance, SurveyConfig, SurveyOutcome};
 use routelab_sim::table::Table;
 use routelab_spp::gadgets;
 
 /// Probe-state budget for one gadget. Only FIG6 needs more than a quarter
-/// million states: Thm 3.9's R1A/RMA convergence proofs are exhaustive at
-/// 654,312 states under channel cap 3.
+/// million states — and only without reduction: Thm 3.9's R1A/RMA
+/// convergence proofs are exhaustive at 654,312 raw states under channel
+/// cap 3 (the reduced quotient is a few hundred).
 fn probe_budget(gadget: &str) -> usize {
     if gadget == "FIG6" {
         1_500_000
@@ -35,8 +39,20 @@ fn probe_budget(gadget: &str) -> usize {
     }
 }
 
-/// Phase-2 budget for the direct checks of lattice-undecided models.
-const DIRECT_BUDGET: usize = 25_000;
+/// Phase-2 budget for the direct checks of lattice-undecided models,
+/// sized so every reduced space decides (FIG6 × U1A/UMA is the largest,
+/// exhaustive at 365,721 states). The `--no-reduce` run keeps the
+/// historical 25k cap: without the set collapse the unreliable-All
+/// spaces are unbounded and without the route-class projection the rest
+/// dwarf any practical budget, so a bigger cap would only burn minutes
+/// to print the same `?`.
+fn direct_budget(reduce: bool) -> usize {
+    if reduce {
+        400_000
+    } else {
+        25_000
+    }
+}
 
 fn outcome_json(o: &SurveyOutcome) -> Json {
     let (verdict, via) = match o {
@@ -53,7 +69,7 @@ fn outcome_json(o: &SurveyOutcome) -> Json {
 fn main() {
     let opts = cli::parse_common("exp-survey");
     if !opts.rest.is_empty() {
-        eprintln!("usage: exp-survey [--threads N] [--quiet] [--obs]");
+        eprintln!("usage: exp-survey [--threads N] [--quiet] [--obs] [--no-reduce]");
         opts.exit(2);
     }
     let t0 = Instant::now();
@@ -68,8 +84,9 @@ fn main() {
                 max_states: probe_budget(name),
                 max_steps_per_state: 20_000,
                 threads: opts.pool.threads,
+                reduce: opts.reduce(),
             },
-            direct_budget: Some(DIRECT_BUDGET),
+            direct_budget: Some(direct_budget(opts.reduce())),
             ..SurveyConfig::default()
         };
         let g0 = Instant::now();
@@ -80,7 +97,14 @@ fn main() {
         let mut gadget_span = routelab_obs::span("survey.gadget");
         gadget_span.field("gadget", *name);
         gadget_span.field("probe_budget", cfg.explore.max_states);
-        surveys.push(survey_instance(inst, &cfg));
+        match try_survey_instance(inst, &cfg) {
+            Ok(entries) => surveys.push(entries),
+            Err(e) => {
+                opts.progress("failed");
+                eprintln!("exp-survey: {e}");
+                opts.exit(2);
+            }
+        }
         drop(gadget_span);
         let wall = g0.elapsed();
         opts.progress(format!("done in {:.1} s", wall.as_secs_f64()));
@@ -129,6 +153,17 @@ fn main() {
     for m in ["R1A", "RMA", "REA"] {
         ok &= matches!(find("FIG6", m), SurveyOutcome::Converges { .. });
     }
+    let open = surveys
+        .iter()
+        .flat_map(|s| s.iter())
+        .filter(|e| matches!(e.outcome, SurveyOutcome::Unknown))
+        .count();
+    // Only the reduced (default) run is required to decide every cell;
+    // the raw explorer cannot close the unreliable-All spaces at all.
+    if opts.reduce() {
+        ok &= open == 0;
+    }
+    println!("open (?) cells: {open}");
     println!(
         "paper separations (Thm 3.8, Thm 3.9): {}",
         if ok { "REPRODUCED" } else { "MISMATCH" }
@@ -142,7 +177,8 @@ fn main() {
             Json::obj([
                 ("channel_cap", Json::int(3)),
                 ("max_steps_per_state", Json::int(20_000)),
-                ("direct_budget", Json::int(DIRECT_BUDGET)),
+                ("direct_budget", Json::int(direct_budget(opts.reduce()))),
+                ("reduce", Json::Bool(opts.reduce())),
             ]),
         ),
         (

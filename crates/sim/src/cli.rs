@@ -1,10 +1,14 @@
 //! Shared command-line plumbing for the experiment binaries.
 //!
-//! Every `exp_*` binary accepts the same trio of infrastructure flags —
-//! `--threads N`, `--quiet`, `--obs` — parsed here once instead of being
-//! copied per binary. Parsing also wires the telemetry layer: `--obs` (or a
-//! truthy `ROUTELAB_OBS`) enables the NDJSON sink, and `--quiet` suppresses
-//! progress/heartbeat output on stderr.
+//! Every `exp_*` binary accepts the same infrastructure flags —
+//! `--threads N`, `--quiet`, `--obs`, `--reduce`/`--no-reduce` — parsed
+//! here once instead of being copied per binary. Parsing also wires the
+//! telemetry layer: `--obs` (or a truthy `ROUTELAB_OBS`) enables the NDJSON
+//! sink, and `--quiet` suppresses progress/heartbeat output on stderr.
+//! State-space reduction (queue normal forms + symmetry quotient) is on by
+//! default; `--no-reduce` is the escape hatch that forces the explorer to
+//! enumerate raw states (verdicts are identical either way — see
+//! EXPERIMENTS.md's reduction-soundness section).
 //!
 //! Progress text goes to **stderr** ([`CommonOpts::progress`]) so stdout
 //! stays pipeable: it carries only the experiment's tables and verdicts.
@@ -26,12 +30,21 @@ pub struct CommonOpts {
     pub quiet: bool,
     /// Telemetry log path when observability is enabled.
     pub obs_log: Option<PathBuf>,
+    /// Disable state-space reduction (`--no-reduce`); reduction is the
+    /// default, restated explicitly by `--reduce`.
+    pub no_reduce: bool,
     /// Positional arguments and unrecognized flags, in order, for the
     /// binary's own parsing.
     pub rest: Vec<String>,
 }
 
 impl CommonOpts {
+    /// Whether explorations should run with state-space reduction (the
+    /// default; `--no-reduce` turns it off).
+    pub fn reduce(&self) -> bool {
+        !self.no_reduce
+    }
+
     /// Prints a progress line to stderr unless `--quiet`.
     pub fn progress(&self, msg: impl AsRef<str>) {
         if !self.quiet {
@@ -80,13 +93,17 @@ where
                 let Some(n) = args.next().and_then(|s| s.parse::<usize>().ok()).filter(|&n| n >= 1)
                 else {
                     eprintln!("{proc_name}: --threads needs a positive integer");
-                    eprintln!("usage: {proc_name} [--threads N] [--quiet] [--obs] ...");
+                    eprintln!(
+                        "usage: {proc_name} [--threads N] [--quiet] [--obs] [--no-reduce] ..."
+                    );
                     std::process::exit(2);
                 };
                 opts.pool = PoolConfig::with_threads(n);
             }
             "--quiet" => opts.quiet = true,
             "--obs" => obs_flag = true,
+            "--reduce" => opts.no_reduce = false,
+            "--no-reduce" => opts.no_reduce = true,
             _ => opts.rest.push(arg),
         }
     }
@@ -125,6 +142,18 @@ mod tests {
         let o = parse_common_from("t", Vec::new());
         assert_eq!(o.pool.threads, None);
         assert!(!o.quiet);
+        assert!(o.reduce(), "reduction is on by default");
+        assert!(o.rest.is_empty());
+    }
+
+    #[test]
+    fn reduction_flags_toggle_and_strip() {
+        let o = parse_common_from("t", strs(&["--no-reduce", "x"]));
+        assert!(!o.reduce());
+        assert_eq!(o.rest, vec!["x"]);
+        // Last flag wins, and the explicit default is accepted.
+        let o = parse_common_from("t", strs(&["--no-reduce", "--reduce"]));
+        assert!(o.reduce());
         assert!(o.rest.is_empty());
     }
 }

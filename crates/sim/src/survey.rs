@@ -11,8 +11,9 @@
 use routelab_core::closure::derive_bounds;
 use routelab_core::edges::foundational_facts;
 use routelab_core::model::CommModel;
+use routelab_explore::error::ExploreError;
 use routelab_explore::graph::ExploreConfig;
-use routelab_explore::oscillation::{analyze, Verdict};
+use routelab_explore::oscillation::{try_analyze, Verdict};
 use routelab_spp::SppInstance;
 
 /// How a survey answer was obtained.
@@ -84,6 +85,16 @@ impl Default for SurveyConfig {
     }
 }
 
+/// Surveys all 24 models on one instance, panicking on explorer failures.
+///
+/// A thin wrapper over [`try_survey_instance`] for callers (mostly tests)
+/// that treat an [`ExploreError`] as a bug; the experiment binaries use the
+/// fallible variant so an overflowing cell is reported and exits nonzero
+/// instead of tearing the process down mid-table.
+pub fn survey_instance(inst: &SppInstance, cfg: &SurveyConfig) -> Vec<SurveyEntry> {
+    try_survey_instance(inst, cfg).unwrap_or_else(|e| panic!("{e}"))
+}
+
 /// Surveys all 24 models on one instance.
 ///
 /// Phase 1 checks the probe models exhaustively and transfers their verdicts
@@ -91,18 +102,26 @@ impl Default for SurveyConfig {
 /// model still undecided, with a reduced state budget (those are the
 /// heavyweight `M`/`E` scope unreliable models; a truncated answer stays
 /// `Unknown`).
-pub fn survey_instance(inst: &SppInstance, cfg: &SurveyConfig) -> Vec<SurveyEntry> {
+///
+/// # Errors
+///
+/// Returns the first [`ExploreError`] any probe or direct check hits; the
+/// error names the offending gadget × model cell.
+pub fn try_survey_instance(
+    inst: &SppInstance,
+    cfg: &SurveyConfig,
+) -> Result<Vec<SurveyEntry>, ExploreError> {
     let bounds = derive_bounds(&foundational_facts());
     let verdicts: Vec<(CommModel, Verdict)> = cfg
         .probes
         .iter()
         .map(|&m| {
             let mut probe_span = routelab_obs::span("survey.probe");
-            let v = analyze(inst, m, &cfg.explore);
+            let v = try_analyze(inst, m, &cfg.explore)?;
             probe_span.field("model", m.to_string());
-            (m, v)
+            Ok((m, v))
         })
-        .collect();
+        .collect::<Result<_, ExploreError>>()?;
 
     let transfer = |model: CommModel| -> Option<SurveyOutcome> {
         // Direct verdict if this model is itself a probe; an inconclusive
@@ -143,19 +162,20 @@ pub fn survey_instance(inst: &SppInstance, cfg: &SurveyConfig) -> Vec<SurveyEntr
     CommModel::all()
         .into_iter()
         .map(|model| {
-            let outcome = transfer(model).unwrap_or_else(|| {
-                if !cfg.direct_fallback {
-                    return SurveyOutcome::Unknown;
+            let outcome = match transfer(model) {
+                Some(o) => o,
+                None if !cfg.direct_fallback => SurveyOutcome::Unknown,
+                None => {
+                    let mut direct_span = routelab_obs::span("survey.direct");
+                    direct_span.field("model", model.to_string());
+                    match try_analyze(inst, model, &phase2_cfg)? {
+                        Verdict::CanOscillate { .. } => SurveyOutcome::Oscillates { via: None },
+                        Verdict::AlwaysConverges { .. } => SurveyOutcome::Converges { via: None },
+                        Verdict::NoOscillationWithinBound { .. } => SurveyOutcome::Unknown,
+                    }
                 }
-                let mut direct_span = routelab_obs::span("survey.direct");
-                direct_span.field("model", model.to_string());
-                match analyze(inst, model, &phase2_cfg) {
-                    Verdict::CanOscillate { .. } => SurveyOutcome::Oscillates { via: None },
-                    Verdict::AlwaysConverges { .. } => SurveyOutcome::Converges { via: None },
-                    Verdict::NoOscillationWithinBound { .. } => SurveyOutcome::Unknown,
-                }
-            });
-            SurveyEntry { model, outcome }
+            };
+            Ok(SurveyEntry { model, outcome })
         })
         .collect()
 }
@@ -206,8 +226,9 @@ mod tests {
     fn fig6_survey_quick_claims() {
         // Debug-friendly subset of Example A.2: the REO oscillation, REA
         // convergence, and the transfer of the oscillation into the queueing
-        // models. Breadth-first order needs REO's full 141,847-state space
-        // before its fair SCC closes; REF (≈278k) and R1A/RMA (≈654k each)
+        // models. Breadth-first order needs REO's full ≈89k-state reduced
+        // space (141,847 raw) before its fair SCC closes; REF (≈128k
+        // reduced) and R1A/RMA (a few hundred reduced states, ≈654k raw)
         // are covered by the release-only test below.
         let inst = gadgets::fig6();
         let cfg = SurveyConfig {
@@ -236,7 +257,7 @@ mod tests {
     #[test]
     #[cfg_attr(
         debug_assertions,
-        ignore = "≈650k-state exploration per polling probe; run with `cargo test --release`"
+        ignore = "≈220k reduced states across the probes; run with `cargo test --release`"
     )]
     fn fig6_survey_matches_example_a2() {
         let inst = gadgets::fig6();
@@ -245,7 +266,7 @@ mod tests {
                 channel_cap: 3,
                 max_states: 1_500_000,
                 max_steps_per_state: 20_000,
-                threads: None,
+                ..ExploreConfig::default()
             },
             ..SurveyConfig::default()
         };

@@ -1,0 +1,266 @@
+//! Instance automorphisms: symmetries of an SPP instance.
+//!
+//! An automorphism is a node permutation σ that fixes the destination,
+//! preserves the edge relation, and maps every node's permitted paths onto
+//! its image's permitted paths *with equal ranks*. Such a σ acts on entire
+//! executions of the routing algorithm: relabeling every node, channel and
+//! route of a fair execution by σ yields another fair execution. Explorers
+//! exploit this by folding the state space along the automorphism group
+//! (symmetry reduction).
+//!
+//! Detection is a straightforward backtracking search over node images,
+//! pruned by degree, destination-fixing and rank-profile invariants. The
+//! paper's gadgets have at most a handful of nodes, so the search is
+//! instantaneous; the classic symmetric gadgets (DISAGREE, BAD-GADGET,
+//! GOOD-GADGET, the wheels) are exactly the ones with nontrivial groups.
+
+use crate::graph::NodeId;
+use crate::instance::SppInstance;
+use crate::path::{Path, Route};
+
+/// A node permutation preserving the instance (see the module docs).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Automorphism {
+    /// `map[v] = σ(v)`, indexed by node id.
+    map: Vec<NodeId>,
+}
+
+impl Automorphism {
+    /// The identity permutation on `n` nodes.
+    pub fn identity(n: usize) -> Self {
+        Automorphism { map: (0..n as u32).map(NodeId).collect() }
+    }
+
+    /// σ(v).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    pub fn apply(&self, v: NodeId) -> NodeId {
+        self.map[v.index()]
+    }
+
+    /// The underlying image table, indexed by node id.
+    pub fn as_slice(&self) -> &[NodeId] {
+        &self.map
+    }
+
+    /// `true` for the identity permutation.
+    pub fn is_identity(&self) -> bool {
+        self.map.iter().enumerate().all(|(i, v)| v.index() == i)
+    }
+
+    /// The image σ(p) of a path (a permutation preserves simplicity).
+    pub fn map_path(&self, p: &Path) -> Path {
+        Path::new(p.iter().map(|v| self.apply(v)).collect())
+            .expect("a permutation maps simple paths to simple paths")
+    }
+
+    /// The image of a route (ε is fixed).
+    pub fn map_route(&self, r: &Route) -> Route {
+        match r.as_path() {
+            Some(p) => Route::path(self.map_path(p)),
+            None => Route::empty(),
+        }
+    }
+
+    /// The composition `self ∘ other` (apply `other` first).
+    pub fn compose(&self, other: &Automorphism) -> Automorphism {
+        Automorphism { map: other.map.iter().map(|&v| self.apply(v)).collect() }
+    }
+
+    /// The inverse permutation.
+    pub fn inverse(&self) -> Automorphism {
+        let mut inv = vec![NodeId(0); self.map.len()];
+        for (i, &v) in self.map.iter().enumerate() {
+            inv[v.index()] = NodeId(i as u32);
+        }
+        Automorphism { map: inv }
+    }
+}
+
+/// `true` when σ maps every permitted path of every node to a permitted
+/// path of the image node with the same rank. With the bijectivity of σ and
+/// equal per-node path counts this makes the permitted structure invariant.
+fn preserves_permitted(inst: &SppInstance, a: &Automorphism) -> bool {
+    inst.nodes().all(|v| {
+        let w = a.apply(v);
+        inst.permitted(v).len() == inst.permitted(w).len()
+            && inst
+                .permitted(v)
+                .iter()
+                .all(|rp| inst.rank(w, &a.map_path(&rp.path)) == Some(rp.rank))
+    })
+}
+
+fn extend(
+    inst: &SppInstance,
+    rank_profile: &[Vec<u32>],
+    v: usize,
+    map: &mut Vec<NodeId>,
+    used: &mut Vec<bool>,
+    out: &mut Vec<Automorphism>,
+) {
+    let n = inst.node_count();
+    if v == n {
+        let a = Automorphism { map: map.clone() };
+        if preserves_permitted(inst, &a) {
+            out.push(a);
+        }
+        return;
+    }
+    let vid = NodeId(v as u32);
+    for w in 0..n {
+        if used[w] {
+            continue;
+        }
+        let wid = NodeId(w as u32);
+        if (vid == inst.dest()) != (wid == inst.dest())
+            || inst.graph().degree(vid) != inst.graph().degree(wid)
+            || rank_profile[v] != rank_profile[w]
+        {
+            continue;
+        }
+        let consistent = (0..v).all(|u| {
+            inst.graph().has_edge(vid, NodeId(u as u32)) == inst.graph().has_edge(wid, map[u])
+        });
+        if !consistent {
+            continue;
+        }
+        map.push(wid);
+        used[w] = true;
+        extend(inst, rank_profile, v + 1, map, used, out);
+        map.pop();
+        used[w] = false;
+    }
+}
+
+/// Enumerates the full automorphism group of the instance, identity first,
+/// in lexicographic image order (deterministic).
+pub fn automorphisms(inst: &SppInstance) -> Vec<Automorphism> {
+    let n = inst.node_count();
+    let rank_profile: Vec<Vec<u32>> =
+        inst.nodes().map(|v| inst.permitted(v).iter().map(|rp| rp.rank).collect()).collect();
+    let mut out = Vec::new();
+    let mut map = Vec::with_capacity(n);
+    let mut used = vec![false; n];
+    extend(inst, &rank_profile, 0, &mut map, &mut used, &mut out);
+    // Lexicographic image order puts the identity first for any instance
+    // whose node 0 candidates are ordered, but make it unconditional.
+    if let Some(pos) = out.iter().position(Automorphism::is_identity) {
+        out.swap(0, pos);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gadgets;
+    use crate::graph::Channel;
+
+    #[test]
+    fn identity_is_always_first() {
+        for (name, inst) in gadgets::corpus() {
+            let auts = automorphisms(&inst);
+            assert!(!auts.is_empty(), "{name}");
+            assert!(auts[0].is_identity(), "{name}");
+        }
+    }
+
+    #[test]
+    fn disagree_has_the_swap_symmetry() {
+        let inst = gadgets::disagree();
+        let auts = automorphisms(&inst);
+        assert_eq!(auts.len(), 2);
+        let swap = &auts[1];
+        let x = inst.node_by_name("x").unwrap();
+        let y = inst.node_by_name("y").unwrap();
+        assert_eq!(swap.apply(x), y);
+        assert_eq!(swap.apply(y), x);
+        assert_eq!(swap.apply(inst.dest()), inst.dest());
+    }
+
+    #[test]
+    fn bad_and_good_gadget_rotate() {
+        // The classic gadgets are rotationally symmetric on their three
+        // outer nodes: the group is cyclic of order 3.
+        for inst in [gadgets::bad_gadget(), gadgets::good_gadget()] {
+            assert_eq!(automorphisms(&inst).len(), 3);
+        }
+    }
+
+    #[test]
+    fn asymmetric_gadgets_have_trivial_groups() {
+        for name in ["FIG6", "FIG7", "FIG8", "FIG9", "LINE2"] {
+            let inst =
+                gadgets::corpus().into_iter().find(|(n, _)| *n == name).map(|(_, i)| i).unwrap();
+            assert_eq!(automorphisms(&inst).len(), 1, "{name}");
+        }
+    }
+
+    #[test]
+    fn wheels_rotate() {
+        // wheel(n): n rim nodes around the destination hub; the rim
+        // preferences are rotation- but not reflection-invariant.
+        let auts = automorphisms(&gadgets::wheel(5));
+        assert_eq!(auts.len(), 5);
+    }
+
+    #[test]
+    fn every_automorphism_preserves_structure() {
+        for (name, inst) in gadgets::corpus() {
+            for a in automorphisms(&inst) {
+                assert_eq!(a.apply(inst.dest()), inst.dest(), "{name}");
+                for u in inst.nodes() {
+                    for w in inst.nodes() {
+                        assert_eq!(
+                            inst.graph().has_edge(u, w),
+                            inst.graph().has_edge(a.apply(u), a.apply(w)),
+                            "{name}"
+                        );
+                    }
+                }
+                for v in inst.nodes() {
+                    for rp in inst.permitted(v) {
+                        assert_eq!(
+                            inst.rank(a.apply(v), &a.map_path(&rp.path)),
+                            Some(rp.rank),
+                            "{name}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn group_axioms_hold() {
+        let inst = gadgets::bad_gadget();
+        let auts = automorphisms(&inst);
+        let id = Automorphism::identity(inst.node_count());
+        for a in &auts {
+            assert_eq!(a.compose(&a.inverse()), id);
+            assert_eq!(a.inverse().compose(a), id);
+            for b in &auts {
+                // Closure: composites stay in the group.
+                assert!(auts.contains(&a.compose(b)));
+            }
+        }
+    }
+
+    #[test]
+    fn routes_and_channels_map_consistently() {
+        let inst = gadgets::disagree();
+        let swap = automorphisms(&inst).pop().unwrap();
+        assert!(!swap.is_identity());
+        let x = inst.node_by_name("x").unwrap();
+        let y = inst.node_by_name("y").unwrap();
+        let xd = inst.parse_path("xd").unwrap();
+        assert_eq!(swap.map_path(&xd), inst.parse_path("yd").unwrap());
+        assert_eq!(swap.map_route(&Route::empty()), Route::empty());
+        let c = Channel::new(x, inst.dest());
+        let mapped = Channel::new(swap.apply(c.from), swap.apply(c.to));
+        assert_eq!(mapped, Channel::new(y, inst.dest()));
+    }
+}

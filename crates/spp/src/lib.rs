@@ -29,6 +29,7 @@
 //! # Ok::<(), routelab_spp::SppError>(())
 //! ```
 
+pub mod automorphism;
 pub mod dispute;
 pub mod error;
 pub mod format;
@@ -39,6 +40,7 @@ pub mod instance;
 pub mod path;
 pub mod solve;
 
+pub use automorphism::{automorphisms, Automorphism};
 pub use error::SppError;
 pub use graph::{Channel, Graph, NodeId};
 pub use instance::{RankedPath, SppBuilder, SppInstance};

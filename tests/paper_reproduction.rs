@@ -85,7 +85,7 @@ fn negative_examples_a3_a4_a5_via_search() {
         channel_cap: 6,
         max_states: 2_000_000,
         max_steps_per_state: 50_000,
-        threads: None,
+        ..ExploreConfig::default()
     };
     let a3 = paper_runs::a3_reo();
     let t3 = Runner::trace_of(&a3.instance, &a3.seq);
