@@ -28,8 +28,14 @@ use routelab_spp::gadgets;
 
 const THREADS: [usize; 3] = [1, 2, 8];
 
+/// Unreduced FIG6 × R1A throughput (states/s, 1 thread) of the pre-delta
+/// arena engine, from the checked-in `results/BENCH_explore.json` baseline
+/// (654,312 states in 60,133.8 ms). `scripts/check_bench.py` gates on the
+/// headline run staying above this.
+const BASELINE_UNREDUCED_STATES_PER_S: f64 = 10_881.6;
+
 fn identical(a: &StateGraph, b: &StateGraph) -> bool {
-    a.packed == b.packed && a.pi_fp == b.pi_fp && a.edges == b.edges && a.truncated == b.truncated
+    a.nodes == b.nodes && a.pi_fp == b.pi_fp && a.edges == b.edges && a.truncated == b.truncated
 }
 
 fn main() {
@@ -58,20 +64,25 @@ fn main() {
                     max_steps_per_state: 20_000,
                     threads: Some(threads),
                     reduce,
+                    ..ExploreConfig::default()
                 };
                 let t0 = Instant::now();
                 let g = try_build_spec(&inst, spec, &cfg)
                     .unwrap_or_else(|e| panic!("FIG6 × {model_s} {mode} @{threads}t: {e}"));
                 let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+                let states_per_s = g.len() as f64 / (wall_ms / 1e3);
                 let same = baseline.as_ref().is_none_or(|b| identical(b, &g));
                 all_identical &= same;
                 println!(
                     "explore_scaling/FIG6×{model_s} {mode} t{threads}: {} states in {:.0} ms \
-                     (dedup hit-rate {:.1}%, peak frontier {}, shards {}..{}{})",
+                     ({:.0} states/s, dedup hit-rate {:.1}%, peak frontier {}, \
+                     {:.1} MiB resident, shards {}..{}{})",
                     g.len(),
                     wall_ms,
+                    states_per_s,
                     g.stats.dedup_hit_rate() * 100.0,
                     g.stats.peak_frontier,
+                    g.stats.bytes_resident as f64 / (1 << 20) as f64,
                     g.stats.shard_min,
                     g.stats.shard_max,
                     if same { "" } else { ", MISMATCH vs 1-thread build" },
@@ -80,9 +91,12 @@ fn main() {
                     ("threads", Json::int(threads)),
                     ("wall_ms", Json::Num(wall_ms)),
                     ("states", Json::int(g.len())),
+                    ("states_per_s", Json::Num(states_per_s)),
                     ("candidates", Json::int(g.stats.candidates as usize)),
                     ("dedup_hits", Json::int(g.stats.dedup_hits as usize)),
                     ("peak_frontier", Json::int(g.stats.peak_frontier)),
+                    ("bytes_resident", Json::int(g.stats.bytes_resident as usize)),
+                    ("bytes_spilled", Json::int(g.stats.bytes_spilled as usize)),
                     ("shard_min", Json::int(g.stats.shard_min)),
                     ("shard_max", Json::int(g.stats.shard_max)),
                     ("identical_to_single_thread", Json::Bool(same)),
@@ -136,6 +150,7 @@ fn main() {
             Json::str("A.2: FIG6 × {R1A, RMA}, channel cap 3, exhaustive (~654k raw states)"),
         ),
         ("host_parallelism", Json::int(host_parallelism)),
+        ("baseline_states_per_s", Json::Num(BASELINE_UNREDUCED_STATES_PER_S)),
         ("bit_identical_across_thread_counts", Json::Bool(all_identical)),
         ("reduced_verdicts_match_unreduced", Json::Bool(all_consistent)),
         ("cells", Json::Arr(cells_json)),

@@ -191,17 +191,26 @@ pub fn node_steps(
     v: NodeId,
     max_steps: usize,
 ) -> (Vec<CanonicalStep>, bool) {
+    node_steps_with(spec, index, &|cid| state.queue(cid).len(), v, max_steps)
+}
+
+/// [`node_steps`] with queue lengths read through a closure — a canonical
+/// step depends on the state only through its queue lengths, so the packed
+/// fast path enumerates steps straight off a packed header without decoding
+/// a [`NetworkState`].
+pub fn node_steps_with(
+    spec: Spec<'_>,
+    index: &ChannelIndex,
+    queue_len: &impl Fn(usize) -> usize,
+    v: NodeId,
+    max_steps: usize,
+) -> (Vec<CanonicalStep>, bool) {
     let ins = index.in_channels(v);
     let policy = spec.messages(v);
     let per_channel: Vec<Vec<ChannelEffect>> = ins
         .iter()
         .map(|&cid| {
-            channel_effects(
-                policy,
-                spec.reliability(index.channel(cid)),
-                cid,
-                state.queue(cid).len(),
-            )
+            channel_effects(policy, spec.reliability(index.channel(cid)), cid, queue_len(cid))
         })
         .collect();
 
@@ -287,11 +296,28 @@ pub fn all_steps(
     node_count: usize,
     max_steps: usize,
 ) -> (Vec<CanonicalStep>, bool) {
+    all_steps_with(spec, index, &|cid| state.queue(cid).len(), node_count, max_steps)
+}
+
+/// [`all_steps`] with queue lengths read through a closure (see
+/// [`node_steps_with`]).
+pub fn all_steps_with(
+    spec: Spec<'_>,
+    index: &ChannelIndex,
+    queue_len: &impl Fn(usize) -> usize,
+    node_count: usize,
+    max_steps: usize,
+) -> (Vec<CanonicalStep>, bool) {
     let mut out = Vec::new();
     let mut capped = false;
     for i in 0..node_count {
-        let (steps, c) =
-            node_steps(spec, index, state, NodeId(i as u32), max_steps.saturating_sub(out.len()));
+        let (steps, c) = node_steps_with(
+            spec,
+            index,
+            queue_len,
+            NodeId(i as u32),
+            max_steps.saturating_sub(out.len()),
+        );
         out.extend(steps);
         capped |= c;
     }

@@ -23,13 +23,22 @@
 //! at an exact candidate ordinal, discarding everything after it, for the
 //! same reason.
 //!
+//! Nodes are plain `u16` word buffers. Expansion writes successors straight
+//! into a reusable per-parent [`SuccBuf`] (no per-candidate allocation),
+//! dedup keys are 64-bit [`hash_words`] fingerprints verified word-for-word
+//! against the interned node (so dedup stays *exact* — the hash only routes
+//! and pre-filters), and interned nodes live delta-compressed in a
+//! spill-capable [`NodeArena`]. All arena writes happen in the serial merge
+//! phase; the parallel phases only read.
+//!
 //! The same contract as the run-level pool (`ROUTELAB_THREADS`, PR 1),
 //! pushed down into a single gadget × model cell.
 
 use std::collections::HashMap;
-use std::hash::{Hash, Hasher};
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
 
+use crate::arena::{MatScratch, NodeArena};
 use crate::error::ExploreError;
 
 /// Number of dedup shards. A fixed power of two: enough to keep 8–16
@@ -41,28 +50,179 @@ pub const SHARDS: usize = 64;
 /// the ordinal merge makes results independent of block size.
 const BLOCK: usize = 4096;
 
+/// Default resident budget for the spill arena (bytes of node payload kept
+/// in memory once a spill directory is configured).
+pub const DEFAULT_SPILL_RESIDENT_BYTES: usize = 256 << 20;
+
 /// Env var overriding the explorer's worker count (same contract as the
 /// run-level pool's variable of the same name).
 pub const THREADS_ENV: &str = "ROUTELAB_THREADS";
 
+/// Parses a `ROUTELAB_THREADS` value. Invalid or zero values are a hard
+/// error naming the offending string — a typo in a CI matrix must fail the
+/// job, not silently fall back to machine parallelism.
+///
+/// # Panics
+///
+/// Panics when `raw` is not a positive integer.
+pub fn threads_from_env(raw: &str) -> usize {
+    match raw.trim().parse::<usize>() {
+        Ok(t) if t > 0 => t,
+        _ => panic!("{THREADS_ENV} must be a positive integer, got {raw:?}"),
+    }
+}
+
 /// Resolves a worker count: explicit setting, else `ROUTELAB_THREADS`, else
 /// the machine's available parallelism.
+///
+/// # Panics
+///
+/// Panics when `ROUTELAB_THREADS` is set to a non-numeric or zero value
+/// (see [`threads_from_env`]).
 pub fn resolved_threads(explicit: Option<usize>) -> usize {
-    explicit
-        .or_else(|| std::env::var(THREADS_ENV).ok().and_then(|v| v.parse().ok()))
-        .filter(|&t| t > 0)
-        .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, usize::from))
+    if let Some(t) = explicit.filter(|&t| t > 0) {
+        return t;
+    }
+    if let Ok(raw) = std::env::var(THREADS_ENV) {
+        return threads_from_env(&raw);
+    }
+    std::thread::available_parallelism().map_or(1, usize::from)
+}
+
+/// The fixed-key 64-bit node fingerprint: routes candidates to shards and
+/// pre-filters dedup lookups. Never trusted alone — every hash hit is
+/// verified word-for-word, so a collision costs one comparison, never
+/// correctness. Never feeds id assignment.
+pub(crate) fn hash_words(ws: &[u16]) -> u64 {
+    const K: u64 = 0x9E37_79B9_7F4A_7C15;
+    const M: u64 = 0x9DDF_EA08_EB38_2D69;
+    let mut h: u64 = 0x8F1B_BCDC_BF69_63D1 ^ (ws.len() as u64).wrapping_mul(K);
+    let mut chunks = ws.chunks_exact(4);
+    for c in &mut chunks {
+        let x =
+            (c[0] as u64) | ((c[1] as u64) << 16) | ((c[2] as u64) << 32) | ((c[3] as u64) << 48);
+        h = (h ^ x.wrapping_mul(K)).rotate_left(29).wrapping_mul(M);
+    }
+    for &w in chunks.remainder() {
+        h = (h ^ (w as u64).wrapping_mul(K)).rotate_left(17).wrapping_mul(M);
+    }
+    h ^ (h >> 32)
+}
+
+/// Deterministic shard routing from a node fingerprint.
+fn shard_of_hash(h: u64) -> usize {
+    (h as usize) & (SHARDS - 1)
+}
+
+/// Shard a raw node buffer routes to (exposed so tests and diagnostics can
+/// recount per-shard populations independently of [`FrontierStats`]).
+pub fn shard_of_words(ws: &[u16]) -> usize {
+    shard_of_hash(hash_words(ws))
+}
+
+/// A reusable per-parent successor buffer: candidate node words appended
+/// into one flat arena-style `Vec`, labels and fingerprints alongside.
+/// Cleared (capacity kept) for every parent, so steady-state expansion
+/// performs no per-candidate allocation for node storage.
+#[derive(Debug)]
+pub struct SuccBuf<L> {
+    words: Vec<u16>,
+    spans: Vec<(u32, u32)>,
+    hashes: Vec<u64>,
+    labels: Vec<Option<L>>,
+}
+
+impl<L> Default for SuccBuf<L> {
+    fn default() -> Self {
+        SuccBuf { words: Vec::new(), spans: Vec::new(), hashes: Vec::new(), labels: Vec::new() }
+    }
+}
+
+impl<L> SuccBuf<L> {
+    /// Number of committed candidates.
+    pub fn len(&self) -> usize {
+        self.spans.len()
+    }
+
+    /// `true` when no candidate has been committed.
+    pub fn is_empty(&self) -> bool {
+        self.spans.is_empty()
+    }
+
+    /// Marks the start of a new candidate; pass the mark to
+    /// [`SuccBuf::commit`] or [`SuccBuf::cancel`].
+    pub fn mark(&self) -> usize {
+        self.words.len()
+    }
+
+    /// The shared word buffer — append the candidate's words here.
+    pub fn words(&mut self) -> &mut Vec<u16> {
+        &mut self.words
+    }
+
+    /// The words written since `mark` (the in-progress candidate).
+    pub fn since(&self, mark: usize) -> &[u16] {
+        &self.words[mark..]
+    }
+
+    /// Commits the words written since `mark` as one candidate.
+    pub fn commit(&mut self, mark: usize, label: L) {
+        let end = self.words.len();
+        self.hashes.push(hash_words(&self.words[mark..end]));
+        self.spans.push((mark as u32, end as u32));
+        self.labels.push(Some(label));
+    }
+
+    /// Discards the words written since `mark`.
+    pub fn cancel(&mut self, mark: usize) {
+        self.words.truncate(mark);
+    }
+
+    /// Appends a complete candidate in one call.
+    pub fn push(&mut self, ws: &[u16], label: L) {
+        let m = self.mark();
+        self.words.extend_from_slice(ws);
+        self.commit(m, label);
+    }
+
+    fn clear(&mut self) {
+        self.words.clear();
+        self.spans.clear();
+        self.hashes.clear();
+        self.labels.clear();
+    }
+
+    fn node(&self, i: usize) -> &[u16] {
+        let (a, b) = self.spans[i];
+        &self.words[a as usize..b as usize]
+    }
+
+    fn hash(&self, i: usize) -> u64 {
+        self.hashes[i]
+    }
+
+    fn take_label(&mut self, i: usize) -> L {
+        self.labels[i].take().expect("label taken once")
+    }
+
+    fn clone_label(&self, i: usize) -> L
+    where
+        L: Clone,
+    {
+        self.labels[i].clone().expect("label still present")
+    }
 }
 
 /// A client of the frontier engine: how to expand a node, and which nodes
 /// finish the search.
 pub trait Expand: Sync {
-    /// The interned node type (a packed state, possibly with search-local
-    /// annotations such as a progress counter).
-    type Node: Hash + Eq + Clone + Send + Sync;
     /// Per-edge payload (labels for the state graph, replay steps for trace
     /// search).
     type Label: Clone + Send + Sync;
+    /// Per-worker reusable scratch threaded through [`Expand::expand`]
+    /// (decoded parents, encode buffers — whatever the client reuses to
+    /// avoid per-candidate allocation).
+    type Scratch: Default + Send;
 
     /// Appends `node`'s successors to `out` in canonical order. Returns
     /// `true` when some transition was cut by a bound (the closure is then
@@ -74,20 +234,21 @@ pub trait Expand: Sync {
     fn expand(
         &self,
         id: u32,
-        node: &Self::Node,
-        out: &mut Vec<(Self::Node, Self::Label)>,
+        node: &[u16],
+        out: &mut SuccBuf<Self::Label>,
+        scratch: &mut Self::Scratch,
     ) -> Result<bool, ExploreError>;
 
     /// Called once per node, at interning, in id order. Returning `true`
     /// stops the search immediately (candidates after this one, in ordinal
     /// order, are discarded — on every thread count alike).
-    fn accept(&self, _id: u32, _node: &Self::Node) -> bool {
+    fn accept(&self, _id: u32, _node: &[u16]) -> bool {
         false
     }
 }
 
 /// Engine knobs. `threads` must already be resolved (≥ 1).
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct BfsOptions {
     /// Worker count (1 = run everything inline).
     pub threads: usize,
@@ -100,6 +261,26 @@ pub struct BfsOptions {
     pub record_parents: bool,
     /// Heartbeat/progress label for long closures.
     pub progress_label: &'static str,
+    /// Directory for the node arena's spill file; `None` keeps every page
+    /// resident.
+    pub spill_dir: Option<PathBuf>,
+    /// Resident-payload budget (bytes) once spilling is enabled.
+    pub spill_resident_bytes: usize,
+}
+
+impl BfsOptions {
+    /// Fully resident options with `threads` workers and `max_nodes` cap.
+    pub fn new(threads: usize, max_nodes: usize) -> Self {
+        BfsOptions {
+            threads,
+            max_nodes,
+            record_edges: false,
+            record_parents: false,
+            progress_label: "frontier.nodes",
+            spill_dir: None,
+            spill_resident_bytes: DEFAULT_SPILL_RESIDENT_BYTES,
+        }
+    }
 }
 
 /// Aggregate behavior of one [`bfs`] run (feeds `explore.*` telemetry and
@@ -122,6 +303,10 @@ pub struct FrontierStats {
     pub shard_max: usize,
     /// Final size of the emptiest dedup shard.
     pub shard_min: usize,
+    /// Bytes of node storage resident in memory at the end of the run.
+    pub bytes_resident: u64,
+    /// Bytes of node storage spilled to disk over the run.
+    pub bytes_spilled: u64,
 }
 
 impl FrontierStats {
@@ -136,10 +321,10 @@ impl FrontierStats {
 }
 
 /// Output of a frontier run.
-#[derive(Debug, Clone)]
-pub struct BfsResult<N, L> {
-    /// Interned nodes; index = id, id 0 = root.
-    pub nodes: Vec<N>,
+#[derive(Debug)]
+pub struct BfsResult<L> {
+    /// Interned nodes, delta-compressed; index = id, id 0 = root.
+    pub nodes: NodeArena,
     /// Outgoing `(to, label)` edges per node (empty unless `record_edges`;
     /// value-preserving self-loops are kept — callers filter if needed).
     pub edges: Vec<Vec<(u32, L)>>,
@@ -154,7 +339,7 @@ pub struct BfsResult<N, L> {
     pub stats: FrontierStats,
 }
 
-impl<N, L> BfsResult<N, L> {
+impl<L> BfsResult<L> {
     /// Reconstructs the label path root → `id` from the parent links.
     pub fn path_to(&self, id: u32) -> Vec<L>
     where
@@ -171,12 +356,118 @@ impl<N, L> BfsResult<N, L> {
     }
 }
 
-/// Deterministic shard routing: a fixed-key hash of the node, reduced to a
-/// shard index. Never feeds id assignment — only map placement.
-fn shard_of<N: Hash>(node: &N) -> usize {
-    let mut h = std::collections::hash_map::DefaultHasher::new();
-    node.hash(&mut h);
-    (h.finish() as usize) & (SHARDS - 1)
+/// The ids behind one fingerprint in a shard map — almost always one;
+/// colliding fingerprints chain into a spilled `Vec`.
+enum SmallIds {
+    One(u32),
+    Many(Vec<u32>),
+}
+
+impl SmallIds {
+    fn iter(&self) -> impl Iterator<Item = u32> + '_ {
+        match self {
+            SmallIds::One(id) => std::slice::from_ref(id).iter().copied(),
+            SmallIds::Many(ids) => ids.iter().copied(),
+        }
+    }
+
+    fn push(&mut self, id: u32) {
+        match self {
+            SmallIds::One(a) => *self = SmallIds::Many(vec![*a, id]),
+            SmallIds::Many(ids) => ids.push(id),
+        }
+    }
+}
+
+/// The hasher of the fingerprint-keyed dedup maps: keys are already
+/// avalanche-mixed [`hash_words`] outputs, so SipHash-ing them again per
+/// lookup buys nothing. One odd-constant multiply remixes the low bits
+/// (which shard routing consumed — every key of a shard's map shares
+/// them) back across the table index. Purely an internal-layout choice:
+/// the maps are never iterated, so results cannot depend on it.
+#[derive(Default)]
+struct FpHasher(u64);
+
+impl std::hash::Hasher for FpHasher {
+    fn finish(&self) -> u64 {
+        self.0.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+    }
+
+    fn write(&mut self, _bytes: &[u8]) {
+        unreachable!("fingerprint maps hash only u64 keys")
+    }
+
+    fn write_u64(&mut self, v: u64) {
+        self.0 = v;
+    }
+}
+
+type FpBuild = std::hash::BuildHasherDefault<FpHasher>;
+type ShardMap = HashMap<u64, SmallIds, FpBuild>;
+
+/// Inserts a freshly interned node into its shard map.
+fn publish(map: &mut ShardMap, hash: u64, id: u32) {
+    match map.entry(hash) {
+        std::collections::hash_map::Entry::Occupied(mut e) => e.get_mut().push(id),
+        std::collections::hash_map::Entry::Vacant(e) => {
+            e.insert(SmallIds::One(id));
+        }
+    }
+}
+
+/// Upper bound on [`NodeCache`] slots (tunes memory, never results).
+const MAX_CACHE_SLOTS: usize = 1 << 18;
+
+/// A direct-mapped ring cache of recently interned nodes' materialized
+/// words, keyed by id. BFS locality concentrates dedup hits and expansion
+/// parents near the frontier — i.e. on recently assigned ids — so most
+/// reads become one memcmp/memcpy instead of a delta-chain walk through
+/// the arena (and never touch the spill file). Written only in the serial
+/// merge phase; the parallel phases share it read-only. Purely a read
+/// accelerator: a hit returns exactly the bytes `NodeArena::materialize`
+/// would, so results cannot depend on cache size or hit pattern.
+struct NodeCache {
+    mask: usize,
+    /// `(id, words)` per slot; `u32::MAX` tags an empty slot.
+    slots: Vec<(u32, Vec<u16>)>,
+}
+
+impl NodeCache {
+    fn new(max_nodes: usize) -> Self {
+        let k = max_nodes.clamp(1, MAX_CACHE_SLOTS).next_power_of_two();
+        NodeCache { mask: k - 1, slots: (0..k).map(|_| (u32::MAX, Vec::new())).collect() }
+    }
+
+    fn get(&self, id: u32) -> Option<&[u16]> {
+        let (tag, words) = &self.slots[id as usize & self.mask];
+        (*tag == id).then_some(words.as_slice())
+    }
+
+    fn put(&mut self, id: u32, words: &[u16]) {
+        let slot = &mut self.slots[id as usize & self.mask];
+        slot.0 = id;
+        slot.1.clear();
+        slot.1.extend_from_slice(words);
+    }
+}
+
+/// Reads node `id` into `out` — from the cache when it is still resident
+/// there, else by materializing the delta chain from the arena.
+fn read_node(
+    arena: &NodeArena,
+    cache: &NodeCache,
+    id: u32,
+    ms: &mut MatScratch,
+    out: &mut Vec<u16>,
+) -> Result<(), ExploreError> {
+    match cache.get(id) {
+        Some(w) => {
+            out.clear();
+            out.extend_from_slice(w);
+            Ok(())
+        }
+        None => arena.materialize(id, ms, out),
+    }
 }
 
 /// How a candidate resolved against the shard maps.
@@ -190,42 +481,52 @@ enum Resolution {
 
 /// Per-shard output of the parallel dedup phase.
 #[derive(Default)]
-struct ShardOut<N> {
+struct ShardOut {
     /// One resolution per routed candidate, in ordinal order.
     resolutions: Vec<Resolution>,
-    /// First occurrence of each block-new node, in ordinal order.
-    pending: Vec<N>,
-    /// Block-local dedup map: node → pending index (reused to extend the
-    /// persistent map once global ids exist).
-    pend_map: HashMap<N, u32>,
+    /// First occurrence of each block-new node, in ordinal order:
+    /// `(parent slot, successor index, fingerprint)`.
+    pending: Vec<(u32, u32, u64)>,
     /// Old-node hits (for the dedup hit-rate stat).
     hits: u64,
 }
 
-type Candidates<N, L> = Vec<(N, L)>;
-
 /// One parent's expansion: its candidate successors plus the "budget cut
 /// here" flag returned by [`Expand::expand`].
-type Slot<N, L> = (Candidates<N, L>, bool);
+struct Slot<L> {
+    buf: SuccBuf<L>,
+    cut: bool,
+}
 
-/// Expands parents `results[i] ↔ id block_start + i`, filling each slot in
+impl<L> Default for Slot<L> {
+    fn default() -> Self {
+        Slot { buf: SuccBuf::default(), cut: false }
+    }
+}
+
+/// Expands parents `slots[i] ↔ id block_start + i`, filling each slot in
 /// place. Panics inside `expand` are caught and attributed to `cell`.
 fn expand_block<E: Expand>(
     exp: &E,
-    arena: &[E::Node],
+    arena: &NodeArena,
+    cache: &NodeCache,
     block_start: usize,
-    slots: &mut [Slot<E::Node, E::Label>],
+    slots: &mut [Slot<E::Label>],
     threads: usize,
     cell: &str,
 ) -> Result<(), ExploreError> {
-    let run_range = |offset: usize, slots: &mut [Slot<E::Node, E::Label>]| {
+    let run_range = |offset: usize, slots: &mut [Slot<E::Label>]| {
+        let mut scratch = E::Scratch::default();
+        let mut ms = MatScratch::default();
+        let mut parent: Vec<u16> = Vec::new();
         for (i, slot) in slots.iter_mut().enumerate() {
-            let id = block_start + offset + i;
-            let node = &arena[id];
-            let expanded =
-                catch_unwind(AssertUnwindSafe(|| exp.expand(id as u32, node, &mut slot.0)));
+            let id = (block_start + offset + i) as u32;
+            read_node(arena, cache, id, &mut ms, &mut parent)?;
+            let expanded = catch_unwind(AssertUnwindSafe(|| {
+                exp.expand(id, &parent, &mut slot.buf, &mut scratch)
+            }));
             match expanded {
-                Ok(r) => slot.1 = r?,
+                Ok(r) => slot.cut = r?,
                 Err(payload) => {
                     return Err(ExploreError::worker_panic(cell, panic_message(&*payload)))
                 }
@@ -265,48 +566,83 @@ fn expand_block<E: Expand>(
 }
 
 /// Resolves every routed candidate of the block against the shard maps —
-/// shards in parallel, each walking its bucket in ordinal order.
-fn dedup_block<N, L>(
-    shard_maps: &[HashMap<N, u32>],
+/// shards in parallel, each walking its bucket in ordinal order. Every
+/// fingerprint hit is verified against the actual node words (from the
+/// arena for interned nodes, from the slots for block-pending ones), so
+/// resolution is exact.
+fn dedup_block<L: Sync>(
+    arena: &NodeArena,
+    cache: &NodeCache,
+    maps: &[ShardMap],
     buckets: &[Vec<(u32, u32)>],
-    results: &[(Candidates<N, L>, bool)],
+    slots: &[Slot<L>],
     threads: usize,
-) -> Vec<ShardOut<N>>
-where
-    N: Hash + Eq + Clone + Send + Sync,
-    L: Sync,
-{
-    let resolve_shard = |s: usize| -> ShardOut<N> {
+) -> Result<Vec<ShardOut>, ExploreError> {
+    let resolve_shard = |s: usize| -> Result<ShardOut, ExploreError> {
         let mut out = ShardOut {
             resolutions: Vec::with_capacity(buckets[s].len()),
             pending: Vec::new(),
-            pend_map: HashMap::new(),
             hits: 0,
         };
+        let mut pend_map: HashMap<u64, Vec<u32>, FpBuild> = HashMap::default();
+        let mut ms = MatScratch::default();
+        let mut known: Vec<u16> = Vec::new();
         for &(pi, si) in &buckets[s] {
-            let node = &results[pi as usize].0[si as usize].0;
-            if let Some(&id) = shard_maps[s].get(node) {
-                out.hits += 1;
-                out.resolutions.push(Resolution::Old(id));
-            } else if let Some(&p) = out.pend_map.get(node) {
-                // A duplicate within the block still resolves to an
-                // already-interned node by merge time — count it as a hit,
-                // matching the sequential reference's accounting.
-                out.hits += 1;
-                out.resolutions.push(Resolution::New(p));
-            } else {
-                let p = out.pending.len() as u32;
-                out.pend_map.insert(node.clone(), p);
-                out.pending.push(node.clone());
-                out.resolutions.push(Resolution::New(p));
+            let buf = &slots[pi as usize].buf;
+            let (node, h) = (buf.node(si as usize), buf.hash(si as usize));
+            let mut resolved = None;
+            if let Some(ids) = maps[s].get(&h) {
+                for id in ids.iter() {
+                    if arena.word_len(id) != node.len() {
+                        continue;
+                    }
+                    let same = match cache.get(id) {
+                        Some(w) => w == node,
+                        None => {
+                            arena.materialize(id, &mut ms, &mut known)?;
+                            known == node
+                        }
+                    };
+                    if same {
+                        resolved = Some(Resolution::Old(id));
+                        break;
+                    }
+                }
+            }
+            if resolved.is_none() {
+                if let Some(ps) = pend_map.get(&h) {
+                    for &p in ps {
+                        let (qpi, qsi, _) = out.pending[p as usize];
+                        if slots[qpi as usize].buf.node(qsi as usize) == node {
+                            // A duplicate within the block still resolves to
+                            // an already-interned node by merge time — count
+                            // it as a hit, matching the sequential
+                            // reference's accounting.
+                            resolved = Some(Resolution::New(p));
+                            break;
+                        }
+                    }
+                }
+            }
+            match resolved {
+                Some(r) => {
+                    out.hits += 1;
+                    out.resolutions.push(r);
+                }
+                None => {
+                    let p = out.pending.len() as u32;
+                    pend_map.entry(h).or_default().push(p);
+                    out.pending.push((pi, si, h));
+                    out.resolutions.push(Resolution::New(p));
+                }
             }
         }
-        out
+        Ok(out)
     };
     if threads <= 1 {
         return (0..SHARDS).map(resolve_shard).collect();
     }
-    let mut outs: Vec<Option<ShardOut<N>>> = (0..SHARDS).map(|_| None).collect();
+    let mut outs: Vec<Option<Result<ShardOut, ExploreError>>> = (0..SHARDS).map(|_| None).collect();
     let chunk = SHARDS.div_ceil(threads.min(SHARDS));
     std::thread::scope(|scope| {
         for (w, out_chunk) in outs.chunks_mut(chunk).enumerate() {
@@ -318,6 +654,7 @@ where
             });
         }
     });
+    // The lowest-index shard's failure wins, deterministically.
     outs.into_iter().map(|o| o.expect("every shard resolved")).collect()
 }
 
@@ -331,46 +668,60 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
     }
 }
 
-/// Runs the sharded parallel breadth-first closure from `root`.
+/// Runs the sharded parallel breadth-first closure from the root node
+/// `root` (its raw words).
 ///
 /// # Errors
 ///
 /// Propagates the first [`ExploreError`] (in deterministic order) from
-/// expansion, attributed to `cell`.
+/// expansion, dedup, or the spill arena, attributed to `cell`.
 pub fn bfs<E: Expand>(
     exp: &E,
-    root: E::Node,
+    root: &[u16],
     cell: &str,
     opts: &BfsOptions,
-) -> Result<BfsResult<E::Node, E::Label>, ExploreError> {
+) -> Result<BfsResult<E::Label>, ExploreError> {
     let threads = opts.threads.max(1);
     let mut stats = FrontierStats { threads, ..FrontierStats::default() };
 
-    let mut arena: Vec<E::Node> = Vec::new();
-    let mut shard_maps: Vec<HashMap<E::Node, u32>> = (0..SHARDS).map(|_| HashMap::new()).collect();
+    let mut arena = match &opts.spill_dir {
+        Some(dir) => NodeArena::with_spill(cell, dir, opts.spill_resident_bytes / 2)?,
+        None => NodeArena::new(cell),
+    };
+    let mut maps: Vec<ShardMap> = (0..SHARDS).map(|_| ShardMap::default()).collect();
+    let mut counts = [0usize; SHARDS];
     let mut edges: Vec<Vec<(u32, E::Label)>> = Vec::new();
     let mut parents: Vec<Option<(u32, E::Label)>> = Vec::new();
     let mut truncated = false;
     let mut accepted = None;
 
-    shard_maps[shard_of(&root)].insert(root.clone(), 0);
+    let root_hash = hash_words(root);
+    publish(&mut maps[shard_of_hash(root_hash)], root_hash, 0);
+    counts[shard_of_hash(root_hash)] += 1;
     if opts.record_edges {
         edges.push(Vec::new());
     }
     if opts.record_parents {
         parents.push(None);
     }
-    if exp.accept(0, &root) {
+    if exp.accept(0, root) {
         accepted = Some(0);
     }
-    arena.push(root);
+    arena.intern_full(root)?;
+    let mut cache = NodeCache::new(opts.max_nodes);
+    cache.put(0, root);
 
     let mut heartbeat = routelab_obs::Heartbeat::new(opts.progress_label, opts.max_nodes as u64);
     let mut expanded = 0usize;
     // Reusable per-parent successor slots: cleared and refilled every block,
     // so candidate buffers keep their capacity across the whole search
     // instead of being reallocated per block.
-    let mut results: Vec<Slot<E::Node, E::Label>> = Vec::new();
+    let mut slots: Vec<Slot<E::Label>> = Vec::new();
+    // Serial-merge scratch: delta encoder buffer and the memoized parent
+    // materialization (successors arrive grouped by parent).
+    let mut code: Vec<u16> = Vec::new();
+    let mut ms = MatScratch::default();
+    let mut parent_words: Vec<u16> = Vec::new();
     'search: while expanded < arena.len() && accepted.is_none() {
         stats.peak_frontier = stats.peak_frontier.max(arena.len() - expanded);
         let block_start = expanded;
@@ -382,30 +733,30 @@ pub fn bfs<E: Expand>(
 
         // Phase 1 (parallel): expand every parent of the block into its own
         // slot, in the parent's canonical successor order.
-        for slot in results.iter_mut() {
-            slot.0.clear();
-            slot.1 = false;
+        for slot in slots.iter_mut() {
+            slot.buf.clear();
+            slot.cut = false;
         }
-        while results.len() < block_len {
-            results.push((Vec::new(), false));
+        while slots.len() < block_len {
+            slots.push(Slot::default());
         }
-        expand_block(exp, &arena, block_start, &mut results[..block_len], threads, cell)?;
+        expand_block(exp, &arena, &cache, block_start, &mut slots[..block_len], threads, cell)?;
 
         // Phase 2 (serial, cheap): route candidates to shards in ordinal
         // (parent, successor) order, so each shard's bucket is
         // ordinal-sorted.
         let mut buckets: Vec<Vec<(u32, u32)>> = (0..SHARDS).map(|_| Vec::new()).collect();
-        for (pi, (cands, cut)) in results[..block_len].iter().enumerate() {
-            truncated |= cut;
-            stats.candidates += cands.len() as u64;
-            for (si, (node, _)) in cands.iter().enumerate() {
-                buckets[shard_of(node)].push((pi as u32, si as u32));
+        for (pi, slot) in slots[..block_len].iter().enumerate() {
+            truncated |= slot.cut;
+            stats.candidates += slot.buf.len() as u64;
+            for si in 0..slot.buf.len() {
+                buckets[shard_of_hash(slot.buf.hash(si))].push((pi as u32, si as u32));
             }
         }
 
         // Phase 3 (parallel): per-shard dedup against the persistent maps,
         // each bucket walked in ordinal order.
-        let mut outs = dedup_block(&shard_maps, &buckets, &results[..block_len], threads);
+        let outs = dedup_block(&arena, &cache, &maps, &buckets, &slots[..block_len], threads)?;
         for o in &outs {
             stats.dedup_hits += o.hits;
         }
@@ -417,10 +768,12 @@ pub fn bfs<E: Expand>(
         let mut cursor = [0usize; SHARDS];
         let mut assigned: Vec<Vec<Option<u32>>> =
             outs.iter().map(|o| vec![None; o.pending.len()]).collect();
-        for (pi, result) in results.iter_mut().enumerate().take(block_len) {
+        let mut done = false;
+        let mut last_parent = u32::MAX;
+        'merge: for (pi, slot) in slots[..block_len].iter_mut().enumerate() {
             let from = (block_start + pi) as u32;
-            for (node, label) in result.0.drain(..) {
-                let s = shard_of(&node);
+            for si in 0..slot.buf.len() {
+                let s = shard_of_hash(slot.buf.hash(si));
                 let r = outs[s].resolutions[cursor[s]];
                 cursor[s] += 1;
                 let to = match r {
@@ -430,97 +783,120 @@ pub fn bfs<E: Expand>(
                         None => {
                             if arena.len() >= opts.max_nodes {
                                 truncated = true;
-                                break 'search;
+                                done = true;
+                                break 'merge;
                             }
-                            let id = arena.len() as u32;
+                            if last_parent != from {
+                                read_node(&arena, &cache, from, &mut ms, &mut parent_words)?;
+                                last_parent = from;
+                            }
+                            let node = slot.buf.node(si);
+                            let id = arena.intern(node, from, &parent_words, &mut code)?;
+                            cache.put(id, node);
                             assigned[s][p as usize] = Some(id);
                             if opts.record_edges {
                                 edges.push(Vec::new());
                             }
                             if opts.record_parents {
-                                parents.push(Some((from, label.clone())));
+                                parents.push(Some((from, slot.buf.clone_label(si))));
                             }
-                            if exp.accept(id, &node) {
+                            if exp.accept(id, slot.buf.node(si)) {
                                 accepted = Some(id);
                             }
-                            arena.push(node);
                             id
                         }
                     },
                 };
                 if opts.record_edges {
+                    let label = slot.buf.take_label(si);
                     edges[from as usize].push((to, label));
                 }
                 if accepted.is_some() {
-                    break 'search;
+                    done = true;
+                    break 'merge;
                 }
             }
         }
 
         // Phase 5 (serial, cheap): publish the block's assignments into the
-        // persistent shard maps (unassigned pendings were cut — never
-        // published, as in the sequential loop).
-        for (s, out) in outs.iter_mut().enumerate() {
-            for (node, p) in out.pend_map.drain() {
-                if let Some(id) = assigned[s][p as usize] {
-                    shard_maps[s].insert(node, id);
+        // persistent shard maps. This runs even when the merge was cut
+        // mid-block by the cap or an acceptance — nodes interned before the
+        // cut point are already in the arena and must be in the maps, or
+        // the shard statistics (and any hypothetical resumed search) would
+        // silently miss them. Unassigned pendings were cut — never
+        // published, as in the sequential loop.
+        for (s, out) in outs.iter().enumerate() {
+            for (p, &(_, _, h)) in out.pending.iter().enumerate() {
+                if let Some(id) = assigned[s][p] {
+                    publish(&mut maps[s], h, id);
+                    counts[s] += 1;
                 }
             }
         }
+        if done {
+            break 'search;
+        }
     }
-
-    stats.shard_max = shard_maps.iter().map(HashMap::len).max().unwrap_or(0);
-    stats.shard_min = shard_maps.iter().map(HashMap::len).min().unwrap_or(0);
+    stats.shard_max = counts.iter().copied().max().unwrap_or(0);
+    stats.shard_min = counts.iter().copied().min().unwrap_or(0);
+    stats.bytes_resident = arena.bytes_resident();
+    stats.bytes_spilled = arena.bytes_spilled();
     Ok(BfsResult { nodes: arena, edges, parents, truncated, accepted, stats })
 }
 
-/// The plain sequential reference implementation: one queue, one map, no
-/// blocks. Kept deliberately independent of [`bfs`]'s machinery — the
-/// differential tests assert the two agree bit-for-bit.
+/// The plain sequential reference implementation: one queue, one exact
+/// (full-buffer-keyed) map, no blocks, no delta compression — nodes are
+/// stored as full keyframes. Kept deliberately independent of [`bfs`]'s
+/// machinery — the differential tests assert the two agree bit-for-bit,
+/// which in particular cross-checks the fingerprint dedup and the delta
+/// chains against plain storage and exact hashing.
 ///
 /// # Errors
 ///
 /// Propagates the first [`ExploreError`] from expansion.
 pub fn bfs_reference<E: Expand>(
     exp: &E,
-    root: E::Node,
+    root: &[u16],
     cell: &str,
     opts: &BfsOptions,
-) -> Result<BfsResult<E::Node, E::Label>, ExploreError> {
-    let mut arena: Vec<E::Node> = Vec::new();
-    let mut ids: HashMap<E::Node, u32> = HashMap::new();
+) -> Result<BfsResult<E::Label>, ExploreError> {
+    let mut arena = NodeArena::new(cell);
+    let mut ids: HashMap<Vec<u16>, u32> = HashMap::new();
     let mut edges: Vec<Vec<(u32, E::Label)>> = Vec::new();
     let mut parents: Vec<Option<(u32, E::Label)>> = Vec::new();
     let mut truncated = false;
     let mut accepted = None;
     let mut stats = FrontierStats { threads: 1, ..FrontierStats::default() };
 
-    ids.insert(root.clone(), 0);
+    ids.insert(root.to_vec(), 0);
     if opts.record_edges {
         edges.push(Vec::new());
     }
     if opts.record_parents {
         parents.push(None);
     }
-    if exp.accept(0, &root) {
+    if exp.accept(0, root) {
         accepted = Some(0);
     }
-    arena.push(root);
+    arena.intern_full(root)?;
 
-    let mut expanded = 0usize;
-    'search: while expanded < arena.len() && accepted.is_none() {
-        stats.peak_frontier = stats.peak_frontier.max(arena.len() - expanded);
-        let from = expanded as u32;
-        expanded += 1;
+    let mut scratch = E::Scratch::default();
+    let mut ms = MatScratch::default();
+    let mut parent: Vec<u16> = Vec::new();
+    let mut buf: SuccBuf<E::Label> = SuccBuf::default();
+    'search: while expanded_lt(&arena, accepted, stats.expanded) {
+        let from = stats.expanded as u32;
         stats.expanded += 1;
-        let mut cands = Vec::new();
+        stats.peak_frontier = stats.peak_frontier.max(arena.len() - from as usize);
+        arena.materialize(from, &mut ms, &mut parent)?;
+        buf.clear();
         let cut =
-            catch_unwind(AssertUnwindSafe(|| exp.expand(from, &arena[from as usize], &mut cands)))
+            catch_unwind(AssertUnwindSafe(|| exp.expand(from, &parent, &mut buf, &mut scratch)))
                 .map_err(|p| ExploreError::worker_panic(cell, panic_message(&*p)))??;
         truncated |= cut;
-        stats.candidates += cands.len() as u64;
-        for (node, label) in cands {
-            let to = match ids.get(&node) {
+        stats.candidates += buf.len() as u64;
+        for si in 0..buf.len() {
+            let to = match ids.get(buf.node(si)) {
                 Some(&id) => {
                     stats.dedup_hits += 1;
                     id
@@ -530,23 +906,22 @@ pub fn bfs_reference<E: Expand>(
                         truncated = true;
                         break 'search;
                     }
-                    let id = arena.len() as u32;
-                    ids.insert(node.clone(), id);
+                    let id = arena.intern_full(buf.node(si))?;
+                    ids.insert(buf.node(si).to_vec(), id);
                     if opts.record_edges {
                         edges.push(Vec::new());
                     }
                     if opts.record_parents {
-                        parents.push(Some((from, label.clone())));
+                        parents.push(Some((from, buf.clone_label(si))));
                     }
-                    if exp.accept(id, &node) {
+                    if exp.accept(id, buf.node(si)) {
                         accepted = Some(id);
                     }
-                    arena.push(node);
                     id
                 }
             };
             if opts.record_edges {
-                edges[from as usize].push((to, label));
+                edges[from as usize].push((to, buf.take_label(si)));
             }
             if accepted.is_some() {
                 break 'search;
@@ -554,12 +929,27 @@ pub fn bfs_reference<E: Expand>(
         }
     }
     stats.blocks = stats.expanded;
+    stats.bytes_resident = arena.bytes_resident();
     Ok(BfsResult { nodes: arena, edges, parents, truncated, accepted, stats })
+}
+
+/// Loop condition of the sequential reference (`expanded < len`, no
+/// acceptance yet).
+fn expanded_lt(arena: &NodeArena, accepted: Option<u32>, expanded: u64) -> bool {
+    (expanded as usize) < arena.len() && accepted.is_none()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    fn enc(x: u64) -> [u16; 4] {
+        [x as u16, (x >> 16) as u16, (x >> 32) as u16, (x >> 48) as u16]
+    }
+
+    fn dec(ws: &[u16]) -> u64 {
+        (ws[0] as u64) | ((ws[1] as u64) << 16) | ((ws[2] as u64) << 32) | ((ws[3] as u64) << 48)
+    }
 
     /// A synthetic graph over u64 node values: each node n < limit expands
     /// to a deterministic pseudo-random fan-out, exercising dedup heavily.
@@ -570,26 +960,28 @@ mod tests {
     }
 
     impl Expand for Synthetic {
-        type Node = u64;
         type Label = u64;
+        type Scratch = ();
         fn expand(
             &self,
             _id: u32,
-            node: &u64,
-            out: &mut Vec<(u64, u64)>,
+            node: &[u16],
+            out: &mut SuccBuf<u64>,
+            _scratch: &mut (),
         ) -> Result<bool, ExploreError> {
+            let node = dec(node);
             for k in 0..self.fan {
                 // A fixed mixing function: collides often, covers slowly.
                 let succ =
                     (node.wrapping_mul(6364136223846793005).wrapping_add(k * 1442695040888963407)
                         >> 33)
                         % self.limit;
-                out.push((succ, k));
+                out.push(&enc(succ), k);
             }
             Ok(false)
         }
-        fn accept(&self, _id: u32, node: &u64) -> bool {
-            Some(*node) == self.accept_at
+        fn accept(&self, _id: u32, node: &[u16]) -> bool {
+            Some(dec(node)) == self.accept_at
         }
     }
 
@@ -600,10 +992,12 @@ mod tests {
             record_edges: true,
             record_parents: true,
             progress_label: "test.frontier",
+            spill_dir: None,
+            spill_resident_bytes: DEFAULT_SPILL_RESIDENT_BYTES,
         }
     }
 
-    fn assert_identical(a: &BfsResult<u64, u64>, b: &BfsResult<u64, u64>) {
+    fn assert_identical(a: &BfsResult<u64>, b: &BfsResult<u64>) {
         assert_eq!(a.nodes, b.nodes);
         assert_eq!(a.edges, b.edges);
         assert_eq!(a.parents, b.parents);
@@ -614,10 +1008,10 @@ mod tests {
     #[test]
     fn parallel_matches_reference_at_every_thread_count() {
         let g = Synthetic { limit: 5_000, fan: 7, accept_at: None };
-        let reference = bfs_reference(&g, 0, "synthetic", &opts(1)).unwrap();
+        let reference = bfs_reference(&g, &enc(0), "synthetic", &opts(1)).unwrap();
         assert!(reference.nodes.len() > 1_000);
         for threads in [1, 2, 3, 8] {
-            let par = bfs(&g, 0, "synthetic", &opts(threads)).unwrap();
+            let par = bfs(&g, &enc(0), "synthetic", &opts(threads)).unwrap();
             assert_identical(&par, &reference);
             assert_eq!(par.stats.threads, threads);
             assert_eq!(par.stats.dedup_hits, reference.stats.dedup_hits);
@@ -630,27 +1024,49 @@ mod tests {
         let g = Synthetic { limit: 50_000, fan: 9, accept_at: None };
         let mut o = opts(1);
         o.max_nodes = 1234;
-        let reference = bfs_reference(&g, 0, "synthetic", &o).unwrap();
+        let reference = bfs_reference(&g, &enc(0), "synthetic", &o).unwrap();
         assert!(reference.truncated);
         assert_eq!(reference.nodes.len(), 1234);
         for threads in [1, 2, 8] {
             let mut o = opts(threads);
             o.max_nodes = 1234;
-            let par = bfs(&g, 0, "synthetic", &o).unwrap();
+            let par = bfs(&g, &enc(0), "synthetic", &o).unwrap();
             assert_identical(&par, &reference);
+        }
+    }
+
+    #[test]
+    fn shard_stats_match_a_sequential_recount_even_after_a_mid_merge_cut() {
+        // Nodes interned in the truncating final block used to be dropped
+        // from the shard maps (Phase 5 was skipped on the cut), so
+        // shard_max/shard_min undercounted. The stats must now equal a
+        // plain recount of every interned node's shard.
+        let g = Synthetic { limit: 50_000, fan: 9, accept_at: None };
+        for max_nodes in [1234usize, 5000] {
+            let mut o = opts(2);
+            o.max_nodes = max_nodes;
+            let r = bfs(&g, &enc(0), "synthetic", &o).unwrap();
+            assert!(r.truncated);
+            let mut recount = [0usize; SHARDS];
+            for node in r.nodes.snapshot() {
+                recount[shard_of_words(&node)] += 1;
+            }
+            assert_eq!(recount.iter().sum::<usize>(), r.nodes.len());
+            assert_eq!(r.stats.shard_max, recount.iter().copied().max().unwrap(), "{max_nodes}");
+            assert_eq!(r.stats.shard_min, recount.iter().copied().min().unwrap(), "{max_nodes}");
         }
     }
 
     #[test]
     fn acceptance_is_thread_invariant() {
         let g = Synthetic { limit: 5_000, fan: 7, accept_at: Some(4_321) };
-        let reference = bfs_reference(&g, 0, "synthetic", &opts(1)).unwrap();
+        let reference = bfs_reference(&g, &enc(0), "synthetic", &opts(1)).unwrap();
         for threads in [1, 2, 8] {
-            let par = bfs(&g, 0, "synthetic", &opts(threads)).unwrap();
+            let par = bfs(&g, &enc(0), "synthetic", &opts(threads)).unwrap();
             assert_identical(&par, &reference);
         }
         if let Some(id) = reference.accepted {
-            assert_eq!(reference.nodes[id as usize], 4_321);
+            assert_eq!(dec(&reference.nodes.node_vec(id)), 4_321);
             // The parent chain replays to the accepted node.
             let path = reference.path_to(id);
             assert!(!path.is_empty());
@@ -658,26 +1074,44 @@ mod tests {
     }
 
     #[test]
+    fn spilled_run_is_identical_to_resident_run() {
+        let g = Synthetic { limit: 20_000, fan: 9, accept_at: None };
+        let resident = bfs(&g, &enc(0), "synthetic", &opts(2)).unwrap();
+        let dir =
+            std::env::temp_dir().join(format!("routelab-frontier-spill-{}", std::process::id()));
+        let mut o = opts(2);
+        o.spill_dir = Some(dir.clone());
+        o.spill_resident_bytes = 4096; // force heavy spilling
+        let spilled = bfs(&g, &enc(0), "synthetic", &o).unwrap();
+        assert!(spilled.stats.bytes_spilled > 0, "{:?}", spilled.stats);
+        assert_identical(&spilled, &resident);
+        assert_eq!(spilled.stats.dedup_hits, resident.stats.dedup_hits);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
     fn worker_panics_become_typed_errors() {
         struct Bomb;
         impl Expand for Bomb {
-            type Node = u64;
             type Label = ();
+            type Scratch = ();
             fn expand(
                 &self,
                 _id: u32,
-                node: &u64,
-                out: &mut Vec<(u64, ())>,
+                node: &[u16],
+                out: &mut SuccBuf<()>,
+                _scratch: &mut (),
             ) -> Result<bool, ExploreError> {
-                if *node == 3 {
+                let node = dec(node);
+                if node == 3 {
                     panic!("boom at {node}");
                 }
-                out.push((node + 1, ()));
+                out.push(&enc(node + 1), ());
                 Ok(false)
             }
         }
         for runner in [bfs::<Bomb>, bfs_reference::<Bomb>] {
-            let err = runner(&Bomb, 0, "BOMB × R1O", &opts(2)).expect_err("must fail");
+            let err = runner(&Bomb, &enc(0), "BOMB × R1O", &opts(2)).expect_err("must fail");
             assert_eq!(err.cell, "BOMB × R1O");
             assert!(err.to_string().contains("boom at 3"), "{err}");
         }
@@ -686,7 +1120,7 @@ mod tests {
     #[test]
     fn accept_on_root_short_circuits() {
         let g = Synthetic { limit: 10, fan: 2, accept_at: Some(0) };
-        let r = bfs(&g, 0, "synthetic", &opts(4)).unwrap();
+        let r = bfs(&g, &enc(0), "synthetic", &opts(4)).unwrap();
         assert_eq!(r.accepted, Some(0));
         assert_eq!(r.nodes.len(), 1);
         assert_eq!(r.stats.expanded, 0);
@@ -696,5 +1130,29 @@ mod tests {
     fn resolved_threads_prefers_explicit() {
         assert_eq!(resolved_threads(Some(3)), 3);
         assert!(resolved_threads(None) >= 1);
+    }
+
+    #[test]
+    fn invalid_thread_env_values_are_hard_errors_naming_the_value() {
+        // Parsed through the same function `resolved_threads` uses for the
+        // env var, without mutating the process environment (other tests
+        // resolve threads concurrently).
+        assert_eq!(threads_from_env("4"), 4);
+        assert_eq!(threads_from_env(" 2 "), 2);
+        for bogus in ["", "zero", "1.5", "0", "-3"] {
+            let err = catch_unwind(|| threads_from_env(bogus)).expect_err(bogus);
+            let msg = panic_message(&*err);
+            assert!(msg.contains(THREADS_ENV), "{msg}");
+            assert!(msg.contains(&format!("{bogus:?}")), "{msg}");
+        }
+    }
+
+    #[test]
+    fn hash_words_separates_length_and_content() {
+        assert_ne!(hash_words(&[]), hash_words(&[0]));
+        assert_ne!(hash_words(&[0, 0]), hash_words(&[0, 0, 0]));
+        assert_ne!(hash_words(&[1, 2, 3, 4, 5]), hash_words(&[1, 2, 3, 4, 6]));
+        assert_ne!(hash_words(&[1, 2, 3, 4, 5]), hash_words(&[5, 2, 3, 4, 1]));
+        assert_eq!(hash_words(&[7, 8, 9]), hash_words(&[7, 8, 9]));
     }
 }

@@ -1,11 +1,22 @@
 //! Reachable-state-graph construction and SCC decomposition.
 //!
-//! States are interned in packed form (see [`crate::pack`]) and the graph
-//! is built by the sharded parallel frontier engine ([`crate::frontier`]):
-//! state ids, counts, edges, and truncation points are bit-identical at any
-//! thread count, and identical to the retained sequential reference
-//! ([`build_spec_reference`]) that the differential tests compare against.
+//! States are interned in packed form (see [`crate::pack`]) inside a
+//! delta-compressed, spill-capable arena (see [`crate::arena`]) and the
+//! graph is built by the sharded parallel frontier engine
+//! ([`crate::frontier`]): state ids, counts, edges, and truncation points
+//! are bit-identical at any thread count, and identical to the retained
+//! sequential reference ([`build_spec_reference`]) that the differential
+//! tests compare against.
+//!
+//! Unreduced builds run on the packed fast path
+//! ([`crate::exec_packed`]): successors are computed directly on the packed
+//! words, never materializing a [`NetworkState`] per candidate. Reduced
+//! builds keep the engine-executed path — the reduction layer's normal
+//! forms operate on decoded states, and reduced spaces are small enough
+//! that decode cost is irrelevant there.
 
+use std::collections::HashMap;
+use std::path::PathBuf;
 use std::sync::Arc;
 
 use routelab_core::model::CommModel;
@@ -14,14 +25,16 @@ use routelab_engine::index::ChannelIndex;
 use routelab_engine::state::NetworkState;
 use routelab_spp::SppInstance;
 
-use crate::effects::{all_steps, Spec};
+use crate::arena::{MatScratch, NodeArena};
+use crate::effects::{all_steps, all_steps_with, Spec};
 use crate::error::ExploreError;
-use crate::frontier::{self, BfsOptions, BfsResult, FrontierStats};
+use crate::exec_packed::{Applied, ExecTables, PackedScratch};
+use crate::frontier::{self, BfsOptions, BfsResult, FrontierStats, SuccBuf};
 use crate::pack::{PackedState, StateCodec};
 use crate::reduce::{Reducer, ReductionStats, SymTables};
 
 /// Bounds for exhaustive exploration.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct ExploreConfig {
     /// Maximum queue length; transitions that would exceed it are cut (and
     /// recorded, downgrading any "always converges" verdict).
@@ -39,6 +52,14 @@ pub struct ExploreConfig {
     /// state counts and memory differ. Disable to obtain the literal
     /// unreduced graph (witness extraction does so internally).
     pub reduce: bool,
+    /// Directory for the state arena's spill file. `None` (the default)
+    /// keeps every state resident; set it (CLI: `--spill-dir`) to let
+    /// `max_states` budgets of 10M+ run within a bounded memory footprint.
+    pub spill_dir: Option<PathBuf>,
+    /// Resident-arena budget in bytes once spilling is enabled; ignored
+    /// without `spill_dir`. Sealed pages beyond the budget move to the
+    /// spill file oldest-first.
+    pub spill_resident_bytes: usize,
 }
 
 impl Default for ExploreConfig {
@@ -49,6 +70,8 @@ impl Default for ExploreConfig {
             max_steps_per_state: 10_000,
             threads: None,
             reduce: true,
+            spill_dir: None,
+            spill_resident_bytes: frontier::DEFAULT_SPILL_RESIDENT_BYTES,
         }
     }
 }
@@ -60,21 +83,34 @@ impl ExploreConfig {
     }
 }
 
-/// A labeled transition of the state graph.
+/// The state-independent payload of an edge label: the canonical step and
+/// the channel sets derived from it. Shared behind an [`Arc`] — the
+/// unreduced fast path interns one `StepInfo` per distinct step and hands
+/// out handles, so labeling millions of edges costs reference counts, not
+/// allocations.
 #[derive(Debug, Clone, PartialEq, Eq)]
-pub struct EdgeLabel {
-    /// Target state index.
-    pub to: usize,
+pub struct StepInfo {
+    /// The canonical step generating the transition (for witness replay).
+    pub step: crate::effects::CanonicalStep,
     /// Dense channel ids the step attends.
     pub attended: Vec<usize>,
     /// Channels on which a message was learned (kept).
     pub kept: Vec<usize>,
     /// Channels on which at least one message was dropped.
     pub dropped: Vec<usize>,
+}
+
+/// A labeled transition of the state graph.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EdgeLabel {
+    /// Target state index.
+    pub to: usize,
+    /// The shared step descriptor (step plus attended/kept/dropped sets);
+    /// equality is by content, so differential comparisons are unaffected
+    /// by which build interned the handle.
+    pub info: Arc<StepInfo>,
     /// `true` when the step changes some π.
     pub changes_pi: bool,
-    /// The canonical step generating this transition (for witness replay).
-    pub step: crate::effects::CanonicalStep,
     /// Symmetry-group element that canonicalized the raw successor into
     /// `to` (0 = identity, i.e. the successor was already canonical). Only
     /// nonzero in reduced builds of symmetric instances; fairness analysis
@@ -82,17 +118,40 @@ pub struct EdgeLabel {
     pub sym: u16,
 }
 
-/// The explored portion of a model's state graph. States live in a packed
-/// arena; decode on demand with [`StateGraph::state`] or query the cheap
-/// packed predicates through [`StateGraph::codec`].
-#[derive(Debug, Clone)]
+impl EdgeLabel {
+    /// Dense channel ids the step attends.
+    pub fn attended(&self) -> &[usize] {
+        &self.info.attended
+    }
+
+    /// Channels on which a message was learned (kept).
+    pub fn kept(&self) -> &[usize] {
+        &self.info.kept
+    }
+
+    /// Channels on which at least one message was dropped.
+    pub fn dropped(&self) -> &[usize] {
+        &self.info.dropped
+    }
+
+    /// The canonical step generating this transition (for witness replay).
+    pub fn step(&self) -> &crate::effects::CanonicalStep {
+        &self.info.step
+    }
+}
+
+/// The explored portion of a model's state graph. States live
+/// delta-compressed in a [`NodeArena`]; materialize on demand with
+/// [`StateGraph::packed`]/[`StateGraph::state`] or query the cheap packed
+/// predicates through [`StateGraph::codec`].
+#[derive(Debug)]
 pub struct StateGraph {
     /// The per-instance codec the packed states were interned with.
     pub codec: StateCodec,
     /// The dense channel index of the instance's graph.
     pub index: ChannelIndex,
-    /// Packed states, index 0 = initial.
-    pub packed: Vec<PackedState>,
+    /// The state arena, index 0 = initial.
+    pub nodes: NodeArena,
     /// Fingerprint of each state's path assignment π (not the full state).
     pub pi_fp: Vec<u64>,
     /// Outgoing edges per state (state-preserving self-loops elided).
@@ -113,12 +172,22 @@ pub struct StateGraph {
 impl StateGraph {
     /// Number of explored states.
     pub fn len(&self) -> usize {
-        self.packed.len()
+        self.nodes.len()
     }
 
     /// `true` for a graph without states (never produced by `build`).
     pub fn is_empty(&self) -> bool {
-        self.packed.is_empty()
+        self.nodes.is_empty()
+    }
+
+    /// Materializes state `i` in packed form.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the arena fails to materialize the entry (spill I/O) — an
+    /// internal invariant violation for resident arenas.
+    pub fn packed(&self, i: usize) -> PackedState {
+        PackedState::from_u16s(self.nodes.node_vec(i as u32))
     }
 
     /// Decodes state `i`.
@@ -128,20 +197,65 @@ impl StateGraph {
     /// Panics if the arena entry fails to decode — an internal invariant
     /// violation, since every entry was produced by the same codec.
     pub fn state(&self, i: usize) -> NetworkState {
-        self.codec.decode(&self.packed[i]).expect("arena entries decode with their own codec")
+        self.codec
+            .decode_words(&self.nodes.node_vec(i as u32))
+            .expect("arena entries decode with their own codec")
     }
 }
 
 /// The frontier label of a graph edge: [`EdgeLabel`] minus the target id
 /// (which only exists after dedup).
 #[derive(Debug, Clone)]
-struct EdgePayload {
-    attended: Vec<usize>,
-    kept: Vec<usize>,
-    dropped: Vec<usize>,
-    changes_pi: bool,
-    step: crate::effects::CanonicalStep,
-    sym: u16,
+pub(crate) struct EdgePayload {
+    pub(crate) info: Arc<StepInfo>,
+    pub(crate) changes_pi: bool,
+    pub(crate) sym: u16,
+}
+
+/// Upper bound on memoized queue-length profiles; past it, unseen profiles
+/// are enumerated without being recorded (correct, just slower). Distinct
+/// steps (`infos`) are intrinsically few and stay unbounded.
+const PROFILE_CAP: usize = 1 << 15;
+
+/// The canonical steps of one queue-length profile, pre-resolved to shared
+/// [`StepInfo`] handles.
+struct ProfileSteps {
+    steps: Vec<Arc<StepInfo>>,
+    capped: bool,
+}
+
+/// Per-worker memo of the fast path's step enumeration. The step set is a
+/// pure function of the parent's queue-length profile, so states sharing a
+/// profile share one enumeration and one set of `Arc<StepInfo>` labels —
+/// the hot loop allocates nothing per candidate.
+#[derive(Default)]
+struct StepCatalog {
+    by_profile: HashMap<Vec<u16>, Arc<ProfileSteps>>,
+    infos: HashMap<crate::effects::CanonicalStep, Arc<StepInfo>>,
+}
+
+impl StepCatalog {
+    /// The shared descriptor of `cs`, interning it on first sight.
+    fn info_of(&mut self, cs: crate::effects::CanonicalStep, spec: Spec<'_>) -> Arc<StepInfo> {
+        if let Some(info) = self.infos.get(&cs) {
+            return Arc::clone(info);
+        }
+        let attended = cs.attended(spec);
+        let kept = cs.effects.iter().filter(|e| e.keep.is_some()).map(|e| e.channel).collect();
+        let dropped = cs.effects.iter().filter(|e| e.dropped() > 0).map(|e| e.channel).collect();
+        let info = Arc::new(StepInfo { step: cs.clone(), attended, kept, dropped });
+        self.infos.insert(cs, Arc::clone(&info));
+        info
+    }
+}
+
+/// Reusable per-worker expansion scratch.
+#[derive(Default)]
+pub(crate) struct GraphScratch {
+    packed: PackedScratch,
+    absorbed: Vec<usize>,
+    enc: Vec<u16>,
+    catalog: StepCatalog,
 }
 
 /// The frontier-engine client for state-graph construction.
@@ -153,19 +267,78 @@ struct GraphExpand<'a> {
     collapse: bool,
     cfg: &'a ExploreConfig,
     reduce: Option<&'a Reducer>,
+    /// Packed-space execution tables; `Some` exactly when the build runs
+    /// unreduced (the fast path produces the raw graph bit-identically).
+    fast: Option<ExecTables>,
 }
 
-impl frontier::Expand for GraphExpand<'_> {
-    type Node = PackedState;
-    type Label = EdgePayload;
-
-    fn expand(
+impl GraphExpand<'_> {
+    /// The packed fast path: canonical steps resolved through the
+    /// per-worker [`StepCatalog`] (keyed on the packed queue-length
+    /// header), successors written straight into the expansion buffer. No
+    /// `NetworkState` is ever built and no label data is allocated per
+    /// candidate.
+    fn expand_fast(
         &self,
-        _id: u32,
-        packed: &PackedState,
-        out: &mut Vec<(PackedState, EdgePayload)>,
+        tables: &ExecTables,
+        node: &[u16],
+        out: &mut SuccBuf<EdgePayload>,
+        scratch: &mut GraphScratch,
     ) -> Result<bool, ExploreError> {
-        let state = self.codec.decode(packed)?;
+        let profile = match scratch.catalog.by_profile.get(tables.qlen_profile(node)) {
+            Some(p) => Arc::clone(p),
+            None => {
+                let (steps, capped) = all_steps_with(
+                    self.spec,
+                    self.index,
+                    &|c| tables.queue_len(node, c),
+                    self.inst.node_count(),
+                    self.cfg.max_steps_per_state,
+                );
+                let steps =
+                    steps.into_iter().map(|cs| scratch.catalog.info_of(cs, self.spec)).collect();
+                let p = Arc::new(ProfileSteps { steps, capped });
+                if scratch.catalog.by_profile.len() < PROFILE_CAP {
+                    scratch
+                        .catalog
+                        .by_profile
+                        .insert(tables.qlen_profile(node).to_vec(), Arc::clone(&p));
+                }
+                p
+            }
+        };
+        let mut truncated = profile.capped;
+        tables.prepare(node, &mut scratch.packed);
+        for info in &profile.steps {
+            let cs = &info.step;
+            let mark = out.mark();
+            match tables.apply(node, &mut scratch.packed, cs, self.cfg.channel_cap, out.words()) {
+                Applied::Capped => {
+                    truncated = true;
+                    out.cancel(mark);
+                }
+                Applied::Ok { new_rid, announcing: _ } => {
+                    if out.since(mark) == node {
+                        out.cancel(mark); // state-preserving: noop annotations
+                        continue;
+                    }
+                    let changes_pi = new_rid != node[cs.node.index()];
+                    out.commit(mark, EdgePayload { info: Arc::clone(info), changes_pi, sym: 0 });
+                }
+            }
+        }
+        Ok(truncated)
+    }
+
+    /// The engine-executed path, used by reduced builds: decode, run
+    /// `execute_step`, apply the reduction normal forms, re-encode.
+    fn expand_general(
+        &self,
+        node: &[u16],
+        out: &mut SuccBuf<EdgePayload>,
+        scratch: &mut GraphScratch,
+    ) -> Result<bool, ExploreError> {
+        let state = self.codec.decode_words(node)?;
         let (steps, capped) = all_steps(
             self.spec,
             self.index,
@@ -174,13 +347,12 @@ impl frontier::Expand for GraphExpand<'_> {
             self.cfg.max_steps_per_state,
         );
         let mut truncated = capped;
-        let mut absorbed: Vec<usize> = Vec::new();
         for cs in steps {
             let activation = cs.to_activation(self.spec, self.index);
             let mut next = state.clone();
             let effect = execute_step(self.inst, self.index, &mut next, &activation);
             if let Some(red) = self.reduce {
-                red.normalize(&mut next, &mut absorbed);
+                red.normalize(&mut next, &mut scratch.absorbed);
                 if red.exceeds_cap(&next, self.cfg.channel_cap) {
                     truncated = true;
                     continue;
@@ -196,42 +368,61 @@ impl frontier::Expand for GraphExpand<'_> {
                     continue;
                 }
             }
-            let next_packed = self.codec.encode(&next)?;
+            self.codec.encode_into(&next, &mut scratch.enc)?;
             // The self-loop test runs *before* canonicalization: a real
             // transition whose canonical image happens to equal the source
             // is a genuine quotient self-loop and must be kept.
-            if next_packed == *packed {
+            if scratch.enc.as_slice() == node {
                 continue; // state-preserving: handled by noop annotations
             }
-            let (next_packed, sym) = match self.reduce {
-                Some(red) => red.canonicalize(next_packed),
-                None => (next_packed, 0),
+            let (canon, sym) = match self.reduce {
+                Some(red) => red.canonicalize_words(&scratch.enc),
+                None => (None, 0),
             };
             let mut attended = cs.attended(self.spec);
             let mut kept = effect.kept_on;
-            if !absorbed.is_empty() {
+            if self.reduce.is_some() && !scratch.absorbed.is_empty() {
                 // Absorbed reads fire inside this merged edge: the edge
                 // attends (and keeps on) the channels it drained.
-                attended.extend_from_slice(&absorbed);
+                attended.extend_from_slice(&scratch.absorbed);
                 attended.sort_unstable();
                 attended.dedup();
-                kept.extend_from_slice(&absorbed);
+                kept.extend_from_slice(&scratch.absorbed);
                 kept.sort_unstable();
                 kept.dedup();
             }
-            out.push((
-                next_packed,
-                EdgePayload {
-                    attended,
-                    kept,
-                    dropped: effect.dropped_on,
-                    changes_pi: !effect.changed.is_empty(),
-                    step: cs,
-                    sym,
-                },
-            ));
+            // Reduced labels are state-dependent (absorbed reads extend the
+            // attended/kept sets), so each edge gets a fresh descriptor —
+            // reduced spaces are small enough for that not to matter.
+            let payload = EdgePayload {
+                info: Arc::new(StepInfo { step: cs, attended, kept, dropped: effect.dropped_on }),
+                changes_pi: !effect.changed.is_empty(),
+                sym,
+            };
+            match canon {
+                Some(ws) => out.push(&ws, payload),
+                None => out.push(&scratch.enc, payload),
+            }
         }
         Ok(truncated)
+    }
+}
+
+impl frontier::Expand for GraphExpand<'_> {
+    type Label = EdgePayload;
+    type Scratch = GraphScratch;
+
+    fn expand(
+        &self,
+        _id: u32,
+        node: &[u16],
+        out: &mut SuccBuf<EdgePayload>,
+        scratch: &mut GraphScratch,
+    ) -> Result<bool, ExploreError> {
+        match &self.fast {
+            Some(tables) => self.expand_fast(tables, node, out, scratch),
+            None => self.expand_general(node, out, scratch),
+        }
     }
 }
 
@@ -246,11 +437,17 @@ pub(crate) fn cell_of(inst: &SppInstance, spec: Spec<'_>) -> String {
 fn assemble(
     codec: StateCodec,
     index: ChannelIndex,
-    r: BfsResult<PackedState, EdgePayload>,
+    r: BfsResult<EdgePayload>,
     reduction: ReductionStats,
     sym: Option<Arc<SymTables>>,
-) -> StateGraph {
-    let pi_fp = r.nodes.iter().map(|p| codec.pi_fingerprint(p)).collect();
+) -> Result<StateGraph, ExploreError> {
+    let mut pi_fp = Vec::with_capacity(r.nodes.len());
+    let mut ms = MatScratch::default();
+    let mut buf = Vec::new();
+    for i in 0..r.nodes.len() {
+        r.nodes.materialize(i as u32, &mut ms, &mut buf)?;
+        pi_fp.push(codec.pi_fingerprint_words(&buf));
+    }
     let edges = r
         .edges
         .into_iter()
@@ -258,11 +455,8 @@ fn assemble(
             out.into_iter()
                 .map(|(to, p)| EdgeLabel {
                     to: to as usize,
-                    attended: p.attended,
-                    kept: p.kept,
-                    dropped: p.dropped,
+                    info: p.info,
                     changes_pi: p.changes_pi,
-                    step: p.step,
                     sym: p.sym,
                 })
                 .collect()
@@ -271,7 +465,7 @@ fn assemble(
     let g = StateGraph {
         codec,
         index,
-        packed: r.nodes,
+        nodes: r.nodes,
         pi_fp,
         edges,
         truncated: r.truncated,
@@ -285,6 +479,8 @@ fn assemble(
         routelab_obs::gauge("explore.peak_frontier", g.stats.peak_frontier as u64);
         routelab_obs::gauge("explore.shard_max", g.stats.shard_max as u64);
         routelab_obs::gauge("explore.shard_min", g.stats.shard_min as u64);
+        routelab_obs::gauge("explore.bytes_resident", g.stats.bytes_resident);
+        routelab_obs::gauge("explore.bytes_spilled", g.stats.bytes_spilled);
         routelab_obs::counter("explore.candidates", g.stats.candidates);
         routelab_obs::counter("explore.dedup_hits", g.stats.dedup_hits);
         routelab_obs::counter("explore.builds", 1);
@@ -299,7 +495,7 @@ fn assemble(
             routelab_obs::counter("explore.reduce_sym_hits", g.reduction.sym_hits);
         }
     }
-    g
+    Ok(g)
 }
 
 /// Builds the reachable state graph of `inst` under `model`.
@@ -340,7 +536,8 @@ pub fn try_build_spec(
 }
 
 /// The retained sequential reference build: same output contract as
-/// [`try_build_spec`], but computed by the plain one-queue-one-map loop.
+/// [`try_build_spec`], but computed by the plain one-queue-one-map loop
+/// over full (undelta'd) state buffers.
 /// The differential tests assert both agree bit-for-bit.
 ///
 /// # Errors
@@ -370,6 +567,7 @@ fn build_with(
         Some(red) => red.canonicalize(root).0,
         None => root,
     };
+    let fast = reducer.is_none().then(|| ExecTables::new(inst, &index, &codec, spec));
     let exp = GraphExpand {
         inst,
         index: &index,
@@ -378,6 +576,7 @@ fn build_with(
         collapse: spec.collapsible(),
         cfg,
         reduce: reducer.as_ref(),
+        fast,
     };
     let opts = BfsOptions {
         threads: cfg.resolved_threads(),
@@ -385,17 +584,19 @@ fn build_with(
         record_edges: true,
         record_parents: false,
         progress_label: "explore.states",
+        spill_dir: cfg.spill_dir.clone(),
+        spill_resident_bytes: cfg.spill_resident_bytes,
     };
     let r = if reference {
-        frontier::bfs_reference(&exp, root, &cell, &opts)?
+        frontier::bfs_reference(&exp, root.as_u16s(), &cell, &opts)?
     } else {
-        frontier::bfs(&exp, root, &cell, &opts)?
+        frontier::bfs(&exp, root.as_u16s(), &cell, &opts)?
     };
     let (reduction, sym) = match reducer {
         Some(red) => (red.stats(), red.sym.clone()),
         None => (ReductionStats::default(), None),
     };
-    Ok(assemble(codec, index, r, reduction, sym))
+    assemble(codec, index, r, reduction, sym)
 }
 
 /// Tarjan's strongly connected components (iterative). Components are
@@ -469,7 +670,7 @@ mod tests {
         assert!(g.len() <= 8, "{}", g.len());
         // From the converged terminal state there are no outgoing edges.
         let terminal = (0..g.len())
-            .find(|&i| g.codec.is_quiescent(&g.packed[i]))
+            .find(|&i| g.codec.is_quiescent(&g.packed(i)))
             .expect("line2 reaches quiescence");
         assert!(g.edges[terminal].is_empty());
         assert!(g.state(terminal).is_quiescent());
@@ -484,7 +685,8 @@ mod tests {
         // truncates. The class projection turns those announcements into
         // absorbed ε-reads, making the reduced build exhaustive. The
         // oscillating SCC must be inside the explored region either way.
-        let raw = build(&inst, "R1O".parse().unwrap(), &ExploreConfig { reduce: false, ..cfg });
+        let raw =
+            build(&inst, "R1O".parse().unwrap(), &ExploreConfig { reduce: false, ..cfg.clone() });
         assert!(raw.truncated);
         let g = build(&inst, "R1O".parse().unwrap(), &cfg);
         assert!(!g.truncated);
@@ -550,13 +752,29 @@ mod tests {
             let spec = Spec::Uniform(model.parse().unwrap());
             let reference = build_spec_reference(&inst, spec, &cfg).unwrap();
             for threads in [1, 2, 8] {
-                let c = ExploreConfig { threads: Some(threads), ..cfg };
+                let c = ExploreConfig { threads: Some(threads), ..cfg.clone() };
                 let g = try_build_spec(&inst, spec, &c).unwrap();
-                assert_eq!(g.packed, reference.packed, "{model} @{threads}");
+                assert_eq!(g.nodes, reference.nodes, "{model} @{threads}");
                 assert_eq!(g.pi_fp, reference.pi_fp, "{model} @{threads}");
                 assert_eq!(g.edges, reference.edges, "{model} @{threads}");
                 assert_eq!(g.truncated, reference.truncated, "{model} @{threads}");
             }
         }
+    }
+
+    #[test]
+    fn spilled_build_matches_resident_build() {
+        let inst = gadgets::disagree();
+        let base = ExploreConfig { reduce: false, ..ExploreConfig::default() };
+        let resident = build(&inst, "R1O".parse().unwrap(), &base);
+        let dir = std::env::temp_dir().join(format!("routelab-graph-spill-{}", std::process::id()));
+        let cfg =
+            ExploreConfig { spill_dir: Some(dir.clone()), spill_resident_bytes: 4096, ..base };
+        let spilled = build(&inst, "R1O".parse().unwrap(), &cfg);
+        assert!(spilled.stats.bytes_spilled > 0, "{:?}", spilled.stats);
+        assert_eq!(spilled.nodes, resident.nodes);
+        assert_eq!(spilled.edges, resident.edges);
+        assert_eq!(spilled.pi_fp, resident.pi_fp);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

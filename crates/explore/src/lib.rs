@@ -40,8 +40,10 @@
 //! ));
 //! ```
 
+pub mod arena;
 pub mod effects;
 pub mod error;
+pub mod exec_packed;
 pub mod frontier;
 pub mod graph;
 pub mod oscillation;

@@ -27,7 +27,7 @@ use routelab_spp::SppInstance;
 use crate::effects::Spec;
 use crate::error::ExploreError;
 use crate::graph::{build_spec, try_build_spec, ExploreConfig, StateGraph};
-use crate::pack::{PackedState, StateCodec};
+use crate::pack::StateCodec;
 
 /// Outcome of exhaustive oscillation analysis.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -63,16 +63,16 @@ fn noop_attendable(
     spec: Spec<'_>,
     codec: &StateCodec,
     index: &ChannelIndex,
-    state: &PackedState,
+    state: &[u16],
     c: usize,
 ) -> bool {
     let reader = index.channel(c).to;
-    if !codec.queue_empty(state, c) || !codec.chosen_eq_announced(state, reader) {
+    if !codec.queue_empty_words(state, c) || !codec.chosen_eq_announced_words(state, reader) {
         return false;
     }
     match spec.scope(reader) {
         NeighborScope::Every => {
-            index.in_channels(reader).iter().all(|&cc| codec.queue_empty(state, cc))
+            index.in_channels(reader).iter().all(|&cc| codec.queue_empty_words(state, cc))
         }
         _ => true,
     }
@@ -197,12 +197,34 @@ pub(crate) fn find_fair_scc(spec: Spec<'_>, g: &StateGraph) -> Option<Vec<usize>
             if !pi_changes {
                 continue;
             }
-            // 2. Every channel attended (anti-monotone likewise).
-            let all_attended = (0..channel_count).all(|c| {
-                internal.iter().map(edge).any(|e| e.attended.contains(&c))
-                    || comp.iter().any(|&s| noop_attendable(spec, &g.codec, index, &g.packed[s], c))
-            });
-            if !all_attended {
+            // 2. Every channel attended (anti-monotone likewise). Channels
+            //    no internal edge attends fall back to noop-attendance at a
+            //    member state; each such state is materialized from the
+            //    arena once, not once per channel.
+            let mut attended_ok = vec![false; channel_count];
+            for e in internal.iter().map(edge) {
+                for &c in e.attended() {
+                    attended_ok[c] = true;
+                }
+            }
+            if attended_ok.iter().any(|ok| !ok) {
+                let mut ms = crate::arena::MatScratch::default();
+                let mut ws = Vec::new();
+                'states: for &s in &comp {
+                    g.nodes
+                        .materialize(s as u32, &mut ms, &mut ws)
+                        .expect("built graphs materialize");
+                    for c in 0..channel_count {
+                        if !attended_ok[c] && noop_attendable(spec, &g.codec, index, &ws, c) {
+                            attended_ok[c] = true;
+                            if attended_ok.iter().all(|&ok| ok) {
+                                break 'states;
+                            }
+                        }
+                    }
+                }
+            }
+            if attended_ok.iter().any(|ok| !ok) {
                 continue;
             }
             // 3. Drop fairness: channels dropped on but never delivered on
@@ -210,8 +232,8 @@ pub(crate) fn find_fair_scc(spec: Spec<'_>, g: &StateGraph) -> Option<Vec<usize>
             //    dropping edges and re-decompose.
             let offending: Vec<usize> = (0..channel_count)
                 .filter(|c| {
-                    internal.iter().map(edge).any(|e| e.dropped.contains(c))
-                        && !internal.iter().map(edge).any(|e| e.kept.contains(c))
+                    internal.iter().map(edge).any(|e| e.dropped().contains(c))
+                        && !internal.iter().map(edge).any(|e| e.kept().contains(c))
                 })
                 .collect();
             if offending.is_empty() {
@@ -219,7 +241,7 @@ pub(crate) fn find_fair_scc(spec: Spec<'_>, g: &StateGraph) -> Option<Vec<usize>
             }
             let mut banned2 = banned.clone();
             for &(s, ei) in &internal {
-                if g.edges[s][ei].dropped.iter().any(|c| offending.contains(c)) {
+                if g.edges[s][ei].dropped().iter().any(|c| offending.contains(c)) {
                     banned2.insert((s, ei));
                 }
             }

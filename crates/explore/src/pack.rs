@@ -153,6 +153,18 @@ impl StateCodec {
     /// when the state mentions a route outside the instance's universe.
     pub fn encode(&self, s: &NetworkState) -> Result<PackedState, ExploreError> {
         let mut buf = Vec::with_capacity(2 * self.n + 2 * self.m + 4);
+        self.encode_into(s, &mut buf)?;
+        Ok(PackedState(buf.into()))
+    }
+
+    /// Encodes a state into a caller-owned buffer (cleared first) — the
+    /// allocation-free path for the frontier engine's expansion buffers.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`StateCodec::encode`].
+    pub fn encode_into(&self, s: &NetworkState, buf: &mut Vec<u16>) -> Result<(), ExploreError> {
+        buf.clear();
         for v in 0..self.n {
             buf.push(self.rid(s.chosen(NodeId(v as u32)))?);
         }
@@ -173,17 +185,16 @@ impl StateCodec {
                 buf.push(self.rid(r)?);
             }
         }
-        Ok(PackedState(buf.into()))
+        Ok(())
     }
 
-    fn route(&self, id: u16, p: &PackedState) -> Result<Route, ExploreError> {
+    fn route(&self, id: u16, ws: &[u16]) -> Result<Route, ExploreError> {
         self.routes.get(usize::from(id)).cloned().ok_or_else(|| {
             ExploreError::corrupt(
                 &self.cell,
                 format!(
-                    "route id {id} out of range ({} routes, buffer {:?})",
+                    "route id {id} out of range ({} routes, buffer {ws:?})",
                     self.routes.len(),
-                    p
                 ),
             )
         })
@@ -196,45 +207,69 @@ impl StateCodec {
     /// [`ExploreErrorKind::CorruptState`](crate::error::ExploreErrorKind)
     /// when the buffer does not match the codec's layout.
     pub fn decode(&self, p: &PackedState) -> Result<NetworkState, ExploreError> {
+        self.decode_words(&p.0)
+    }
+
+    /// Decodes a raw word buffer back into a [`NetworkState`].
+    ///
+    /// # Errors
+    ///
+    /// Same as [`StateCodec::decode`].
+    pub fn decode_words(&self, ws: &[u16]) -> Result<NetworkState, ExploreError> {
         let header = 2 * self.n + 2 * self.m;
-        if p.0.len() < header {
+        if ws.len() < header {
             return Err(ExploreError::corrupt(
                 &self.cell,
-                format!("buffer holds {} u16s, header needs {header}", p.0.len()),
+                format!("buffer holds {} u16s, header needs {header}", ws.len()),
             ));
         }
         let chosen =
-            p.0[..self.n].iter().map(|&id| self.route(id, p)).collect::<Result<Vec<_>, _>>()?;
-        let announced = p.0[self.n..2 * self.n]
+            ws[..self.n].iter().map(|&id| self.route(id, ws)).collect::<Result<Vec<_>, _>>()?;
+        let announced = ws[self.n..2 * self.n]
             .iter()
-            .map(|&id| self.route(id, p))
+            .map(|&id| self.route(id, ws))
             .collect::<Result<Vec<_>, _>>()?;
-        let learned = p.0[2 * self.n..2 * self.n + self.m]
+        let learned = ws[2 * self.n..2 * self.n + self.m]
             .iter()
-            .map(|&id| self.route(id, p))
+            .map(|&id| self.route(id, ws))
             .collect::<Result<Vec<_>, _>>()?;
         let mut queues = Vec::with_capacity(self.m);
         let mut at = header;
         for c in 0..self.m {
-            let len = usize::from(p.0[2 * self.n + self.m + c]);
+            let len = usize::from(ws[2 * self.n + self.m + c]);
             let end = at + len;
-            if end > p.0.len() {
+            if end > ws.len() {
                 return Err(ExploreError::corrupt(
                     &self.cell,
-                    format!("queue {c} runs past the buffer ({end} > {})", p.0.len()),
+                    format!("queue {c} runs past the buffer ({end} > {})", ws.len()),
                 ));
             }
             queues.push(
-                p.0[at..end].iter().map(|&id| self.route(id, p)).collect::<Result<Vec<_>, _>>()?,
+                ws[at..end].iter().map(|&id| self.route(id, ws)).collect::<Result<Vec<_>, _>>()?,
             );
             at = end;
+        }
+        // The cursor must land exactly on the buffer end: a buffer with
+        // words after the last queue is not an encoding of any state, and
+        // accepting it would break the "equal states iff equal buffers"
+        // injectivity that exact dedup rests on.
+        if at != ws.len() {
+            return Err(ExploreError::corrupt(
+                &self.cell,
+                format!("{} trailing u16s after the last queue (buffer {})", ws.len() - at, at),
+            ));
         }
         Ok(NetworkState::from_parts(chosen, announced, learned, queues))
     }
 
     /// Queue length of channel `c` — read straight from the packed header.
     pub fn queue_len(&self, p: &PackedState, c: usize) -> usize {
-        usize::from(p.0[2 * self.n + self.m + c])
+        self.queue_len_words(&p.0, c)
+    }
+
+    /// [`StateCodec::queue_len`] over a raw word buffer.
+    pub fn queue_len_words(&self, ws: &[u16], c: usize) -> usize {
+        usize::from(ws[2 * self.n + self.m + c])
     }
 
     /// `true` when channel `c`'s queue is empty.
@@ -242,16 +277,31 @@ impl StateCodec {
         self.queue_len(p, c) == 0
     }
 
+    /// [`StateCodec::queue_empty`] over a raw word buffer.
+    pub fn queue_empty_words(&self, ws: &[u16], c: usize) -> bool {
+        self.queue_len_words(ws, c) == 0
+    }
+
     /// `true` when node `v`'s choice equals its last announcement.
     pub fn chosen_eq_announced(&self, p: &PackedState, v: NodeId) -> bool {
-        p.0[v.index()] == p.0[self.n + v.index()]
+        self.chosen_eq_announced_words(&p.0, v)
+    }
+
+    /// [`StateCodec::chosen_eq_announced`] over a raw word buffer.
+    pub fn chosen_eq_announced_words(&self, ws: &[u16], v: NodeId) -> bool {
+        ws[v.index()] == ws[self.n + v.index()]
     }
 
     /// `true` when the packed state is quiescent (all queues empty, every
     /// choice announced) — mirrors [`NetworkState::is_quiescent`].
     pub fn is_quiescent(&self, p: &PackedState) -> bool {
-        (0..self.m).all(|c| self.queue_empty(p, c))
-            && (0..self.n).all(|v| p.0[v] == p.0[self.n + v])
+        self.is_quiescent_words(&p.0)
+    }
+
+    /// [`StateCodec::is_quiescent`] over a raw word buffer.
+    pub fn is_quiescent_words(&self, ws: &[u16]) -> bool {
+        (0..self.m).all(|c| self.queue_len_words(ws, c) == 0)
+            && (0..self.n).all(|v| ws[v] == ws[self.n + v])
     }
 
     /// The packed π region (chosen route ids) — equal slices iff equal path
@@ -260,13 +310,23 @@ impl StateCodec {
         &p.0[..self.n]
     }
 
+    /// [`StateCodec::pi_ids`] over a raw word buffer.
+    pub fn pi_ids_words<'w>(&self, ws: &'w [u16]) -> &'w [u16] {
+        &ws[..self.n]
+    }
+
     /// A 64-bit fingerprint of the packed π region (for π-change tests on
     /// the state graph; collisions only ever merge equal-π classes checks,
     /// and the fingerprint is compared for equality, never ordered).
     pub fn pi_fingerprint(&self, p: &PackedState) -> u64 {
+        self.pi_fingerprint_words(&p.0)
+    }
+
+    /// [`StateCodec::pi_fingerprint`] over a raw word buffer.
+    pub fn pi_fingerprint_words(&self, ws: &[u16]) -> u64 {
         use std::hash::{Hash, Hasher};
         let mut h = std::collections::hash_map::DefaultHasher::new();
-        self.pi_ids(p).hash(&mut h);
+        self.pi_ids_words(ws).hash(&mut h);
         h.finish()
     }
 }
@@ -399,5 +459,28 @@ mod tests {
         let err = codec.decode(&truncated).expect_err("short buffer");
         assert!(matches!(err.kind, crate::error::ExploreErrorKind::CorruptState { .. }));
         assert!(p.len_u16() > 4);
+    }
+
+    #[test]
+    fn trailing_words_after_the_last_queue_are_corrupt() {
+        // decode() used to stop reading at the last queue without checking
+        // that it had consumed the whole buffer, so a corrupt state with
+        // trailing words silently decoded to the same NetworkState as its
+        // clean prefix — breaking the codec's injectivity guarantee.
+        for (name, inst) in gadgets::corpus() {
+            let (index, codec) = codec_for(&inst);
+            let s = NetworkState::initial(&inst, &index);
+            let p = codec.encode(&s).unwrap();
+            let mut padded = p.0.to_vec();
+            padded.push(0);
+            let err = codec.decode_words(&padded).expect_err("trailing words");
+            assert!(
+                matches!(&err.kind, crate::error::ExploreErrorKind::CorruptState { detail }
+                    if detail.contains("trailing")),
+                "{name}: {err:?}"
+            );
+            // The clean buffer still decodes.
+            assert_eq!(codec.decode_words(&p.0).unwrap(), s, "{name}");
+        }
     }
 }

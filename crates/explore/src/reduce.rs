@@ -62,8 +62,9 @@ use routelab_engine::index::ChannelIndex;
 use routelab_engine::state::NetworkState;
 use routelab_spp::{automorphisms, Channel, NodeId, Route, SppInstance};
 
+use crate::arena::NodeArena;
 use crate::effects::Spec;
-use crate::graph::{EdgeLabel, StateGraph};
+use crate::graph::{EdgeLabel, StateGraph, StepInfo};
 use crate::pack::{PackedState, StateCodec};
 
 /// Aggregated reduction activity of one graph build.
@@ -226,6 +227,23 @@ impl Reducer {
                 (q, g)
             }
             None => (p, 0),
+        }
+    }
+
+    /// Word-level canonicalization for the frontier hot loop: returns the
+    /// replacement buffer when a strictly smaller symmetric image exists
+    /// (`None` means `ws` is already canonical) plus the group element
+    /// applied.
+    pub(crate) fn canonicalize_words(&self, ws: &[u16]) -> (Option<Vec<u16>>, u16) {
+        match &self.sym {
+            Some(t) => {
+                let (img, g) = t.canonicalize_words(ws);
+                if g != 0 {
+                    self.sym_hits.fetch_add(1, Ordering::Relaxed);
+                }
+                (img, g)
+            }
+            None => (None, 0),
         }
     }
 
@@ -412,7 +430,15 @@ impl SymTables {
     /// resolve to the smallest element index, so the result is a function
     /// of the buffer alone).
     pub(crate) fn canonicalize(&self, p: PackedState) -> (PackedState, u16) {
-        let raw = p.as_u16s();
+        match self.canonicalize_words(p.as_u16s()) {
+            (Some(ws), g) => (PackedState::from_u16s(ws), g),
+            (None, _) => (p, 0),
+        }
+    }
+
+    /// Word-level variant of [`SymTables::canonicalize`]: `None` when `raw`
+    /// is already the least element of its orbit.
+    pub(crate) fn canonicalize_words(&self, raw: &[u16]) -> (Option<Vec<u16>>, u16) {
         let mut best: Option<(Vec<u16>, usize)> = None;
         for g in 1..self.elems.len() {
             let img = self.transform(raw, g);
@@ -425,8 +451,8 @@ impl SymTables {
             }
         }
         match best {
-            Some((b, g)) => (PackedState::from_u16s(b), g as u16),
-            None => (p, 0),
+            Some((b, g)) => (Some(b), g as u16),
+            None => (None, 0),
         }
     }
 }
@@ -445,23 +471,24 @@ pub(crate) fn unfold_symmetry(g: &StateGraph) -> StateGraph {
     let t = g.sym.as_ref().expect("unfold_symmetry requires symmetry tables").clone();
     let mut ids: HashMap<(usize, usize), usize> = HashMap::new();
     let mut nodes: Vec<(usize, usize)> = Vec::new();
-    let mut packed: Vec<PackedState> = Vec::new();
+    let mut arena = NodeArena::new(g.codec.cell());
+    let mut pi_fp: Vec<u64> = Vec::new();
     let mut intern = |q: usize,
                       gi: usize,
                       nodes: &mut Vec<(usize, usize)>,
-                      packed: &mut Vec<PackedState>|
+                      arena: &mut NodeArena,
+                      pi_fp: &mut Vec<u64>|
      -> usize {
         *ids.entry((q, gi)).or_insert_with(|| {
             nodes.push((q, gi));
-            packed.push(if gi == 0 {
-                g.packed[q].clone()
-            } else {
-                PackedState::from_u16s(t.transform(g.packed[q].as_u16s(), gi))
-            });
+            let base = g.nodes.node_vec(q as u32);
+            let ws = if gi == 0 { base } else { t.transform(&base, gi) };
+            pi_fp.push(g.codec.pi_fingerprint_words(&ws));
+            arena.intern_full(&ws).expect("resident arenas cannot fail to intern");
             nodes.len() - 1
         })
     };
-    intern(0, 0, &mut nodes, &mut packed);
+    intern(0, 0, &mut nodes, &mut arena, &mut pi_fp);
     let mut edges: Vec<Vec<EdgeLabel>> = Vec::new();
     let mut head = 0usize;
     while head < nodes.len() {
@@ -469,25 +496,26 @@ pub(crate) fn unfold_symmetry(g: &StateGraph) -> StateGraph {
         let mut out = Vec::with_capacity(g.edges[q].len());
         for e in &g.edges[q] {
             let a = usize::from(e.sym);
-            let to = intern(e.to, t.compose(gi, t.inverse(a)), &mut nodes, &mut packed);
+            let to = intern(e.to, t.compose(gi, t.inverse(a)), &mut nodes, &mut arena, &mut pi_fp);
             out.push(EdgeLabel {
                 to,
-                attended: e.attended.iter().map(|&c| t.map_channel(gi, c)).collect(),
-                kept: e.kept.iter().map(|&c| t.map_channel(gi, c)).collect(),
-                dropped: e.dropped.iter().map(|&c| t.map_channel(gi, c)).collect(),
+                info: Arc::new(StepInfo {
+                    step: e.step().clone(),
+                    attended: e.attended().iter().map(|&c| t.map_channel(gi, c)).collect(),
+                    kept: e.kept().iter().map(|&c| t.map_channel(gi, c)).collect(),
+                    dropped: e.dropped().iter().map(|&c| t.map_channel(gi, c)).collect(),
+                }),
                 changes_pi: e.changes_pi,
-                step: e.step.clone(),
                 sym: 0,
             });
         }
         edges.push(out);
         head += 1;
     }
-    let pi_fp = packed.iter().map(|p| g.codec.pi_fingerprint(p)).collect();
     StateGraph {
         codec: g.codec.clone(),
         index: g.index.clone(),
-        packed,
+        nodes: arena,
         pi_fp,
         edges,
         truncated: g.truncated,

@@ -16,9 +16,9 @@ use routelab_spp::SppInstance;
 
 use crate::effects::{all_steps, Spec};
 use crate::error::ExploreError;
-use crate::frontier::{bfs, BfsOptions, Expand};
+use crate::frontier::{bfs, BfsOptions, Expand, SuccBuf};
 use crate::graph::{cell_of, ExploreConfig};
-use crate::pack::{PackedState, StateCodec};
+use crate::pack::StateCodec;
 
 /// Which Definition 3.2 relation the found sequence must induce.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -60,9 +60,13 @@ impl SearchResult {
     }
 }
 
-/// A search node: the packed network state plus the search's own position
-/// counter (how much of the target has been matched).
-type SearchNode = (PackedState, u32);
+/// A search node is the packed network state followed by two trailer words
+/// carrying the search's own position counter (how much of the target has
+/// been matched) as a little-endian-split `u32`.
+fn split_node(node: &[u16]) -> (&[u16], u32) {
+    let (ws, tail) = node.split_at(node.len() - 2);
+    (ws, u32::from(tail[0]) | (u32::from(tail[1]) << 16))
+}
 
 struct SearchExpand<'a> {
     inst: &'a SppInstance,
@@ -85,19 +89,25 @@ impl SearchExpand<'_> {
     }
 }
 
+/// Reusable per-worker encode buffer.
+#[derive(Default)]
+struct SearchScratch {
+    enc: Vec<u16>,
+}
+
 impl Expand for SearchExpand<'_> {
-    type Node = SearchNode;
     type Label = ActivationStep;
+    type Scratch = SearchScratch;
 
     fn expand(
         &self,
         _id: u32,
-        node: &SearchNode,
-        out: &mut Vec<(SearchNode, ActivationStep)>,
+        node: &[u16],
+        out: &mut SuccBuf<ActivationStep>,
+        scratch: &mut SearchScratch,
     ) -> Result<bool, ExploreError> {
-        let (packed, progress) = node;
-        let progress = *progress;
-        let state = self.codec.decode(packed)?;
+        let (packed, progress) = split_node(node);
+        let state = self.codec.decode_words(packed)?;
         let spec = Spec::Uniform(self.model);
         let (steps, capped) = all_steps(
             spec,
@@ -115,8 +125,8 @@ impl Expand for SearchExpand<'_> {
                 truncated = true;
                 continue;
             }
-            let next_packed = self.codec.encode(&next)?;
-            let pi = self.codec.pi_ids(&next_packed);
+            self.codec.encode_into(&next, &mut scratch.enc)?;
+            let pi = self.codec.pi_ids_words(&scratch.enc);
             let next_progress = match self.goal {
                 SearchGoal::Exact => {
                     if progress == self.last {
@@ -149,13 +159,16 @@ impl Expand for SearchExpand<'_> {
                     }
                 }
             };
-            out.push(((next_packed, next_progress), activation));
+            scratch.enc.push((next_progress & 0xFFFF) as u16);
+            scratch.enc.push((next_progress >> 16) as u16);
+            out.push(&scratch.enc, activation);
         }
         Ok(truncated)
     }
 
-    fn accept(&self, _id: u32, node: &SearchNode) -> bool {
-        node.1 == self.last && (!self.must_settle || self.codec.is_quiescent(&node.0))
+    fn accept(&self, _id: u32, node: &[u16]) -> bool {
+        let (packed, progress) = split_node(node);
+        progress == self.last && (!self.must_settle || self.codec.is_quiescent_words(packed))
     }
 }
 
@@ -229,9 +242,13 @@ pub fn try_search(
         record_edges: false,
         record_parents: true,
         progress_label: "search.visited",
+        spill_dir: cfg.spill_dir.clone(),
+        spill_resident_bytes: cfg.spill_resident_bytes,
     };
-    let root = (codec.encode(&initial)?, 0u32);
-    let r = bfs(&exp, root, codec.cell(), &opts)?;
+    let mut root = Vec::new();
+    codec.encode_into(&initial, &mut root)?;
+    root.extend_from_slice(&[0, 0]); // progress trailer = 0
+    let r = bfs(&exp, &root, codec.cell(), &opts)?;
     if routelab_obs::enabled() {
         routelab_obs::gauge("search.visited", r.nodes.len() as u64);
     }

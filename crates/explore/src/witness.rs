@@ -90,7 +90,7 @@ pub fn oscillation_witness_spec(
     spec: Spec<'_>,
     cfg: &ExploreConfig,
 ) -> Option<OscillationWitness> {
-    let cfg = ExploreConfig { reduce: false, ..*cfg };
+    let cfg = ExploreConfig { reduce: false, ..cfg.clone() };
     let g = build_spec(inst, spec, &cfg);
     witness_from_graph(spec, &g)
 }
@@ -121,9 +121,9 @@ pub fn witness_from_graph(spec: Spec<'_>, g: &StateGraph) -> Option<OscillationW
     let back = bfs_path(g, cb, ca, Some(&member))?;
 
     let to_steps = |edges: &[(usize, usize)]| -> ActivationSeq {
-        edges.iter().map(|&(s, ei)| g.edges[s][ei].step.to_activation(spec, index)).collect()
+        edges.iter().map(|&(s, ei)| g.edges[s][ei].step().to_activation(spec, index)).collect()
     };
-    let mut cycle = vec![g.edges[ca][cei].step.to_activation(spec, index)];
+    let mut cycle = vec![g.edges[ca][cei].step().to_activation(spec, index)];
     cycle.extend(to_steps(&back));
     Some(OscillationWitness { prefix: to_steps(&prefix_edges), cycle })
 }

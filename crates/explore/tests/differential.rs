@@ -18,7 +18,7 @@ use routelab_spp::gadgets;
 
 fn assert_same_graph(cell: &str, threads: usize, par: &StateGraph, reference: &StateGraph) {
     assert_eq!(par.len(), reference.len(), "{cell} @{threads}t: state count");
-    assert_eq!(par.packed, reference.packed, "{cell} @{threads}t: interned states");
+    assert_eq!(par.nodes, reference.nodes, "{cell} @{threads}t: interned states");
     assert_eq!(par.pi_fp, reference.pi_fp, "{cell} @{threads}t: π fingerprints");
     assert_eq!(par.edges, reference.edges, "{cell} @{threads}t: edge lists");
     assert_eq!(par.truncated, reference.truncated, "{cell} @{threads}t: truncation flag");
@@ -31,6 +31,7 @@ fn taxonomy_sweep(reduce: bool) {
         max_steps_per_state: 20_000,
         threads: None,
         reduce,
+        ..ExploreConfig::default()
     };
     for (name, inst) in gadgets::corpus() {
         for model in CommModel::all() {
@@ -41,7 +42,7 @@ fn taxonomy_sweep(reduce: bool) {
             let ref_verdict = analyze_graph(spec, &reference);
             let ref_witness = witness_from_graph(spec, &reference);
             for threads in [1usize, 2, 8] {
-                let par_cfg = ExploreConfig { threads: Some(threads), ..cfg };
+                let par_cfg = ExploreConfig { threads: Some(threads), ..cfg.clone() };
                 let par = try_build_spec(&inst, spec, &par_cfg)
                     .unwrap_or_else(|e| panic!("{cell} @{threads}t: {e}"));
                 assert_same_graph(&cell, threads, &par, &reference);
@@ -94,7 +95,7 @@ fn parallel_explorer_matches_reference_on_larger_oscillating_cells() {
         let ref_verdict = analyze_graph(spec, &reference);
         let ref_witness = witness_from_graph(spec, &reference);
         for threads in [2usize, 8] {
-            let par_cfg = ExploreConfig { threads: Some(threads), ..cfg };
+            let par_cfg = ExploreConfig { threads: Some(threads), ..cfg.clone() };
             let par = try_build_spec(&inst, spec, &par_cfg)
                 .unwrap_or_else(|e| panic!("{cell} @{threads}t: {e}"));
             assert_same_graph(&cell, threads, &par, &reference);

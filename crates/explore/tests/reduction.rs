@@ -37,8 +37,8 @@ fn assert_consistent(cell: &str, reduced: &Verdict, unreduced: &Verdict) {
 /// comparable.
 fn quiescent_pis(g: &StateGraph) -> HashSet<Vec<u16>> {
     (0..g.len())
-        .filter(|&i| g.codec.is_quiescent(&g.packed[i]))
-        .map(|i| g.codec.pi_ids(&g.packed[i]).to_vec())
+        .filter(|&i| g.codec.is_quiescent(&g.packed(i)))
+        .map(|i| g.codec.pi_ids(&g.packed(i)).to_vec())
         .collect()
 }
 
@@ -50,14 +50,15 @@ fn reduced_and_unreduced_builds_agree_across_the_whole_taxonomy() {
         max_steps_per_state: 20_000,
         threads: None,
         reduce: true,
+        ..ExploreConfig::default()
     };
     for (name, inst) in gadgets::corpus() {
         for model in CommModel::all() {
             let spec = Spec::Uniform(model);
             let cell = format!("{name} × {model}");
             for threads in [1usize, 2, 8] {
-                let rcfg = ExploreConfig { threads: Some(threads), ..base };
-                let ucfg = ExploreConfig { reduce: false, ..rcfg };
+                let rcfg = ExploreConfig { threads: Some(threads), ..base.clone() };
+                let ucfg = ExploreConfig { reduce: false, ..rcfg.clone() };
                 let rg = try_build_spec(&inst, spec, &rcfg)
                     .unwrap_or_else(|e| panic!("{cell} reduced @{threads}t: {e}"));
                 let ug = try_build_spec(&inst, spec, &ucfg)

@@ -1,0 +1,221 @@
+//! State-storage soundness tests: the delta-compressed (and optionally
+//! spill-backed) node arena must be an invisible implementation detail.
+//!
+//! Three properties, per the determinism contract:
+//!
+//! 1. delta-encoding a reachable state against an arbitrary parent and
+//!    materializing it back round-trips bit-for-bit, for every gadget of
+//!    the corpus (proptest over engine-driven walks);
+//! 2. a spilled arena and a resident arena produce identical graphs —
+//!    same interned states, edges, π fingerprints, and truncation;
+//! 3. unreduced (`reduce: false`) builds on the delta arena are
+//!    bit-identical to the sequential reference at 1, 2, and 8 threads.
+
+use proptest::prelude::*;
+use routelab_core::step::{ActivationStep, ChannelAction, NodeUpdate};
+use routelab_engine::exec::execute_step;
+use routelab_engine::index::ChannelIndex;
+use routelab_engine::state::NetworkState;
+use routelab_explore::arena::{MatScratch, NodeArena};
+use routelab_explore::effects::Spec;
+use routelab_explore::error::ExploreError;
+use routelab_explore::frontier::{bfs, BfsOptions, Expand, SuccBuf};
+use routelab_explore::graph::{build_spec_reference, try_build_spec, ExploreConfig};
+use routelab_explore::pack::StateCodec;
+use routelab_spp::{gadgets, NodeId, SppInstance};
+
+/// The packed encodings of the states visited by an activation walk
+/// (read-all steps of the picked nodes), initial state included.
+fn walk_words(inst: &SppInstance, walk: &[usize]) -> Vec<Vec<u16>> {
+    let index = ChannelIndex::new(inst.graph());
+    let codec = StateCodec::new(inst, &index, "storage-test").expect("codec");
+    let mut state = NetworkState::initial(inst, &index);
+    let mut out = Vec::with_capacity(walk.len() + 1);
+    let mut buf = Vec::new();
+    codec.encode_into(&state, &mut buf).expect("encode");
+    out.push(buf.clone());
+    for &pick in walk {
+        let v = NodeId((pick % inst.node_count()) as u32);
+        let actions = index
+            .in_channels(v)
+            .iter()
+            .map(|&cid| ChannelAction::read_all(index.channel(cid)))
+            .collect();
+        execute_step(
+            inst,
+            &index,
+            &mut state,
+            &ActivationStep::single(NodeUpdate::new(v, actions)),
+        );
+        codec.encode_into(&state, &mut buf).expect("encode");
+        out.push(buf.clone());
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+    /// Property 1: delta-encode → materialize round-trips every corpus
+    /// state, whatever parent each diff is computed against.
+    #[test]
+    fn delta_interning_round_trips_every_corpus_state(
+        gadget in 0usize..6,
+        walk in prop::collection::vec(0usize..64, 0..16),
+        parent_picks in prop::collection::vec(0usize..16, 0..16),
+    ) {
+        let corpus = gadgets::corpus();
+        let (_, inst) = &corpus[gadget % corpus.len()];
+        let states = walk_words(inst, &walk);
+
+        let mut arena = NodeArena::new("storage-test");
+        let mut code = Vec::new();
+        let mut ids = Vec::new();
+        for (i, ws) in states.iter().enumerate() {
+            let id = if i == 0 {
+                arena.intern_full(ws).expect("resident interning")
+            } else {
+                // Diff against an arbitrary earlier state, not necessarily
+                // the walk predecessor — the engine picks BFS parents, so
+                // the codec must work against any base.
+                let p = parent_picks.get(i - 1).copied().unwrap_or(0) % i;
+                arena
+                    .intern(ws, ids[p], &states[p], &mut code)
+                    .expect("resident interning")
+            };
+            ids.push(id);
+        }
+
+        let mut scratch = MatScratch::default();
+        let mut out = Vec::new();
+        for (i, ws) in states.iter().enumerate() {
+            arena.materialize(ids[i], &mut scratch, &mut out).expect("materialize");
+            prop_assert_eq!(&out, ws, "state {} of the walk", i);
+        }
+    }
+}
+
+/// Property 2: spilling is invisible — identical graphs, bit for bit.
+#[test]
+fn spilled_and_resident_builds_are_identical() {
+    let dir = std::env::temp_dir().join(format!("routelab-storage-spill-{}", std::process::id()));
+    for (name, model, reduce) in
+        [("DISAGREE", "R1O", false), ("DISAGREE", "RMS", false), ("BAD-GADGET", "REA", true)]
+    {
+        let inst = gadgets::corpus()
+            .into_iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, i)| i)
+            .expect("gadget");
+        let spec = Spec::Uniform(model.parse().expect("model"));
+        let base =
+            ExploreConfig { channel_cap: 2, max_states: 5_000, reduce, ..ExploreConfig::default() };
+        let resident = try_build_spec(&inst, spec, &base).expect("resident build");
+        let spill_cfg = ExploreConfig {
+            spill_dir: Some(dir.clone()),
+            // A deliberately tiny resident budget so sealed pages actually
+            // move to disk in a test-sized space (the arena shrinks its
+            // page size to fit the budget).
+            spill_resident_bytes: 512,
+            ..base
+        };
+        let spilled = try_build_spec(&inst, spec, &spill_cfg).expect("spilled build");
+        let cell = format!("{name} × {model} (reduce={reduce})");
+        assert!(spilled.stats.bytes_spilled > 0, "{cell}: nothing spilled ({:?})", spilled.stats);
+        assert_eq!(spilled.nodes, resident.nodes, "{cell}: interned states");
+        assert_eq!(spilled.pi_fp, resident.pi_fp, "{cell}: π fingerprints");
+        assert_eq!(spilled.edges, resident.edges, "{cell}: edges");
+        assert_eq!(spilled.truncated, resident.truncated, "{cell}: truncation");
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A synthetic routing-state-shaped workload: 64-word states of which the
+/// first 8 slots are increment counters, every state offering all 8
+/// increments as successors. Reachability is the 8-dimensional composition
+/// lattice, so the space is combinatorially large while successive states
+/// differ in exactly one `u16` slot — the shape the delta arena exists for.
+struct Lattice;
+
+impl Expand for Lattice {
+    type Label = ();
+    type Scratch = Vec<u16>;
+
+    fn expand(
+        &self,
+        _id: u32,
+        node: &[u16],
+        out: &mut SuccBuf<()>,
+        scratch: &mut Vec<u16>,
+    ) -> Result<bool, ExploreError> {
+        for slot in 0..8 {
+            scratch.clear();
+            scratch.extend_from_slice(node);
+            scratch[slot] += 1;
+            out.push(scratch, ());
+        }
+        Ok(false)
+    }
+}
+
+/// Acceptance demo (ignored by default — ~10 GB of candidate traffic):
+/// a 10M-state budget completes under the spill arena with the resident
+/// payload held near the configured budget. Run with
+/// `cargo test --release -p routelab-explore --test storage -- --ignored`.
+#[test]
+#[ignore = "10M-state spill acceptance demo; run explicitly in release"]
+fn ten_million_state_budget_completes_under_spill() {
+    const BUDGET: usize = 10_000_000;
+    const RESIDENT: usize = 64 << 20; // 64 MiB resident payload
+    let dir = std::env::temp_dir().join(format!("routelab-storage-10m-{}", std::process::id()));
+    let root = [0u16; 64];
+    let opts = BfsOptions {
+        spill_dir: Some(dir.clone()),
+        spill_resident_bytes: RESIDENT,
+        ..BfsOptions::new(1, BUDGET)
+    };
+    let r = bfs(&Lattice, &root, "lattice-10m", &opts).expect("10M-state spill run");
+    println!("10M spill run: {:?}", r.stats);
+    assert_eq!(r.nodes.len(), BUDGET);
+    assert!(r.truncated, "the lattice is far larger than the budget");
+    assert!(r.stats.bytes_spilled > 0, "{:?}", r.stats);
+    // The arena halves the configured budget into words; sealed pages past
+    // it must be on disk, leaving only the budget plus the open page and
+    // unsealed slack resident.
+    assert!(
+        r.stats.bytes_resident < (RESIDENT + (RESIDENT / 4)) as u64,
+        "resident payload exceeds the spill budget: {:?}",
+        r.stats
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Property 3: the unreduced fast path on the delta arena matches the
+/// sequential reference at every thread count.
+#[test]
+fn unreduced_delta_builds_match_reference_across_thread_counts() {
+    for (name, model) in [("DISAGREE", "R1O"), ("FIG6", "R1A"), ("BAD-GADGET", "REA")] {
+        let inst = gadgets::corpus()
+            .into_iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, i)| i)
+            .expect("gadget");
+        let spec = Spec::Uniform(model.parse().expect("model"));
+        let cfg = ExploreConfig {
+            channel_cap: 2,
+            max_states: 4_000,
+            reduce: false,
+            ..ExploreConfig::default()
+        };
+        let reference = build_spec_reference(&inst, spec, &cfg).expect("reference");
+        for threads in [1usize, 2, 8] {
+            let par_cfg = ExploreConfig { threads: Some(threads), ..cfg.clone() };
+            let par = try_build_spec(&inst, spec, &par_cfg).expect("parallel build");
+            let cell = format!("{name} × {model} @{threads}t");
+            assert_eq!(par.nodes, reference.nodes, "{cell}: interned states");
+            assert_eq!(par.pi_fp, reference.pi_fp, "{cell}: π fingerprints");
+            assert_eq!(par.edges, reference.edges, "{cell}: edges");
+            assert_eq!(par.truncated, reference.truncated, "{cell}: truncation");
+        }
+    }
+}

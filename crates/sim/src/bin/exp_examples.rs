@@ -114,7 +114,7 @@ fn a2(base: &ExploreConfig) -> bool {
         channel_cap: 3,
         max_states: 1_500_000,
         max_steps_per_state: 20_000,
-        ..*base
+        ..base.clone()
     };
     ok &= oscillation_claims(&run.instance, &["REO", "REF"], &["R1A", "RMA", "REA"], &cfg);
     ok
@@ -132,7 +132,7 @@ fn search_claim(
         channel_cap: 6,
         max_states: 2_000_000,
         max_steps_per_state: 50_000,
-        ..*base
+        ..base.clone()
     };
     let res = match try_search(&run.instance, model.parse().expect("model"), &target, goal, &cfg) {
         Ok(res) => res,
@@ -226,6 +226,7 @@ fn main() {
     let base = ExploreConfig {
         threads: opts.pool.threads,
         reduce: opts.reduce(),
+        spill_dir: opts.spill_dir.clone(),
         ..ExploreConfig::default()
     };
     let mut ok = true;

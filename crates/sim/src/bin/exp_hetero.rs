@@ -41,7 +41,14 @@ fn analyze_row(
 
 fn main() {
     let opts = cli::parse_common("exp-hetero");
-    let cfg = ExploreConfig { channel_cap: 3, max_states: 400_000, ..ExploreConfig::default() };
+    let cfg = ExploreConfig {
+        channel_cap: 3,
+        max_states: 400_000,
+        threads: opts.pool.threads,
+        reduce: opts.reduce(),
+        spill_dir: opts.spill_dir.clone(),
+        ..ExploreConfig::default()
+    };
 
     println!("== Mixed node behavior on DISAGREE (Fig. 5) ==");
     println!("(baseline: pure polling always converges; pure event-driven oscillates)\n");

@@ -39,14 +39,19 @@ impl PoolConfig {
     }
 
     /// The worker count this configuration resolves to.
+    ///
+    /// # Panics
+    ///
+    /// Panics when [`THREADS_ENV`] is set to anything but a positive
+    /// integer — a silent fall-back to machine parallelism would turn a
+    /// typo'd `ROUTELAB_THREADS=fuor` into an unpinned run (the explorer's
+    /// thread resolution shares this contract).
     pub fn resolved_threads(&self) -> usize {
         if let Some(n) = self.threads {
             return n.max(1);
         }
-        if let Some(n) = std::env::var(THREADS_ENV).ok().and_then(|s| s.parse::<usize>().ok()) {
-            if n >= 1 {
-                return n;
-            }
+        if let Ok(raw) = std::env::var(THREADS_ENV) {
+            return routelab_explore::frontier::threads_from_env(&raw);
         }
         std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
     }
@@ -235,5 +240,20 @@ mod tests {
         assert_eq!(PoolConfig::with_threads(0).resolved_threads(), 1);
         assert_eq!(PoolConfig::with_threads(6).resolved_threads(), 6);
         assert!(PoolConfig::default().resolved_threads() >= 1);
+    }
+
+    #[test]
+    fn invalid_thread_env_values_are_hard_errors() {
+        // Exercised through the same parser `resolved_threads` delegates to
+        // (calling it directly avoids mutating the process environment,
+        // which would race with concurrently running tests).
+        use routelab_explore::frontier::threads_from_env;
+        assert_eq!(threads_from_env("4"), 4);
+        for bogus in ["", "zero", "1.5", "0", "-3"] {
+            let err = std::panic::catch_unwind(|| threads_from_env(bogus))
+                .expect_err("must reject {bogus:?}");
+            let msg = err.downcast_ref::<String>().expect("string payload");
+            assert!(msg.contains(&format!("{bogus:?}")), "{msg}");
+        }
     }
 }

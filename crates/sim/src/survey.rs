@@ -157,7 +157,7 @@ pub fn try_survey_instance(
 
     let phase2_cfg = ExploreConfig {
         max_states: cfg.direct_budget.unwrap_or(cfg.explore.max_states / 8).max(1_000),
-        ..cfg.explore
+        ..cfg.explore.clone()
     };
     CommModel::all()
         .into_iter()

@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""Bench-regression gate for results/BENCH_explore.json.
+
+Usage: check_bench.py [path/to/BENCH_explore.json]
+
+Fails (exit 1) when:
+  * the headline cell (unreduced FIG6 x R1A, 1 thread) falls below the
+    baseline throughput the JSON itself carries (`baseline_states_per_s`,
+    the pre-delta-arena engine's figure);
+  * any run was not bit-identical across thread counts;
+  * the reduced and unreduced oscillation verdicts disagree.
+
+The gate compares states/s, not wall-clock, so it is robust to the cell
+size changing; the baseline constant lives in the bench source
+(crates/bench/benches/explore_scaling.rs) and must only ever be raised.
+"""
+
+import json
+import sys
+
+
+def fail(msg: str) -> None:
+    print(f"check_bench: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main() -> None:
+    path = sys.argv[1] if len(sys.argv) > 1 else "results/BENCH_explore.json"
+    with open(path) as f:
+        bench = json.load(f)
+
+    if not bench.get("bit_identical_across_thread_counts"):
+        fail("outputs were not bit-identical across thread counts")
+    if not bench.get("reduced_verdicts_match_unreduced"):
+        fail("reduction changed an oscillation verdict")
+
+    baseline = bench.get("baseline_states_per_s")
+    if not baseline:
+        fail("no baseline_states_per_s in the JSON (bench too old?)")
+
+    headline = None
+    for cell in bench["cells"]:
+        if cell["model"] == "R1A" and cell["gadget"] == "FIG6" and not cell["reduce"]:
+            for run in cell["runs"]:
+                if run["threads"] == 1:
+                    headline = run
+    if headline is None:
+        fail("headline cell (unreduced FIG6 x R1A @1t) missing from the JSON")
+
+    rate = headline["states_per_s"]
+    ratio = rate / baseline
+    print(
+        f"check_bench: unreduced FIG6 x R1A @1t: {rate:,.0f} states/s "
+        f"({ratio:.2f}x the {baseline:,.0f} states/s baseline)"
+    )
+    if rate < baseline:
+        fail(f"throughput regressed below the baseline ({rate:,.0f} < {baseline:,.0f} states/s)")
+    print("check_bench: OK")
+
+
+if __name__ == "__main__":
+    main()
