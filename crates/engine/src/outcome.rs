@@ -90,6 +90,38 @@ pub fn drive<S: Scheduler>(
     scheduler: &mut S,
     max_steps: usize,
 ) -> RunOutcome {
+    let outcome = drive_inner(runner, scheduler, max_steps);
+    if let Some(fl) = runner.flight() {
+        let steps = runner.stats().steps as u64;
+        match &outcome {
+            RunOutcome::Converged { .. } => fl.end("converged", steps, None, None, None),
+            RunOutcome::CycleDetected { first_seen, period, oscillating } => {
+                // `first_seen` is relative to this drive call, but the trace
+                // numbers steps over the whole run (a witness replay executes
+                // its prefix before driving). Cycle detection returns after
+                // exactly `first_seen + period` drive steps, so the offset of
+                // this call within the run is recoverable from the total.
+                let base = steps - (*first_seen + *period) as u64;
+                fl.end(
+                    "cycle",
+                    steps,
+                    Some(base + *first_seen as u64),
+                    Some(*period as u64),
+                    Some(*oscillating),
+                )
+            }
+            RunOutcome::ScheduleExhausted { .. } => fl.end("exhausted", steps, None, None, None),
+            RunOutcome::StepLimit { .. } => fl.end("step-limit", steps, None, None, None),
+        }
+    }
+    outcome
+}
+
+fn drive_inner<S: Scheduler>(
+    runner: &mut Runner<'_>,
+    scheduler: &mut S,
+    max_steps: usize,
+) -> RunOutcome {
     // (state fp, scheduler fp) -> (step index, dedup'd trace length)
     let mut seen: HashMap<(u64, u64), (usize, usize)> = HashMap::new();
     let mut distinct_assignments = 1; // initial assignment

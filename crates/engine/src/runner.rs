@@ -40,6 +40,10 @@ pub struct Runner<'a> {
     /// delivered since — if the run ends like this, it violates the drop
     /// half of fairness (Definition 2.4).
     pending_drop: Vec<bool>,
+    /// Flight-recorder handle: `Some` only when tracing is enabled, in which
+    /// case every step's causal record is emitted. Recording only observes —
+    /// results are bit-identical with tracing on or off.
+    flight: Option<routelab_obs::RunTrace>,
 }
 
 impl<'a> Runner<'a> {
@@ -50,7 +54,8 @@ impl<'a> Runner<'a> {
         let mut trace = PathTrace::new();
         trace.push(state.assignment());
         let pending_drop = vec![false; index.len()];
-        Runner { inst, index, state, trace, stats: RunStats::default(), pending_drop }
+        let flight = flight_begin(inst, &index);
+        Runner { inst, index, state, trace, stats: RunStats::default(), pending_drop, flight }
     }
 
     /// The instance under execution.
@@ -100,7 +105,49 @@ impl<'a> Runner<'a> {
         for &c in &effect.kept_on {
             self.pending_drop[c] = false;
         }
+        if let Some(fl) = &self.flight {
+            self.flight_step(fl, step, &effect);
+        }
         effect
+    }
+
+    /// Flight-recorder handle for this run (when tracing is enabled).
+    pub fn flight(&self) -> Option<&routelab_obs::RunTrace> {
+        self.flight.as_ref()
+    }
+
+    /// Emits one step's causal record: activated nodes, π adoptions and
+    /// withdrawals, and per-channel send/deliver/drop events.
+    fn flight_step(&self, fl: &routelab_obs::RunTrace, step: &ActivationStep, effect: &StepEffect) {
+        let nodes: Vec<u32> = step.updates.iter().map(|u| u.node.0).collect();
+        let pi: Vec<(u32, String, String)> = effect
+            .changed
+            .iter()
+            .map(|(v, old, new)| (v.0, self.inst.fmt_route(old), self.inst.fmt_route(new)))
+            .collect();
+        // Phase 3 pushed `announced(from)` onto every channel in `sent_on`,
+        // so reading it back after the step names the route each message
+        // carries.
+        let sent: Vec<(u32, String)> = effect
+            .sent_on
+            .iter()
+            .map(|&c| {
+                let from = self.index.channel(c).from;
+                (c as u32, self.inst.fmt_route(self.state.announced(from)))
+            })
+            .collect();
+        let delivered: Vec<u32> = effect.kept_on.iter().map(|&c| c as u32).collect();
+        let dropped: Vec<u32> = effect.dropped_on.iter().map(|&c| c as u32).collect();
+        fl.step(
+            self.stats.steps as u64 - 1,
+            &routelab_obs::StepRecord {
+                nodes: &nodes,
+                pi: &pi,
+                sent: &sent,
+                delivered: &delivered,
+                dropped: &dropped,
+            },
+        );
     }
 
     /// `true` when some channel's latest processed message was dropped with
@@ -117,13 +164,16 @@ impl<'a> Runner<'a> {
         seq.iter().map(|s| self.step(s)).collect()
     }
 
-    /// Resets to the initial state, clearing trace and statistics.
+    /// Resets to the initial state, clearing trace and statistics. When
+    /// tracing, a reset begins a fresh run trace so steps of distinct
+    /// logical runs never share a run id.
     pub fn reset(&mut self) {
         self.state = NetworkState::initial(self.inst, &self.index);
         self.trace = PathTrace::new();
         self.trace.push(self.state.assignment());
         self.stats = RunStats::default();
         self.pending_drop = vec![false; self.index.len()];
+        self.flight = flight_begin(self.inst, &self.index);
     }
 
     /// Convenience: executes `seq` on a fresh runner and returns the trace.
@@ -132,6 +182,20 @@ impl<'a> Runner<'a> {
         r.run(seq);
         r.trace
     }
+}
+
+/// Opens a flight-recorder run trace with this instance's node/channel
+/// directory; `None` when tracing is disabled (the common case — one relaxed
+/// atomic load).
+fn flight_begin(inst: &SppInstance, index: &ChannelIndex) -> Option<routelab_obs::RunTrace> {
+    if !routelab_obs::trace_enabled() {
+        return None;
+    }
+    let names: Vec<&str> =
+        (0..inst.node_count()).map(|i| inst.name(routelab_spp::NodeId(i as u32))).collect();
+    let chans: Vec<(u32, u32)> = index.channels().iter().map(|c| (c.from.0, c.to.0)).collect();
+    let label = format!("{} nodes, dest {}", inst.node_count(), inst.name(inst.dest()));
+    routelab_obs::trace_run_begin(&label, &names, &chans)
 }
 
 #[cfg(test)]

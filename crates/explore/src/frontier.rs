@@ -430,17 +430,33 @@ struct NodeCache {
     mask: usize,
     /// `(id, words)` per slot; `u32::MAX` tags an empty slot.
     slots: Vec<(u32, Vec<u16>)>,
+    /// Hit/miss tallies when profiling (atomics: `get` runs from the
+    /// parallel expand/dedup phases). Counting only — never results.
+    track: bool,
+    hits: std::sync::atomic::AtomicU64,
+    misses: std::sync::atomic::AtomicU64,
 }
 
 impl NodeCache {
     fn new(max_nodes: usize) -> Self {
         let k = max_nodes.clamp(1, MAX_CACHE_SLOTS).next_power_of_two();
-        NodeCache { mask: k - 1, slots: (0..k).map(|_| (u32::MAX, Vec::new())).collect() }
+        NodeCache {
+            mask: k - 1,
+            slots: (0..k).map(|_| (u32::MAX, Vec::new())).collect(),
+            track: false,
+            hits: std::sync::atomic::AtomicU64::new(0),
+            misses: std::sync::atomic::AtomicU64::new(0),
+        }
     }
 
     fn get(&self, id: u32) -> Option<&[u16]> {
         let (tag, words) = &self.slots[id as usize & self.mask];
-        (*tag == id).then_some(words.as_slice())
+        let hit = *tag == id;
+        if self.track {
+            let ctr = if hit { &self.hits } else { &self.misses };
+            ctr.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        }
+        hit.then_some(words.as_slice())
     }
 
     fn put(&mut self, id: u32, words: &[u16]) {
@@ -658,6 +674,45 @@ fn dedup_block<L: Sync>(
     outs.into_iter().map(|o| o.expect("every shard resolved")).collect()
 }
 
+/// Per-block phase timer for the explorer pipeline. Active only when
+/// telemetry or tracing is enabled; each `lap` emits an obs histogram sample
+/// and a flight-recorder `tph` event, so a whole exploration renders as a
+/// timeline in the Chrome export. Timing only observes — results are
+/// bit-identical with profiling on or off.
+struct PhaseProfiler {
+    on: bool,
+    last: std::time::Instant,
+}
+
+impl PhaseProfiler {
+    fn new() -> Self {
+        PhaseProfiler {
+            on: routelab_obs::enabled() || routelab_obs::trace_enabled(),
+            last: std::time::Instant::now(),
+        }
+    }
+
+    /// Marks the start of a phase (re-arms the clock).
+    fn start(&mut self) {
+        if self.on {
+            self.last = std::time::Instant::now();
+        }
+    }
+
+    /// Closes the current phase: `hist` is the obs histogram name, `name`
+    /// the short phase name in the trace.
+    fn lap(&mut self, hist: &'static str, name: &str, block: u64, args: &[(&str, u64)]) {
+        if !self.on {
+            return;
+        }
+        let now = std::time::Instant::now();
+        let dur_ns = now.duration_since(self.last).as_nanos() as u64;
+        self.last = now;
+        routelab_obs::histogram(hist, dur_ns);
+        routelab_obs::trace_phase(name, dur_ns, block, args);
+    }
+}
+
 fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
         (*s).to_string()
@@ -710,6 +765,8 @@ pub fn bfs<E: Expand>(
     arena.intern_full(root)?;
     let mut cache = NodeCache::new(opts.max_nodes);
     cache.put(0, root);
+    let mut profiler = PhaseProfiler::new();
+    cache.track = profiler.on;
 
     let mut heartbeat = routelab_obs::Heartbeat::new(opts.progress_label, opts.max_nodes as u64);
     let mut expanded = 0usize;
@@ -731,8 +788,11 @@ pub fn bfs<E: Expand>(
         stats.expanded += block_len as u64;
         heartbeat.tick(arena.len() as u64);
 
+        let block_no = stats.blocks - 1;
+
         // Phase 1 (parallel): expand every parent of the block into its own
         // slot, in the parent's canonical successor order.
+        profiler.start();
         for slot in slots.iter_mut() {
             slot.buf.clear();
             slot.cut = false;
@@ -741,10 +801,12 @@ pub fn bfs<E: Expand>(
             slots.push(Slot::default());
         }
         expand_block(exp, &arena, &cache, block_start, &mut slots[..block_len], threads, cell)?;
+        profiler.lap("frontier.expand_ns", "expand", block_no, &[("parents", block_len as u64)]);
 
         // Phase 2 (serial, cheap): route candidates to shards in ordinal
         // (parent, successor) order, so each shard's bucket is
         // ordinal-sorted.
+        let candidates_before = stats.candidates;
         let mut buckets: Vec<Vec<(u32, u32)>> = (0..SHARDS).map(|_| Vec::new()).collect();
         for (pi, slot) in slots[..block_len].iter().enumerate() {
             truncated |= slot.cut;
@@ -753,18 +815,34 @@ pub fn bfs<E: Expand>(
                 buckets[shard_of_hash(slot.buf.hash(si))].push((pi as u32, si as u32));
             }
         }
+        profiler.lap(
+            "frontier.route_ns",
+            "route",
+            block_no,
+            &[("candidates", stats.candidates - candidates_before)],
+        );
 
         // Phase 3 (parallel): per-shard dedup against the persistent maps,
         // each bucket walked in ordinal order.
+        let hits_before = stats.dedup_hits;
         let outs = dedup_block(&arena, &cache, &maps, &buckets, &slots[..block_len], threads)?;
         for o in &outs {
             stats.dedup_hits += o.hits;
         }
+        profiler.lap(
+            "frontier.dedup_ns",
+            "dedup",
+            block_no,
+            &[("hits", stats.dedup_hits - hits_before)],
+        );
 
         // Phase 4 (serial): fixed-order merge. Walk candidates in ordinal
         // order, assigning fresh ids first-occurrence-first — exactly the
         // numbering of a sequential BFS. Caps and acceptance stop at an
         // exact ordinal, discarding the rest of the block.
+        profiler.start();
+        let interned_before = arena.len();
+        let spilled_before = arena.bytes_spilled();
         let mut cursor = [0usize; SHARDS];
         let mut assigned: Vec<Vec<Option<u32>>> =
             outs.iter().map(|o| vec![None; o.pending.len()]).collect();
@@ -818,6 +896,19 @@ pub fn bfs<E: Expand>(
             }
         }
 
+        // The merge lap covers interning (delta encode + arena append +
+        // cache fill) and any page spilling the appends forced; the spilled
+        // delta attributes disk pressure to its block.
+        profiler.lap(
+            "frontier.merge_ns",
+            "merge",
+            block_no,
+            &[
+                ("interned", (arena.len() - interned_before) as u64),
+                ("spilled_bytes", arena.bytes_spilled() - spilled_before),
+            ],
+        );
+
         // Phase 5 (serial, cheap): publish the block's assignments into the
         // persistent shard maps. This runs even when the merge was cut
         // mid-block by the cap or an acceptance — nodes interned before the
@@ -825,6 +916,7 @@ pub fn bfs<E: Expand>(
         // the shard statistics (and any hypothetical resumed search) would
         // silently miss them. Unassigned pendings were cut — never
         // published, as in the sequential loop.
+        profiler.start();
         for (s, out) in outs.iter().enumerate() {
             for (p, &(_, _, h)) in out.pending.iter().enumerate() {
                 if let Some(id) = assigned[s][p] {
@@ -833,6 +925,7 @@ pub fn bfs<E: Expand>(
                 }
             }
         }
+        profiler.lap("frontier.publish_ns", "publish", block_no, &[]);
         if done {
             break 'search;
         }
@@ -841,6 +934,19 @@ pub fn bfs<E: Expand>(
     stats.shard_min = counts.iter().copied().min().unwrap_or(0);
     stats.bytes_resident = arena.bytes_resident();
     stats.bytes_spilled = arena.bytes_spilled();
+    if profiler.on {
+        // Cache effectiveness totals go to telemetry/trace only — never into
+        // `FrontierStats`, whose fields the differential tests compare
+        // against the sequential reference.
+        let hits = cache.hits.load(std::sync::atomic::Ordering::Relaxed);
+        let misses = cache.misses.load(std::sync::atomic::Ordering::Relaxed);
+        if routelab_obs::enabled() {
+            routelab_obs::counter("frontier.cache.hits", hits);
+            routelab_obs::counter("frontier.cache.misses", misses);
+        }
+        routelab_obs::trace_counter("frontier.cache.hits", hits);
+        routelab_obs::trace_counter("frontier.cache.misses", misses);
+    }
     Ok(BfsResult { nodes: arena, edges, parents, truncated, accepted, stats })
 }
 

@@ -232,6 +232,10 @@ struct ProfileSteps {
 struct StepCatalog {
     by_profile: HashMap<Vec<u16>, Arc<ProfileSteps>>,
     infos: HashMap<crate::effects::CanonicalStep, Arc<StepInfo>>,
+    /// Profile-memo hit/miss tallies, flushed to telemetry when the scratch
+    /// drops (plain integers: the catalog is worker-private).
+    profile_hits: u64,
+    profile_misses: u64,
 }
 
 impl StepCatalog {
@@ -256,6 +260,26 @@ pub(crate) struct GraphScratch {
     absorbed: Vec<usize>,
     enc: Vec<u16>,
     catalog: StepCatalog,
+}
+
+impl Drop for GraphScratch {
+    /// Flushes the catalog's profile-memo tallies to telemetry. The scratch
+    /// is worker- and block-private, so drops are the natural flush point;
+    /// counters sum across workers and blocks in the summarizer.
+    fn drop(&mut self) {
+        let (hits, misses) = (self.catalog.profile_hits, self.catalog.profile_misses);
+        if hits + misses == 0 {
+            return;
+        }
+        if routelab_obs::enabled() {
+            routelab_obs::counter("explore.stepcatalog.hits", hits);
+            routelab_obs::counter("explore.stepcatalog.misses", misses);
+        }
+        if routelab_obs::trace_enabled() {
+            routelab_obs::trace_counter("explore.stepcatalog.hits", hits);
+            routelab_obs::trace_counter("explore.stepcatalog.misses", misses);
+        }
+    }
 }
 
 /// The frontier-engine client for state-graph construction.
@@ -286,8 +310,12 @@ impl GraphExpand<'_> {
         scratch: &mut GraphScratch,
     ) -> Result<bool, ExploreError> {
         let profile = match scratch.catalog.by_profile.get(tables.qlen_profile(node)) {
-            Some(p) => Arc::clone(p),
+            Some(p) => {
+                scratch.catalog.profile_hits += 1;
+                Arc::clone(p)
+            }
             None => {
+                scratch.catalog.profile_misses += 1;
                 let (steps, capped) = all_steps_with(
                     self.spec,
                     self.index,
@@ -493,6 +521,20 @@ fn assemble(
             routelab_obs::counter("explore.reduce_absorb_pops", g.reduction.absorb_pops);
             routelab_obs::counter("explore.reduce_set_collapses", g.reduction.set_collapses);
             routelab_obs::counter("explore.reduce_sym_hits", g.reduction.sym_hits);
+        }
+    }
+    if routelab_obs::trace_enabled() {
+        routelab_obs::trace_counter("explore.states", g.len() as u64);
+        routelab_obs::trace_counter("explore.candidates", g.stats.candidates);
+        routelab_obs::trace_counter("explore.dedup_hits", g.stats.dedup_hits);
+        if g.reduction.enabled {
+            routelab_obs::trace_counter(
+                "explore.reduce_canon_rewrites",
+                g.reduction.canon_rewrites,
+            );
+            routelab_obs::trace_counter("explore.reduce_absorb_pops", g.reduction.absorb_pops);
+            routelab_obs::trace_counter("explore.reduce_set_collapses", g.reduction.set_collapses);
+            routelab_obs::trace_counter("explore.reduce_sym_hits", g.reduction.sym_hits);
         }
     }
     Ok(g)

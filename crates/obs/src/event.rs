@@ -112,7 +112,14 @@ pub enum Event {
     },
 }
 
-fn escape_into(out: &mut String, s: &str) {
+/// Appends `s` to `out` as a quoted JSON string literal. Control characters
+/// are `\u`-escaped and non-BMP characters are written as UTF-16 surrogate
+/// pairs so the output is consumable by strict ASCII-oriented readers.
+pub fn escape_json(out: &mut String, s: &str) {
+    escape_into(out, s);
+}
+
+pub(crate) fn escape_into(out: &mut String, s: &str) {
     out.push('"');
     for c in s.chars() {
         match c {

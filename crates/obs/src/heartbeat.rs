@@ -40,6 +40,8 @@ pub struct Heartbeat {
     /// How many ticks to skip between `Instant::now()` checks.
     check_every: u32,
     ticks_until_check: u32,
+    /// Progress value at the previous fire, for the since-last-tick rate.
+    last_value: u64,
 }
 
 impl Heartbeat {
@@ -62,6 +64,7 @@ impl Heartbeat {
             // itself overhead; sample it every 1024 ticks.
             check_every: 1024,
             ticks_until_check: 0,
+            last_value: 0,
         }
     }
 
@@ -81,22 +84,12 @@ impl Heartbeat {
 
     /// Fires unconditionally: stderr line + gauge + sink drain.
     pub fn fire(&mut self, value: u64) {
+        let since_last = self.last_fire.elapsed().as_secs_f64();
+        let rate = rate_per_sec(value.saturating_sub(self.last_value), since_last);
         self.last_fire = Instant::now();
+        self.last_value = value;
         if !sink::quiet() {
-            let elapsed = self.started.elapsed().as_secs();
-            let rss = match rss_bytes() {
-                Some(b) => format!(" rss={}MB", b / (1024 * 1024)),
-                None => String::new(),
-            };
-            if self.budget > 0 {
-                let pct = (value as f64 / self.budget as f64) * 100.0;
-                eprintln!(
-                    "[obs] {} {}/{} ({:.1}%){} t={}s",
-                    self.label, value, self.budget, pct, rss, elapsed
-                );
-            } else {
-                eprintln!("[obs] {} {}{} t={}s", self.label, value, rss, elapsed);
-            }
+            eprintln!("{}", self.render_line(value, rate));
         }
         if sink::enabled() {
             sink::gauge(self.label, value);
@@ -105,6 +98,52 @@ impl Heartbeat {
             }
             sink::flush();
         }
+    }
+
+    /// Formats one status line: count, percent-of-budget (when a budget is
+    /// set), rate since the previous fire, RSS, and elapsed seconds.
+    fn render_line(&self, value: u64, rate: f64) -> String {
+        let elapsed = self.started.elapsed().as_secs();
+        let rss = match rss_bytes() {
+            Some(b) => format!(" rss={}MB", b / (1024 * 1024)),
+            None => String::new(),
+        };
+        if self.budget > 0 {
+            let pct = (value as f64 / self.budget as f64) * 100.0;
+            format!(
+                "[obs] {} {}/{} ({:.1}%) {}/s{} t={}s",
+                self.label,
+                value,
+                self.budget,
+                pct,
+                fmt_rate(rate),
+                rss,
+                elapsed
+            )
+        } else {
+            format!("[obs] {} {} {}/s{} t={}s", self.label, value, fmt_rate(rate), rss, elapsed)
+        }
+    }
+}
+
+/// Progress delta over elapsed seconds; 0 when no measurable time passed
+/// (e.g. `fire` called directly back-to-back).
+fn rate_per_sec(delta: u64, secs: f64) -> f64 {
+    if secs <= 1e-6 {
+        0.0
+    } else {
+        delta as f64 / secs
+    }
+}
+
+/// Compact human rate: `950`, `14.2k`, `1.3M`.
+fn fmt_rate(rate: f64) -> String {
+    if rate >= 1e6 {
+        format!("{:.1}M", rate / 1e6)
+    } else if rate >= 1e3 {
+        format!("{:.1}k", rate / 1e3)
+    } else {
+        format!("{rate:.0}")
     }
 }
 
@@ -121,6 +160,26 @@ mod tests {
             hb.tick(i);
         }
         assert!(hb.last_fire.elapsed() < hb.interval);
+    }
+
+    #[test]
+    fn rate_and_percent_render() {
+        let mut hb = Heartbeat::new("explore.states", 1000);
+        hb.last_value = 0;
+        let line = hb.render_line(250, 12_500.0);
+        assert!(line.starts_with("[obs] explore.states 250/1000 (25.0%) 12.5k/s"), "{line}");
+        assert!(line.contains(" t="), "{line}");
+        let hb = Heartbeat::new("montecarlo.runs", 0);
+        let line = hb.render_line(42, 3.0);
+        assert!(line.starts_with("[obs] montecarlo.runs 42 3/s"), "{line}");
+
+        assert_eq!(fmt_rate(0.0), "0");
+        assert_eq!(fmt_rate(999.4), "999");
+        assert_eq!(fmt_rate(1500.0), "1.5k");
+        assert_eq!(fmt_rate(2_340_000.0), "2.3M");
+        // No time elapsed → no rate spike.
+        assert_eq!(rate_per_sec(100, 0.0), 0.0);
+        assert_eq!(rate_per_sec(100, 2.0), 50.0);
     }
 
     #[cfg(target_os = "linux")]

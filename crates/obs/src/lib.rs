@@ -41,8 +41,9 @@ pub mod heartbeat;
 pub mod hist;
 pub mod sink;
 pub mod summary;
+pub mod trace;
 
-pub use event::{parse_json, Event, FieldVal, JVal, ParseError};
+pub use event::{escape_json, parse_json, Event, FieldVal, JVal, ParseError};
 pub use heartbeat::{rss_bytes, Heartbeat};
 pub use hist::LogHistogram;
 pub use sink::{
@@ -50,6 +51,11 @@ pub use sink::{
     span, SpanGuard,
 };
 pub use summary::{summarize_dir, summarize_str, Summary};
+pub use trace::{
+    enable_trace_to_dir, flush_trace, init_trace_from_env, trace_counter, trace_enabled,
+    trace_note, trace_now_ns, trace_path, trace_phase, trace_run_begin, RunTrace, StepRecord,
+    TraceRecorder,
+};
 
 use std::path::PathBuf;
 

@@ -236,9 +236,11 @@ pub fn flush() {
 
 /// Final flush. Call before `std::process::exit`, which skips destructors —
 /// only the calling thread's buffer and the shared chunk stack are written,
-/// so worker threads must have exited (or flushed) first.
+/// so worker threads must have exited (or flushed) first. Also persists the
+/// flight-recorder trace, if one was enabled.
 pub fn shutdown() {
     flush();
+    crate::trace::flush_trace();
 }
 
 /// A RAII span: records begin on creation, end (with duration and any

@@ -54,6 +54,9 @@ pub struct Summary {
     pub events: u64,
     /// Lines that failed to parse or had an unknown shape.
     pub malformed: u64,
+    /// Final lines without a trailing newline that failed to parse — the
+    /// signature of a writer killed mid-append. Tolerated, not malformed.
+    pub truncated: u64,
 }
 
 fn field_u64(v: &JVal, key: &str) -> Option<u64> {
@@ -146,11 +149,15 @@ impl Summary {
     pub fn render_table(&self) -> String {
         use std::fmt::Write as _;
         let mut out = String::new();
-        let _ = writeln!(
+        let _ = write!(
             out,
             "telemetry: {} file(s), {} event(s), {} malformed line(s)",
             self.files, self.events, self.malformed
         );
+        if self.truncated > 0 {
+            let _ = write!(out, ", {} truncated tail line(s) skipped", self.truncated);
+        }
+        out.push('\n');
         for p in &self.procs {
             let _ = writeln!(out, "  proc: {p}");
         }
@@ -226,8 +233,8 @@ impl Summary {
         let mut out = String::from("{\n");
         let _ = write!(
             out,
-            "  \"files\": {},\n  \"events\": {},\n  \"malformed\": {},\n",
-            self.files, self.events, self.malformed
+            "  \"files\": {},\n  \"events\": {},\n  \"malformed\": {},\n  \"truncated\": {},\n",
+            self.files, self.events, self.malformed, self.truncated
         );
         let _ = write!(out, "  \"procs\": [");
         for (i, p) in self.procs.iter().enumerate() {
@@ -306,14 +313,31 @@ fn fmt_ns(ns: u64) -> String {
     }
 }
 
+/// Ingests one file's content. A final line without a trailing newline that
+/// also fails to parse is counted as a truncated tail (a writer killed
+/// mid-append), not as malformed — the rest of the file still aggregates.
+fn ingest_content(summary: &mut Summary, content: &str) {
+    let mut lines = content.lines();
+    let tail = if content.is_empty() || content.ends_with('\n') { None } else { lines.next_back() };
+    for line in lines {
+        if !line.trim().is_empty() {
+            summary.ingest_line(line);
+        }
+    }
+    if let Some(tail) = tail {
+        if tail.trim().is_empty() {
+        } else if parse_json(tail).is_ok() {
+            summary.ingest_line(tail);
+        } else {
+            summary.truncated += 1;
+        }
+    }
+}
+
 /// Summarizes a single NDJSON string (one line per event).
 pub fn summarize_str(content: &str) -> Summary {
     let mut s = Summary::default();
-    for line in content.lines() {
-        if !line.trim().is_empty() {
-            s.ingest_line(line);
-        }
-    }
+    ingest_content(&mut s, content);
     s
 }
 
@@ -329,11 +353,7 @@ pub fn summarize_dir(dir: &Path) -> std::io::Result<Summary> {
     for path in paths {
         let Ok(content) = fs::read_to_string(&path) else { continue };
         summary.files += 1;
-        for line in content.lines() {
-            if !line.trim().is_empty() {
-                summary.ingest_line(line);
-            }
-        }
+        ingest_content(&mut summary, &content);
     }
     Ok(summary)
 }
@@ -370,6 +390,32 @@ not json at all
         let h = &s.hists["run.steps"];
         assert_eq!((h.count, h.sum, h.max), (3, 44, 32));
         assert_eq!(h.nonzero_buckets(), vec![(2, 1), (3, 1), (5, 1)]);
+    }
+
+    #[test]
+    fn truncated_tail_is_tolerated_not_malformed() {
+        // A writer killed mid-append leaves a final line with no newline
+        // that is not valid JSON; everything before it must still count.
+        let cut = r#"{"t":"ctr","name":"engine.steps","ns":1,"value":9}
+{"t":"ctr","name":"engine.steps","ns":2,"val"#;
+        let s = summarize_str(cut);
+        assert_eq!(s.counters["engine.steps"].total, 9);
+        assert_eq!((s.events, s.malformed, s.truncated), (1, 0, 1));
+        let table = s.render_table();
+        assert!(table.contains("1 truncated tail line(s) skipped"), "{table}");
+        let v = crate::event::parse_json(&s.to_json_string()).unwrap();
+        assert_eq!(v.get("truncated").and_then(|n| n.as_u64()), Some(1));
+
+        // A final line that is complete JSON but merely missing its newline
+        // still aggregates normally.
+        let fine = "{\"t\":\"ctr\",\"name\":\"c\",\"ns\":1,\"value\":2}";
+        let s = summarize_str(fine);
+        assert_eq!((s.events, s.malformed, s.truncated), (1, 0, 0));
+        assert_eq!(s.counters["c"].total, 2);
+
+        // A *complete* garbage line (newline-terminated) stays malformed.
+        let s = summarize_str("garbage\n");
+        assert_eq!((s.events, s.malformed, s.truncated), (0, 1, 0));
     }
 
     #[test]

@@ -1,11 +1,12 @@
 //! Shared command-line plumbing for the experiment binaries.
 //!
 //! Every `exp_*` binary accepts the same infrastructure flags —
-//! `--threads N`, `--quiet`, `--obs`, `--reduce`/`--no-reduce`,
+//! `--threads N`, `--quiet`, `--obs`, `--trace`, `--reduce`/`--no-reduce`,
 //! `--spill-dir PATH` — parsed here once instead of being copied per
 //! binary. Parsing also wires the
 //! telemetry layer: `--obs` (or a truthy `ROUTELAB_OBS`) enables the NDJSON
-//! sink, and `--quiet` suppresses progress/heartbeat output on stderr.
+//! sink, `--trace` (or a truthy `ROUTELAB_TRACE`) enables the flight
+//! recorder, and `--quiet` suppresses progress/heartbeat output on stderr.
 //! State-space reduction (queue normal forms + symmetry quotient) is on by
 //! default; `--no-reduce` is the escape hatch that forces the explorer to
 //! enumerate raw states (verdicts are identical either way — see
@@ -31,6 +32,9 @@ pub struct CommonOpts {
     pub quiet: bool,
     /// Telemetry log path when observability is enabled.
     pub obs_log: Option<PathBuf>,
+    /// Flight-recorder trace path when tracing is enabled (`--trace` or a
+    /// truthy `ROUTELAB_TRACE`).
+    pub trace_log: Option<PathBuf>,
     /// Disable state-space reduction (`--no-reduce`); reduction is the
     /// default, restated explicitly by `--reduce`.
     pub no_reduce: bool,
@@ -91,6 +95,7 @@ where
 {
     let mut opts = CommonOpts::default();
     let mut obs_flag = false;
+    let mut trace_flag = false;
     let mut args = args.into_iter();
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -107,6 +112,7 @@ where
             }
             "--quiet" => opts.quiet = true,
             "--obs" => obs_flag = true,
+            "--trace" => trace_flag = true,
             "--reduce" => opts.no_reduce = false,
             "--no-reduce" => opts.no_reduce = true,
             "--spill-dir" => {
@@ -128,6 +134,11 @@ where
         routelab_obs::enable_to_dir(&routelab_obs::telemetry_dir(), proc_name)
     } else {
         routelab_obs::init_from_env(proc_name)
+    };
+    opts.trace_log = if trace_flag {
+        routelab_obs::enable_trace_to_dir(&routelab_obs::telemetry_dir(), proc_name)
+    } else {
+        routelab_obs::init_trace_from_env(proc_name)
     };
     opts
 }
@@ -160,6 +171,7 @@ mod tests {
         assert!(!o.quiet);
         assert!(o.reduce(), "reduction is on by default");
         assert!(o.rest.is_empty());
+        assert!(o.trace_log.is_none(), "tracing is off by default");
     }
 
     #[test]

@@ -12,8 +12,12 @@
 //!   statistics (bit-identical results for every worker count),
 //! * [`report`] — machine-readable JSON reports (`results/*.json`) layered
 //!   over the text tables,
-//! * [`cli`] — the shared `--threads`/`--quiet`/`--obs` flag plumbing of the
-//!   experiment binaries, wiring the `routelab-obs` telemetry layer.
+//! * [`cli`] — the shared `--threads`/`--quiet`/`--obs`/`--trace` flag
+//!   plumbing of the experiment binaries, wiring the `routelab-obs`
+//!   telemetry layer,
+//! * [`flight`] — flight-recorder trace analysis: NDJSON trace parsing,
+//!   oscillation-cycle reconstruction (`routelab trace explain`), and Chrome
+//!   `trace_event` export (`routelab trace export-chrome`).
 //!
 //! # Example
 //!
@@ -33,6 +37,7 @@
 pub mod beyond;
 pub mod cli;
 pub mod examples;
+pub mod flight;
 pub mod montecarlo;
 pub mod pool;
 pub mod report;

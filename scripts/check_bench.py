@@ -1,22 +1,33 @@
 #!/usr/bin/env python3
-"""Bench-regression gate for results/BENCH_explore.json.
+"""Bench-regression gate, dispatching on the JSON's own `bench` field.
 
-Usage: check_bench.py [path/to/BENCH_explore.json]
+Usage: check_bench.py [path/to/BENCH_*.json]
 
-Fails (exit 1) when:
+For `results/BENCH_explore.json` (the default), fails (exit 1) when:
   * the headline cell (unreduced FIG6 x R1A, 1 thread) falls below the
     baseline throughput the JSON itself carries (`baseline_states_per_s`,
     the pre-delta-arena engine's figure);
   * any run was not bit-identical across thread counts;
   * the reduced and unreduced oscillation verdicts disagree.
 
-The gate compares states/s, not wall-clock, so it is robust to the cell
-size changing; the baseline constant lives in the bench source
+For `results/BENCH_obs_overhead.json` (`"bench": "obs_overhead"`), fails
+when the enabled telemetry sink costs more than OBS_OVERHEAD_MAX_PCT on the
+pool grid workload, or the flight recorder (obs + trace, the full
+diagnostic stack) costs more than TRACE_OVERHEAD_MAX_PCT. The trace gate
+is deliberately loose: the recorder formats every step's causal record and
+is a diagnostic tool, not an always-on layer — the gate only catches
+pathological regressions (accidental I/O or lock storms on the hot path).
+
+The explore gate compares states/s, not wall-clock, so it is robust to the
+cell size changing; the baseline constant lives in the bench source
 (crates/bench/benches/explore_scaling.rs) and must only ever be raised.
 """
 
 import json
 import sys
+
+OBS_OVERHEAD_MAX_PCT = 10.0
+TRACE_OVERHEAD_MAX_PCT = 300.0
 
 
 def fail(msg: str) -> None:
@@ -24,10 +35,36 @@ def fail(msg: str) -> None:
     sys.exit(1)
 
 
+def check_obs_overhead(bench: dict) -> None:
+    for key in ("obs_off_ms", "obs_on_ms", "overhead_pct", "trace_on_ms", "trace_overhead_pct"):
+        if key not in bench:
+            fail(f"no {key} in the JSON (bench too old?)")
+    print(
+        f"check_bench: obs-off {bench['obs_off_ms']:.2f} ms, "
+        f"obs-on {bench['obs_on_ms']:.2f} ms ({bench['overhead_pct']:+.2f}%), "
+        f"trace-on {bench['trace_on_ms']:.2f} ms ({bench['trace_overhead_pct']:+.2f}%)"
+    )
+    if bench["overhead_pct"] > OBS_OVERHEAD_MAX_PCT:
+        fail(
+            f"obs overhead {bench['overhead_pct']:.2f}% exceeds the "
+            f"{OBS_OVERHEAD_MAX_PCT:.0f}% gate"
+        )
+    if bench["trace_overhead_pct"] > TRACE_OVERHEAD_MAX_PCT:
+        fail(
+            f"flight-recorder overhead {bench['trace_overhead_pct']:.2f}% exceeds the "
+            f"{TRACE_OVERHEAD_MAX_PCT:.0f}% gate"
+        )
+    print("check_bench: OK")
+
+
 def main() -> None:
     path = sys.argv[1] if len(sys.argv) > 1 else "results/BENCH_explore.json"
     with open(path) as f:
         bench = json.load(f)
+
+    if bench.get("bench") == "obs_overhead":
+        check_obs_overhead(bench)
+        return
 
     if not bench.get("bit_identical_across_thread_counts"):
         fail("outputs were not bit-identical across thread counts")

@@ -11,11 +11,19 @@
 //! routelab simulate <instance> <model> [runs] [--threads N]
 //! routelab fig3 | fig4
 //! routelab obs summarize <telemetry-dir> [--json]
+//! routelab trace record <instance> <model>
+//! routelab trace explain <trace.ndjson>
+//! routelab trace export-chrome <trace.ndjson> [-o <out.json>]
 //! ```
 //!
 //! Every subcommand also accepts `--obs` (write NDJSON telemetry under the
-//! results dir; equivalent to `ROUTELAB_OBS=1`) and `--quiet` (suppress
-//! progress/heartbeat output on stderr).
+//! results dir; equivalent to `ROUTELAB_OBS=1`), `--trace` (record a causal
+//! flight-recorder trace; equivalent to `ROUTELAB_TRACE=1`) and `--quiet`
+//! (suppress progress/heartbeat output on stderr). `trace record` captures a
+//! divergent run of a gadget × model cell; `trace explain` reconstructs its
+//! oscillation cycle and cross-checks it against the explorer's witness;
+//! `trace export-chrome` emits Chrome `trace_event` JSON loadable in
+//! `chrome://tracing` or Perfetto.
 //!
 //! `<instance>` is either a gadget name (`DISAGREE`, `FIG6`, `FIG7`, `FIG8`,
 //! `FIG9`, `BAD-GADGET`, `GOOD-GADGET`, `LINE2`) or a path to an `spp v1`
@@ -34,6 +42,7 @@ use routelab::explore::oscillation::{analyze, Verdict};
 use routelab::explore::witness::oscillation_witness;
 use routelab::realize::verify::verify_path;
 use routelab::sim::cli::CommonOpts;
+use routelab::sim::flight::{export_chrome, oscillation_cycle, parse_trace, render_explain};
 use routelab::sim::montecarlo::{try_run_grid_with, CellConfig};
 use routelab::sim::pool::PoolConfig;
 use routelab::sim::survey::{survey_instance, SurveyConfig, SurveyOutcome};
@@ -201,10 +210,25 @@ fn cmd_obs_summarize(args: &[String]) -> Result<(), String> {
             let json = args.iter().any(|a| a == "--json");
             let dir = args.iter().skip(1).find(|a| !a.starts_with("--")).ok_or(usage)?;
             let dir = std::path::Path::new(dir);
+            // An absent or empty telemetry dir just means nothing was
+            // recorded yet — explain rather than fail.
+            if !dir.is_dir() {
+                println!(
+                    "no telemetry directory at {} — run a command with --obs \
+                     (or ROUTELAB_OBS=1) first",
+                    dir.display()
+                );
+                return Ok(());
+            }
             let summary = routelab::obs::summarize_dir(dir)
                 .map_err(|e| format!("cannot summarize {}: {e}", dir.display()))?;
             if summary.files == 0 {
-                return Err(format!("no *.ndjson telemetry files in {}", dir.display()));
+                println!(
+                    "no *.ndjson telemetry files in {} — run a command with --obs \
+                     (or ROUTELAB_OBS=1) first",
+                    dir.display()
+                );
+                return Ok(());
             }
             if json {
                 println!("{}", summary.to_json_string());
@@ -217,10 +241,160 @@ fn cmd_obs_summarize(args: &[String]) -> Result<(), String> {
     }
 }
 
+/// The exploration bounds shared by `check`, `trace record`, and the
+/// `trace explain` cross-check: identical bounds keep the recomputed witness
+/// bit-identical to the one the trace was recorded from.
+fn witness_config() -> ExploreConfig {
+    ExploreConfig { channel_cap: 3, max_states: 1_000_000, ..ExploreConfig::default() }
+}
+
+fn cmd_trace(args: &[String], opts: &CommonOpts) -> Result<(), String> {
+    let usage = "usage: routelab trace record <instance> <model>\n\
+                 \u{20}      routelab trace explain <trace.ndjson>\n\
+                 \u{20}      routelab trace export-chrome <trace.ndjson> [-o <out.json>]";
+    match args.first().map(String::as_str) {
+        Some("record") => {
+            let spec = args.get(1).ok_or(usage)?;
+            let model = parse_model(args.get(2).ok_or(usage)?)?;
+            let inst = load_instance(spec)?;
+            cmd_trace_record(&inst, spec, model, opts)
+        }
+        Some("explain") => cmd_trace_explain(args.get(1).ok_or(usage)?, opts),
+        Some("export-chrome") => {
+            let path = args.get(1).ok_or(usage)?;
+            let out =
+                args.iter().position(|a| a == "-o" || a == "--out").and_then(|i| args.get(i + 1));
+            cmd_trace_export(path, out.map(String::as_str))
+        }
+        _ => Err(usage.into()),
+    }
+}
+
+/// Records a divergent run of `inst` under `model`: finds the explorer's
+/// oscillation witness (capturing the explorer's own phase profile in the
+/// same trace), then replays prefix + cycle with the flight recorder on.
+fn cmd_trace_record(
+    inst: &SppInstance,
+    spec: &str,
+    model: CommModel,
+    opts: &CommonOpts,
+) -> Result<(), String> {
+    // Enable tracing before the exploration so the explorer's phase spans
+    // land in the same file (idempotent when --trace already enabled it).
+    let path = routelab::obs::enable_trace_to_dir(&routelab::obs::telemetry_dir(), "routelab")
+        .ok_or("cannot create a trace file under the telemetry directory")?;
+    routelab::obs::trace_note("gadget", spec);
+    routelab::obs::trace_note("model", &model.to_string());
+    opts.progress(format!("searching {spec} × {model} for a fair oscillation …"));
+    let w = oscillation_witness(inst, model, &witness_config()).ok_or_else(|| {
+        format!(
+            "{spec} under {model}: no fair oscillation within bounds — nothing to record \
+             (try a divergent cell such as FIG6 REO or DISAGREE R1O)"
+        )
+    })?;
+    opts.progress(format!(
+        "replaying witness ({} prefix steps + {}-step cycle) with the flight recorder on",
+        w.prefix.len(),
+        w.cycle.len()
+    ));
+    let mut runner = Runner::new(inst);
+    runner.run(&w.prefix);
+    let mut sched = Cyclic::new(w.cycle);
+    match drive(&mut runner, &mut sched, 10_000) {
+        RunOutcome::CycleDetected { period, oscillating, .. } => {
+            opts.progress(format!("cycle confirmed: period {period}, oscillating {oscillating}"));
+        }
+        other => return Err(format!("witness replay did not cycle: {other:?}")),
+    }
+    routelab::obs::shutdown();
+    // The trace path is the last stdout line so scripts can `tail -n 1` it.
+    println!("{}", path.display());
+    Ok(())
+}
+
+/// Reconstructs the oscillation cycle recorded in a trace file and, when the
+/// trace names its gadget × model cell, cross-checks the cycle's route
+/// adoptions against a fresh replay of the explorer's witness.
+fn cmd_trace_explain(path: &str, opts: &CommonOpts) -> Result<(), String> {
+    let content =
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read {path:?}: {e}"))?;
+    let tf = parse_trace(&content)?;
+    let report = oscillation_cycle(&tf)?;
+    print!("{}", render_explain(&tf, &report));
+    let (Some(gadget), Some(model)) = (tf.notes.get("gadget"), tf.notes.get("model")) else {
+        opts.progress("(trace carries no gadget/model notes: skipping the witness cross-check)");
+        return Ok(());
+    };
+    let inst = load_instance(gadget)?;
+    let model = parse_model(model)?;
+    opts.progress(format!("cross-checking against the explorer's witness for {gadget} × {model}"));
+    let w = oscillation_witness(&inst, model, &witness_config()).ok_or_else(|| {
+        format!("cross-check failed: the explorer finds no oscillation for {gadget} × {model}")
+    })?;
+    // Replay the witness exactly as `trace record` did and collect the route
+    // adoptions inside the trace's own cycle window [first_seen,
+    // first_seen + period) — determinism makes this an equality check.
+    let Some(cycle_steps) = (report.first_seen + report.period).checked_sub(w.prefix.len() as u64)
+    else {
+        return Err("cross-check failed: the trace's cycle window ends before the witness \
+                    prefix does — the trace was not recorded from this witness"
+            .into());
+    };
+    let mut runner = Runner::new(&inst);
+    for s in &w.prefix {
+        runner.step(s);
+    }
+    let mut expected = std::collections::BTreeSet::new();
+    let cycle_schedule = w.cycle.iter().cycle().take(cycle_steps as usize);
+    for (global_step, s) in (w.prefix.len() as u64..).zip(cycle_schedule) {
+        let effect = runner.step(s);
+        if global_step >= report.first_seen {
+            for (v, _, new) in &effect.changed {
+                expected.insert((inst.name(*v).to_string(), inst.fmt_route(new)));
+            }
+        }
+    }
+    if expected == report.pi_changes {
+        println!(
+            "witness cross-check: consistent — the recorded cycle's route adoptions match \
+             the explorer's witness replay"
+        );
+        Ok(())
+    } else {
+        let fmt = |set: &std::collections::BTreeSet<(String, String)>| {
+            set.iter().map(|(v, r)| format!("{v}←{r}")).collect::<Vec<_>>().join(" ")
+        };
+        Err(format!(
+            "witness cross-check MISMATCH:\n  trace:   {}\n  witness: {}",
+            fmt(&report.pi_changes),
+            fmt(&expected)
+        ))
+    }
+}
+
+fn cmd_trace_export(path: &str, out: Option<&str>) -> Result<(), String> {
+    let content =
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read {path:?}: {e}"))?;
+    let tf = parse_trace(&content)?;
+    let json = export_chrome(&tf);
+    match out {
+        Some(out) => {
+            std::fs::write(out, &json).map_err(|e| format!("cannot write {out:?}: {e}"))?;
+            println!(
+                "wrote {out} ({} bytes) — load in chrome://tracing or https://ui.perfetto.dev",
+                json.len()
+            );
+        }
+        None => print!("{json}"),
+    }
+    Ok(())
+}
+
 fn run(opts: &CommonOpts) -> Result<(), String> {
     let args = &opts.rest;
-    let usage = "usage: routelab <models|audit|solve|check|realize|simulate|fig3|fig4|obs> …\n\
-                 run `routelab help` for details";
+    let usage =
+        "usage: routelab <models|audit|solve|check|realize|simulate|fig3|fig4|obs|trace> …\n\
+         run `routelab help` for details";
     match args.first().map(String::as_str) {
         Some("models") => cmd_models(),
         Some("audit") => {
@@ -254,6 +428,7 @@ fn run(opts: &CommonOpts) -> Result<(), String> {
         Some("fig3") => cmd_figure(3),
         Some("fig4") => cmd_figure(4),
         Some("obs") => cmd_obs_summarize(&args[1..])?,
+        Some("trace") => cmd_trace(&args[1..], opts)?,
         Some("help") | None => {
             println!("{usage}");
             println!("\ninstances: DISAGREE FIG6 FIG7 FIG8 FIG9 BAD-GADGET GOOD-GADGET LINE2");
@@ -261,6 +436,9 @@ fn run(opts: &CommonOpts) -> Result<(), String> {
             println!("models:    [RU][1ME][OSFA], e.g. RMS, R1O, REA");
             println!("telemetry: add --obs (or ROUTELAB_OBS=1) to any subcommand, then");
             println!("           `routelab obs summarize results/telemetry` to aggregate");
+            println!("tracing:   `routelab trace record FIG6 REO` captures a divergent run,");
+            println!("           `trace explain <file>` reconstructs its oscillation cycle,");
+            println!("           `trace export-chrome <file>` emits Perfetto-loadable JSON");
         }
         Some(other) => return Err(format!("unknown subcommand {other:?}\n{usage}")),
     }
