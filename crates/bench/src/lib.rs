@@ -21,7 +21,7 @@ pub fn rr_prefix(inst: &SppInstance, model: CommModel, steps: usize) -> Activati
     let mut runner = Runner::new(inst);
     let mut seq = Vec::with_capacity(steps);
     for _ in 0..steps {
-        let s = sched.next_step(runner.state()).expect("round robin is infinite");
+        let s = sched.next_step(&runner.state()).expect("round robin is infinite");
         runner.step(&s);
         seq.push(s);
     }

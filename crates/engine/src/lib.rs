@@ -10,7 +10,10 @@
 //! * [`state`] — the complete network state (π, ρ, last announcements,
 //!   channel contents), hashable for cycle detection,
 //! * [`exec`] — one activation step, exactly as in Definition 2.3,
-//! * [`runner`] — stateful driver recording path-assignment traces,
+//! * [`interned`] — the allocation-free hot path: the same step semantics
+//!   over dense [`routelab_spp::RouteId`]s and precomputed extension tables,
+//! * [`runner`] — stateful driver over the interned engine, recording
+//!   path-assignment traces and decoding routes at the output boundary,
 //! * [`trace`] — traces and the relations of Definition 3.2 (exact /
 //!   repetition / subsequence),
 //! * [`schedule`] — scripted, round-robin and random fair schedulers,
@@ -38,6 +41,7 @@ pub mod channel;
 pub mod exec;
 pub mod fairness;
 pub mod index;
+pub mod interned;
 pub mod outcome;
 pub mod paper_runs;
 pub mod runner;
@@ -47,6 +51,8 @@ pub mod trace;
 
 pub use exec::StepEffect;
 pub use index::ChannelIndex;
-pub use runner::Runner;
+pub use interned::{InternedEffect, InternedState};
+pub use runner::{QueueView, Runner, StateView};
+pub use schedule::SchedState;
 pub use state::NetworkState;
 pub use trace::{PathTrace, TraceRelation};

@@ -125,6 +125,11 @@ fn drive_inner<S: Scheduler>(
     // (state fp, scheduler fp) -> (step index, dedup'd trace length)
     let mut seen: HashMap<(u64, u64), (usize, usize)> = HashMap::new();
     let mut distinct_assignments = 1; // initial assignment
+                                      // Randomized schedulers never repeat a fingerprint, so no pair can
+                                      // recur: skip state fingerprinting and the seen-map entirely (the
+                                      // verdicts are identical, the fingerprint work is the hot path's
+                                      // dominant cost on large instances).
+    let track_cycles = scheduler.may_repeat();
 
     for step_no in 0..max_steps {
         if runner.state().is_quiescent() {
@@ -133,21 +138,22 @@ fn drive_inner<S: Scheduler>(
                 assignment: runner.state().assignment(),
             };
         }
-        let key = (runner.state().fingerprint(), scheduler.fingerprint());
-        if let Some(&(first_seen, assignments_then)) = seen.get(&key) {
-            return RunOutcome::CycleDetected {
-                first_seen,
-                period: step_no - first_seen,
-                oscillating: distinct_assignments > assignments_then,
-            };
+        if track_cycles {
+            let key = (runner.state().fingerprint(), scheduler.fingerprint());
+            if let Some(&(first_seen, assignments_then)) = seen.get(&key) {
+                return RunOutcome::CycleDetected {
+                    first_seen,
+                    period: step_no - first_seen,
+                    oscillating: distinct_assignments > assignments_then,
+                };
+            }
+            seen.insert(key, (step_no, distinct_assignments));
         }
-        seen.insert(key, (step_no, distinct_assignments));
 
-        let Some(step) = scheduler.next_step(runner.state()) else {
+        let Some(step) = scheduler.next_step(&runner.state()) else {
             return RunOutcome::ScheduleExhausted { steps: step_no };
         };
-        let effect = runner.step(&step);
-        if !effect.changed.is_empty() {
+        if runner.step_fast(&step) {
             distinct_assignments += 1;
         }
     }

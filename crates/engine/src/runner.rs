@@ -1,11 +1,22 @@
-//! A stateful driver that executes steps and records the path-assignment
-//! trace.
+//! A stateful driver that executes steps over the interned hot path and
+//! records the path-assignment trace.
+//!
+//! The runner owns an [`InternedState`] and a [`RouteTable`] (built once per
+//! instance, or shared across runners via [`Runner::with_table`]). Steps
+//! execute entirely over dense [`routelab_spp::RouteId`]s; routes are
+//! decoded back to [`Route`] values only at the trace / flight-recorder /
+//! [`StateView`] boundary, so all visible output is byte-identical to the
+//! route-value engine while the hot path allocates nothing in steady state.
+
+use std::ops::Deref;
 
 use routelab_core::step::{ActivationSeq, ActivationStep};
-use routelab_spp::SppInstance;
+use routelab_spp::{NodeId, Route, RouteId, RouteTable, SppInstance};
 
-use crate::exec::{execute_step, StepEffect};
+use crate::exec::StepEffect;
 use crate::index::ChannelIndex;
+use crate::interned::{execute_step_interned, InternedEffect, InternedState};
+use crate::schedule::SchedState;
 use crate::state::NetworkState;
 use crate::trace::PathTrace;
 
@@ -26,15 +37,149 @@ pub struct RunStats {
     pub max_queue_depth: usize,
 }
 
-/// Owns a [`NetworkState`] for one instance, executes activation steps, and
-/// records the [`PathTrace`] (initial assignment at index 0, then one entry
-/// per step).
+/// Either owns the route table (built in [`Runner::new`]) or borrows one
+/// shared across runners ([`Runner::with_table`] — Monte Carlo builds each
+/// cell's table once and lends it to every run).
+#[derive(Debug, Clone)]
+enum TableRef<'a> {
+    Owned(Box<RouteTable>),
+    Borrowed(&'a RouteTable),
+}
+
+impl Deref for TableRef<'_> {
+    type Target = RouteTable;
+
+    fn deref(&self) -> &RouteTable {
+        match self {
+            TableRef::Owned(t) => t,
+            TableRef::Borrowed(t) => t,
+        }
+    }
+}
+
+/// A read-only view of the runner's state that decodes interned ids to
+/// routes on demand. `Copy` — pass it by value; the accessors hand out
+/// references that live as long as the runner borrow, not the view.
+#[derive(Debug, Clone, Copy)]
+pub struct StateView<'r> {
+    state: &'r InternedState,
+    table: &'r RouteTable,
+}
+
+impl<'r> StateView<'r> {
+    /// π_v.
+    pub fn chosen(&self, v: NodeId) -> &'r Route {
+        self.table.route(self.state.chosen(v))
+    }
+
+    /// `v`'s last announcement (ε before the first one).
+    pub fn announced(&self, v: NodeId) -> &'r Route {
+        self.table.route(self.state.announced(v))
+    }
+
+    /// ρ for the channel with dense id `c`.
+    pub fn learned(&self, c: usize) -> &'r Route {
+        self.table.route(self.state.learned(c))
+    }
+
+    /// The queue of the channel with dense id `c`, oldest first.
+    pub fn queue(&self, c: usize) -> QueueView<'r> {
+        QueueView { q: self.state.queue(c), table: self.table }
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.state.node_count()
+    }
+
+    /// The full assignment π (indexed by node id).
+    pub fn assignment(&self) -> Vec<Route> {
+        (0..self.state.node_count()).map(|i| self.chosen(NodeId(i as u32)).clone()).collect()
+    }
+
+    /// Total messages in flight (O(1)).
+    pub fn messages_in_flight(&self) -> usize {
+        self.state.messages_in_flight()
+    }
+
+    /// Length of the longest queue.
+    pub fn max_queue_len(&self) -> usize {
+        self.state.max_queue_len()
+    }
+
+    /// `true` when no future step can change any π or send any message
+    /// (see [`NetworkState::is_quiescent`]); O(1) here.
+    pub fn is_quiescent(&self) -> bool {
+        self.state.is_quiescent()
+    }
+
+    /// A 64-bit fingerprint of the full state (for cycle detection).
+    pub fn fingerprint(&self) -> u64 {
+        self.state.fingerprint()
+    }
+
+    /// Decodes the full state into a route-value [`NetworkState`] (the
+    /// bridge to consumers of the reference engine, e.g. explorers).
+    pub fn to_network_state(&self) -> NetworkState {
+        let n = self.state.node_count();
+        let c = self.state.channel_count();
+        NetworkState::from_parts(
+            self.assignment(),
+            (0..n).map(|i| self.announced(NodeId(i as u32)).clone()).collect(),
+            (0..c).map(|i| self.learned(i).clone()).collect(),
+            (0..c).map(|i| self.queue(i).iter().cloned().collect()).collect(),
+        )
+    }
+}
+
+impl SchedState for StateView<'_> {
+    fn node_count(&self) -> usize {
+        self.state.node_count()
+    }
+
+    fn queue_len(&self, c: usize) -> usize {
+        self.state.queue(c).len()
+    }
+}
+
+/// A decoding view of one channel's queue.
+#[derive(Debug, Clone, Copy)]
+pub struct QueueView<'r> {
+    q: &'r std::collections::VecDeque<RouteId>,
+    table: &'r RouteTable,
+}
+
+impl<'r> QueueView<'r> {
+    /// Queued messages.
+    pub fn len(&self) -> usize {
+        self.q.len()
+    }
+
+    /// `true` when nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.q.is_empty()
+    }
+
+    /// The queued routes, oldest first.
+    pub fn iter(&self) -> impl Iterator<Item = &'r Route> + 'r {
+        let table = self.table;
+        self.q.iter().map(move |&id| table.route(id))
+    }
+}
+
+/// Owns an [`InternedState`] for one instance, executes activation steps,
+/// and records the [`PathTrace`] (initial assignment at index 0, then one
+/// entry per step — unless tracing is disabled via [`Runner::tracing`]).
 #[derive(Debug, Clone)]
 pub struct Runner<'a> {
     inst: &'a SppInstance,
     index: ChannelIndex,
-    state: NetworkState,
+    table: TableRef<'a>,
+    state: InternedState,
     trace: PathTrace,
+    /// When `false`, steps skip the per-step assignment decode and the
+    /// trace stays at the initial entry (Monte Carlo's mode).
+    tracing: bool,
     stats: RunStats,
     /// Channels whose most recent processing dropped a message with nothing
     /// delivered since — if the run ends like this, it violates the drop
@@ -44,18 +189,48 @@ pub struct Runner<'a> {
     /// case every step's causal record is emitted. Recording only observes —
     /// results are bit-identical with tracing on or off.
     flight: Option<routelab_obs::RunTrace>,
+    /// Reusable step-effect buffers (cleared at the start of every step).
+    effect: InternedEffect,
 }
 
 impl<'a> Runner<'a> {
-    /// A runner in the initial state.
+    /// A runner in the initial state, building its own route table.
     pub fn new(inst: &'a SppInstance) -> Self {
+        Runner::build(inst, TableRef::Owned(Box::new(RouteTable::new(inst))))
+    }
+
+    /// A runner borrowing a prebuilt route table (which must have been
+    /// built from `inst`). Lets many runs over one instance share the
+    /// interning work.
+    pub fn with_table(inst: &'a SppInstance, table: &'a RouteTable) -> Self {
+        Runner::build(inst, TableRef::Borrowed(table))
+    }
+
+    fn build(inst: &'a SppInstance, table: TableRef<'a>) -> Self {
         let index = ChannelIndex::new(inst.graph());
-        let state = NetworkState::initial(inst, &index);
+        let state = InternedState::initial(&table, &index);
         let mut trace = PathTrace::new();
-        trace.push(state.assignment());
+        trace.push(decode_assignment(&table, &state));
         let pending_drop = vec![false; index.len()];
         let flight = flight_begin(inst, &index);
-        Runner { inst, index, state, trace, stats: RunStats::default(), pending_drop, flight }
+        Runner {
+            inst,
+            index,
+            table,
+            state,
+            trace,
+            tracing: true,
+            stats: RunStats::default(),
+            pending_drop,
+            flight,
+            effect: InternedEffect::default(),
+        }
+    }
+
+    /// Enables or disables per-step trace recording (on by default).
+    pub fn tracing(mut self, on: bool) -> Self {
+        self.tracing = on;
+        self
     }
 
     /// The instance under execution.
@@ -68,9 +243,14 @@ impl<'a> Runner<'a> {
         &self.index
     }
 
-    /// The current network state.
-    pub fn state(&self) -> &NetworkState {
-        &self.state
+    /// The route table interning this instance's permitted paths.
+    pub fn table(&self) -> &RouteTable {
+        &self.table
+    }
+
+    /// A decoding view of the current network state.
+    pub fn state(&self) -> StateView<'_> {
+        StateView { state: &self.state, table: &self.table }
     }
 
     /// The recorded trace so far.
@@ -83,32 +263,60 @@ impl<'a> Runner<'a> {
         self.stats
     }
 
-    /// Executes one step, recording the resulting assignment.
-    pub fn step(&mut self, step: &ActivationStep) -> StepEffect {
-        let effect = execute_step(self.inst, &self.index, &mut self.state, step);
-        self.trace.push(self.state.assignment());
+    /// Executes one step entirely over interned ids and returns whether any
+    /// π changed. This is the hot path: no route values are materialized
+    /// unless tracing or flight recording is on.
+    pub fn step_fast(&mut self, step: &ActivationStep) -> bool {
+        execute_step_interned(&self.table, &self.index, &mut self.state, step, &mut self.effect);
         self.stats.steps += 1;
-        self.stats.consumed += effect.consumed;
-        self.stats.dropped += effect.dropped;
-        self.stats.sent += effect.sent;
-        if !effect.changed.is_empty() {
+        self.stats.consumed += self.effect.consumed;
+        self.stats.dropped += self.effect.dropped;
+        self.stats.sent += self.effect.sent;
+        let changed = !self.effect.changed.is_empty();
+        if changed {
             self.stats.changing_steps += 1;
         }
         // Queues only grow where phase 3 wrote, so checking those channels
         // alone keeps the high-water mark exact without an O(channels) scan.
-        for &c in &effect.sent_on {
+        for &c in &self.effect.sent_on {
             self.stats.max_queue_depth = self.stats.max_queue_depth.max(self.state.queue(c).len());
         }
-        for &c in &effect.dropped_on {
+        for &c in &self.effect.dropped_on {
             self.pending_drop[c] = true;
         }
-        for &c in &effect.kept_on {
+        for &c in &self.effect.kept_on {
             self.pending_drop[c] = false;
         }
-        if let Some(fl) = &self.flight {
-            self.flight_step(fl, step, &effect);
+        if self.tracing {
+            self.trace.push(decode_assignment(&self.table, &self.state));
         }
-        effect
+        if let Some(fl) = &self.flight {
+            self.flight_step(fl, step);
+        }
+        changed
+    }
+
+    /// Executes one step and decodes its full effect (route values for the
+    /// π changes). Use [`Runner::step_fast`] where the decoded effect is
+    /// not needed.
+    pub fn step(&mut self, step: &ActivationStep) -> StepEffect {
+        self.step_fast(step);
+        let table: &RouteTable = &self.table;
+        StepEffect {
+            changed: self
+                .effect
+                .changed
+                .iter()
+                .map(|&(v, old, new)| (v, table.route(old).clone(), table.route(new).clone()))
+                .collect(),
+            consumed: self.effect.consumed,
+            dropped: self.effect.dropped,
+            sent: self.effect.sent,
+            sent_on: self.effect.sent_on.clone(),
+            attended: self.effect.attended.clone(),
+            kept_on: self.effect.kept_on.clone(),
+            dropped_on: self.effect.dropped_on.clone(),
+        }
     }
 
     /// Flight-recorder handle for this run (when tracing is enabled).
@@ -118,26 +326,31 @@ impl<'a> Runner<'a> {
 
     /// Emits one step's causal record: activated nodes, π adoptions and
     /// withdrawals, and per-channel send/deliver/drop events.
-    fn flight_step(&self, fl: &routelab_obs::RunTrace, step: &ActivationStep, effect: &StepEffect) {
+    fn flight_step(&self, fl: &routelab_obs::RunTrace, step: &ActivationStep) {
+        let table: &RouteTable = &self.table;
         let nodes: Vec<u32> = step.updates.iter().map(|u| u.node.0).collect();
-        let pi: Vec<(u32, String, String)> = effect
+        let pi: Vec<(u32, String, String)> = self
+            .effect
             .changed
             .iter()
-            .map(|(v, old, new)| (v.0, self.inst.fmt_route(old), self.inst.fmt_route(new)))
+            .map(|&(v, old, new)| {
+                (v.0, self.inst.fmt_route(table.route(old)), self.inst.fmt_route(table.route(new)))
+            })
             .collect();
         // Phase 3 pushed `announced(from)` onto every channel in `sent_on`,
         // so reading it back after the step names the route each message
         // carries.
-        let sent: Vec<(u32, String)> = effect
+        let sent: Vec<(u32, String)> = self
+            .effect
             .sent_on
             .iter()
             .map(|&c| {
                 let from = self.index.channel(c).from;
-                (c as u32, self.inst.fmt_route(self.state.announced(from)))
+                (c as u32, self.inst.fmt_route(table.route(self.state.announced(from))))
             })
             .collect();
-        let delivered: Vec<u32> = effect.kept_on.iter().map(|&c| c as u32).collect();
-        let dropped: Vec<u32> = effect.dropped_on.iter().map(|&c| c as u32).collect();
+        let delivered: Vec<u32> = self.effect.kept_on.iter().map(|&c| c as u32).collect();
+        let dropped: Vec<u32> = self.effect.dropped_on.iter().map(|&c| c as u32).collect();
         fl.step(
             self.stats.steps as u64 - 1,
             &routelab_obs::StepRecord {
@@ -168,9 +381,9 @@ impl<'a> Runner<'a> {
     /// tracing, a reset begins a fresh run trace so steps of distinct
     /// logical runs never share a run id.
     pub fn reset(&mut self) {
-        self.state = NetworkState::initial(self.inst, &self.index);
+        self.state = InternedState::initial(&self.table, &self.index);
         self.trace = PathTrace::new();
-        self.trace.push(self.state.assignment());
+        self.trace.push(decode_assignment(&self.table, &self.state));
         self.stats = RunStats::default();
         self.pending_drop = vec![false; self.index.len()];
         self.flight = flight_begin(self.inst, &self.index);
@@ -182,6 +395,11 @@ impl<'a> Runner<'a> {
         r.run(seq);
         r.trace
     }
+}
+
+/// Decodes the full assignment π into route values.
+fn decode_assignment(table: &RouteTable, state: &InternedState) -> Vec<Route> {
+    (0..state.node_count()).map(|i| table.route(state.chosen(NodeId(i as u32))).clone()).collect()
 }
 
 /// Opens a flight-recorder run trace with this instance's node/channel
@@ -316,5 +534,64 @@ mod tests {
         assert_eq!(s.actions().count(), 5);
         // This helper emits a legal REA step.
         routelab_core::validate::check_step("REA".parse().unwrap(), inst.graph(), &s).unwrap();
+    }
+
+    #[test]
+    fn shared_table_runner_matches_owned_table_runner() {
+        let inst = gadgets::disagree();
+        let table = RouteTable::new(&inst);
+        let idx = ChannelIndex::new(inst.graph());
+        let seq: Vec<ActivationStep> =
+            ["d", "x", "y", "x", "y", "d"].iter().map(|n| poll_step(&inst, &idx, n)).collect();
+        let mut owned = Runner::new(&inst);
+        let mut shared = Runner::with_table(&inst, &table);
+        for s in &seq {
+            owned.step(s);
+            shared.step(s);
+        }
+        assert_eq!(owned.trace(), shared.trace());
+        assert_eq!(owned.stats(), shared.stats());
+        assert_eq!(owned.state().fingerprint(), shared.state().fingerprint());
+    }
+
+    #[test]
+    fn untraced_runner_keeps_stats_but_not_trace() {
+        let inst = gadgets::disagree();
+        let idx = ChannelIndex::new(inst.graph());
+        let mut traced = Runner::new(&inst);
+        let mut fast = Runner::new(&inst).tracing(false);
+        for name in ["d", "x", "y", "x", "y", "d"] {
+            let step = poll_step(&inst, &idx, name);
+            traced.step(&step);
+            assert_eq!(fast.step_fast(&step), {
+                let t = traced.trace();
+                t.get(t.len() - 1) != t.get(t.len() - 2)
+            });
+        }
+        assert_eq!(fast.trace().len(), 1);
+        assert_eq!(fast.stats(), traced.stats());
+        assert!(fast.state().is_quiescent());
+        assert_eq!(fast.state().assignment(), traced.state().assignment());
+    }
+
+    #[test]
+    fn state_view_round_trips_to_network_state() {
+        let inst = gadgets::disagree();
+        let idx = ChannelIndex::new(inst.graph());
+        let mut r = Runner::new(&inst);
+        r.step(&poll_step(&inst, &idx, "d"));
+        r.step(&poll_step(&inst, &idx, "x"));
+        let ns = r.state().to_network_state();
+        assert_eq!(ns.assignment(), r.state().assignment());
+        assert_eq!(ns.messages_in_flight(), r.state().messages_in_flight());
+        for c in 0..idx.len() {
+            assert_eq!(ns.learned(c), r.state().learned(c));
+            let decoded: Vec<&Route> = r.state().queue(c).iter().collect();
+            assert_eq!(ns.queue(c).len(), decoded.len());
+            for (a, b) in ns.queue(c).iter().zip(decoded) {
+                assert_eq!(a, b);
+            }
+        }
+        assert_eq!(ns.is_quiescent(), r.state().is_quiescent());
     }
 }

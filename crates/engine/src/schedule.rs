@@ -18,11 +18,32 @@ use routelab_spp::{NodeId, SppInstance};
 use crate::index::ChannelIndex;
 use crate::state::NetworkState;
 
+/// The slice of network state schedulers may consult: node count (to pick
+/// updaters) and queue lengths (to size drop sets). Implemented by both
+/// [`NetworkState`] and the interned runner's state view, so schedulers
+/// work with either engine without cloning any route data.
+pub trait SchedState {
+    /// Number of nodes.
+    fn node_count(&self) -> usize;
+    /// Queued messages on the channel with dense id `c`.
+    fn queue_len(&self, c: usize) -> usize;
+}
+
+impl SchedState for NetworkState {
+    fn node_count(&self) -> usize {
+        self.node_count()
+    }
+
+    fn queue_len(&self, c: usize) -> usize {
+        self.queue(c).len()
+    }
+}
+
 /// A source of activation steps. `None` means the schedule is exhausted
 /// (only finite schedules do this).
 pub trait Scheduler {
     /// The next step to execute given the current state.
-    fn next_step(&mut self, state: &NetworkState) -> Option<ActivationStep>;
+    fn next_step(&mut self, state: &dyn SchedState) -> Option<ActivationStep>;
 
     /// A fingerprint of the scheduler's internal position. Combined with the
     /// state fingerprint this makes cycle detection sound: a repeated
@@ -30,6 +51,13 @@ pub trait Scheduler {
     /// Schedulers whose future output is not a function of this fingerprint
     /// (e.g. randomized ones) must return a never-repeating value.
     fn fingerprint(&self) -> u64;
+
+    /// `false` when [`Scheduler::fingerprint`] never repeats (randomized
+    /// schedulers): cycle detection can then skip state fingerprinting and
+    /// the seen-set entirely, since no `(state, scheduler)` pair can recur.
+    fn may_repeat(&self) -> bool {
+        true
+    }
 }
 
 /// Replays a fixed finite sequence, then stops.
@@ -47,7 +75,7 @@ impl Scripted {
 }
 
 impl Scheduler for Scripted {
-    fn next_step(&mut self, _state: &NetworkState) -> Option<ActivationStep> {
+    fn next_step(&mut self, _state: &dyn SchedState) -> Option<ActivationStep> {
         let s = self.steps.get(self.pos).cloned();
         if s.is_some() {
             self.pos += 1;
@@ -80,7 +108,7 @@ impl Cyclic {
 }
 
 impl Scheduler for Cyclic {
-    fn next_step(&mut self, _state: &NetworkState) -> Option<ActivationStep> {
+    fn next_step(&mut self, _state: &dyn SchedState) -> Option<ActivationStep> {
         let s = self.steps[self.pos].clone();
         self.pos = (self.pos + 1) % self.steps.len();
         Some(s)
@@ -130,7 +158,7 @@ impl RoundRobin {
 }
 
 impl Scheduler for RoundRobin {
-    fn next_step(&mut self, _state: &NetworkState) -> Option<ActivationStep> {
+    fn next_step(&mut self, _state: &dyn SchedState) -> Option<ActivationStep> {
         let v = NodeId(self.node_cursor as u32);
         self.node_cursor = (self.node_cursor + 1) % self.node_count;
         let ins = self.index.in_channels(v);
@@ -201,7 +229,7 @@ impl Periodic {
 }
 
 impl Scheduler for Periodic {
-    fn next_step(&mut self, _state: &NetworkState) -> Option<ActivationStep> {
+    fn next_step(&mut self, _state: &dyn SchedState) -> Option<ActivationStep> {
         let i = (0..self.next_fire.len())
             .min_by_key(|&i| (self.next_fire[i], i))
             .expect("at least one node");
@@ -257,6 +285,13 @@ pub struct RandomFair {
     window: usize,
     step_no: usize,
     last_attended: Vec<usize>,
+    /// Channels keyed by `(last_attended, Reverse(cid))`: the set's first
+    /// element is the most starved channel, with ties broken toward the
+    /// largest channel id — exactly the channel a linear
+    /// `max_by_key(step_no - last_attended)` scan would return (that
+    /// combinator keeps the *last* maximum). Makes the per-step starvation
+    /// check O(log C) instead of O(C).
+    starved: std::collections::BTreeSet<(usize, std::cmp::Reverse<usize>)>,
     just_dropped: Vec<bool>,
 }
 
@@ -273,6 +308,7 @@ impl RandomFair {
             window: 8 * n.max(1),
             step_no: 0,
             last_attended: vec![0; n],
+            starved: (0..n).map(|c| (0, std::cmp::Reverse(c))).collect(),
             just_dropped: vec![false; n],
         }
     }
@@ -287,6 +323,16 @@ impl RandomFair {
     pub fn with_window(mut self, w: usize) -> Self {
         self.window = w.max(1);
         self
+    }
+
+    /// The channel to force-attend this step, if any has starved past the
+    /// window. Most starved first; ties toward the largest channel id.
+    fn forced_channel(&self) -> Option<usize> {
+        self.starved
+            .first()
+            .copied()
+            .filter(|&(last, _)| self.step_no - last >= self.window)
+            .map(|(_, std::cmp::Reverse(c))| c)
     }
 
     fn action_for(&mut self, cid: usize, queue_len: usize, must_attend: bool) -> ChannelAction {
@@ -313,7 +359,9 @@ impl RandomFair {
         };
         // Only a genuine read attempt counts as attendance (Definition 2.4).
         if action.attends() {
+            self.starved.remove(&(self.last_attended[cid], std::cmp::Reverse(cid)));
             self.last_attended[cid] = self.step_no;
+            self.starved.insert((self.step_no, std::cmp::Reverse(cid)));
         }
         // Unreliable models: maybe drop everything that is taken.
         if self.model.reliability == Reliability::Unreliable
@@ -339,15 +387,13 @@ impl RandomFair {
 }
 
 impl Scheduler for RandomFair {
-    fn next_step(&mut self, state: &NetworkState) -> Option<ActivationStep> {
+    fn next_step(&mut self, state: &dyn SchedState) -> Option<ActivationStep> {
         self.step_no += 1;
         // Starvation check: force the most starved channel if over window.
-        let forced = (0..self.index.len())
-            .max_by_key(|&c| self.step_no - self.last_attended[c])
-            .filter(|&c| self.step_no - self.last_attended[c] >= self.window);
+        let forced = self.forced_channel();
         let v = match forced {
             Some(c) => self.index.channel(c).to,
-            None => NodeId(self.rng.gen_range(0..state.assignment().len()) as u32),
+            None => NodeId(self.rng.gen_range(0..state.node_count()) as u32),
         };
         let ins: Vec<usize> = self.index.in_channels(v).to_vec();
         let actions = if ins.is_empty() {
@@ -373,7 +419,7 @@ impl Scheduler for RandomFair {
             chosen
                 .into_iter()
                 .map(|cid| {
-                    let qlen = state.queue(cid).len();
+                    let qlen = state.queue_len(cid);
                     self.action_for(cid, qlen, forced == Some(cid))
                 })
                 .collect()
@@ -384,6 +430,10 @@ impl Scheduler for RandomFair {
     fn fingerprint(&self) -> u64 {
         // Randomized: never claim periodicity.
         self.step_no as u64
+    }
+
+    fn may_repeat(&self) -> bool {
+        false
     }
 }
 
@@ -580,7 +630,7 @@ mod tests {
         let idx = runner.index().clone();
         let mut last_was_drop = vec![false; idx.len()];
         for _ in 0..500 {
-            let step = s.next_step(runner.state()).unwrap();
+            let step = s.next_step(&runner.state()).unwrap();
             for a in step.actions() {
                 let cid = idx.id(a.channel()).unwrap();
                 let drops_now = !a.is_lossless() && !runner.state().queue(cid).is_empty();
@@ -593,6 +643,30 @@ mod tests {
             }
             runner.step(&step);
         }
+    }
+
+    #[test]
+    fn random_fair_forced_channel_matches_linear_scan() {
+        // The BTreeSet-backed starvation index must pick exactly the channel
+        // the original O(C) scan picked: last maximum of
+        // `step_no - last_attended` (max_by_key keeps the *last* max), gated
+        // on the window.
+        let inst = gadgets::fig6();
+        let idx = ChannelIndex::new(inst.graph());
+        let state = NetworkState::initial(&inst, &idx);
+        let mut s = RandomFair::new(&inst, "UMS".parse().unwrap(), 5).with_window(6);
+        for _ in 0..1_000 {
+            // next_step consults forced_channel after bumping step_no;
+            // evaluate both selectors at that post-bump count.
+            s.step_no += 1;
+            let reference = (0..s.index.len())
+                .max_by_key(|&c| s.step_no - s.last_attended[c])
+                .filter(|&c| s.step_no - s.last_attended[c] >= s.window);
+            assert_eq!(s.forced_channel(), reference, "at step {}", s.step_no);
+            s.step_no -= 1;
+            s.next_step(&state).unwrap();
+        }
+        assert!(!s.may_repeat());
     }
 
     #[test]

@@ -53,6 +53,11 @@ impl NetworkState {
         self.chosen.clone()
     }
 
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.chosen.len()
+    }
+
     /// `v`'s last announcement (ε before the first one).
     pub fn announced(&self, v: NodeId) -> &Route {
         &self.announced[v.index()]

@@ -364,12 +364,13 @@ mod tests {
         let mut sched = routelab_engine::schedule::RoundRobin::new(&inst, "RMS".parse().unwrap());
         for _ in 0..4 {
             use routelab_engine::schedule::Scheduler;
-            let s = sched.next_step(runner.state()).unwrap();
+            let s = sched.next_step(&runner.state()).unwrap();
             runner.step(&s);
         }
+        let ns = runner.state().to_network_state();
         for model in CommModel::all() {
             let (steps, capped) =
-                all_steps(Spec::Uniform(model), &index, runner.state(), inst.node_count(), 100_000);
+                all_steps(Spec::Uniform(model), &index, &ns, inst.node_count(), 100_000);
             assert!(!capped, "{model}");
             assert!(!steps.is_empty(), "{model}");
             for cs in &steps {

@@ -27,7 +27,7 @@ fn main() {
                 let mut runner = Runner::new(&inst);
                 let mut seq = Vec::new();
                 for _ in 0..3 * inst.node_count() {
-                    let s = sched.next_step(runner.state()).unwrap();
+                    let s = sched.next_step(&runner.state()).unwrap();
                     runner.step(&s);
                     seq.push(s);
                 }

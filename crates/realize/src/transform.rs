@@ -8,8 +8,7 @@ use routelab_core::lattice::Strength;
 use routelab_core::step::{ActivationSeq, ActivationStep, ChannelAction, NodeUpdate, Take};
 use routelab_core::MessagePolicy;
 use routelab_engine::index::ChannelIndex;
-use routelab_engine::runner::Runner;
-use routelab_engine::state::NetworkState;
+use routelab_engine::runner::{Runner, StateView};
 use routelab_spp::{Channel, SppInstance};
 
 /// Failure modes of a transformation.
@@ -68,7 +67,7 @@ fn single(step: &ActivationStep, t: usize) -> Result<&NodeUpdate, TransformError
 /// Finds a state-preserving step for the given message policy: a read on an
 /// empty channel (policies `O`/`F`/`A`) or an `f = 0` read anywhere (`S`).
 fn noop_step(
-    state: &NetworkState,
+    state: StateView<'_>,
     index: &ChannelIndex,
     policy: MessagePolicy,
 ) -> Option<ActivationStep> {

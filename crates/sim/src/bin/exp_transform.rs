@@ -20,7 +20,7 @@ fn rr_prefix(
     let mut runner = Runner::new(inst);
     let mut seq = Vec::with_capacity(steps);
     for _ in 0..steps {
-        let s = sched.next_step(runner.state()).expect("infinite schedule");
+        let s = sched.next_step(&runner.state()).expect("infinite schedule");
         runner.step(&s);
         seq.push(s);
     }

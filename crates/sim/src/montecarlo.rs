@@ -19,7 +19,7 @@ use routelab_engine::outcome::{drive_report, RunOutcome};
 use routelab_engine::runner::Runner;
 use routelab_engine::schedule::RandomFair;
 use routelab_spp::solve::is_stable;
-use routelab_spp::SppInstance;
+use routelab_spp::{RouteTable, SppInstance};
 
 use crate::pool::{self, PoolConfig};
 
@@ -140,10 +140,143 @@ impl CellStats {
     }
 }
 
+/// Streaming per-cell aggregation: folds [`RunRecord`]s one at a time (in
+/// run order) and never retains them, so a cell's memory footprint is O(1)
+/// in the number of runs — the Internet-scale cells run tens of thousands
+/// of runs without materializing a record vector.
+///
+/// The accumulation replays [`CellStats::from_records`]'s exact operation
+/// order (integer sums for counters, sequential f64 `+=` for the message
+/// means, one final division), so the finished statistics are bit-identical
+/// to the batch fold. On top of that it keeps a Welford accumulator over
+/// steps-to-convergence, giving the large-topology reports a numerically
+/// stable standard deviation with no second pass.
+#[derive(Debug, Clone, Copy)]
+pub struct CellAccum {
+    model: CommModel,
+    runs: usize,
+    converged: usize,
+    converged_unfairly: usize,
+    stable_outcome: usize,
+    steps_sum: usize,
+    sum_messages: f64,
+    sum_dropped: f64,
+    welford_mean: f64,
+    welford_m2: f64,
+    wall: Duration,
+    total_steps: usize,
+    total_sent: usize,
+    total_dropped: usize,
+}
+
+impl CellAccum {
+    /// An empty accumulator for one cell.
+    pub fn new(model: CommModel) -> CellAccum {
+        CellAccum {
+            model,
+            runs: 0,
+            converged: 0,
+            converged_unfairly: 0,
+            stable_outcome: 0,
+            steps_sum: 0,
+            sum_messages: 0.0,
+            sum_dropped: 0.0,
+            welford_mean: 0.0,
+            welford_m2: 0.0,
+            wall: Duration::ZERO,
+            total_steps: 0,
+            total_sent: 0,
+            total_dropped: 0,
+        }
+    }
+
+    /// Folds one run's record in. Records must arrive in run order for the
+    /// floating-point sums to be bit-identical to the batch fold.
+    pub fn push(&mut self, r: &RunRecord) {
+        self.runs += 1;
+        if r.converged {
+            self.converged += 1;
+            self.steps_sum += r.steps_to_convergence;
+            let x = r.steps_to_convergence as f64;
+            let d = x - self.welford_mean;
+            self.welford_mean += d / self.converged as f64;
+            self.welford_m2 += d * (x - self.welford_mean);
+        }
+        if r.converged_unfairly {
+            self.converged_unfairly += 1;
+        }
+        if r.stable_outcome {
+            self.stable_outcome += 1;
+        }
+        self.sum_messages += r.sent as f64;
+        self.sum_dropped += r.dropped as f64;
+        self.wall += r.wall;
+        self.total_steps += r.executed_steps;
+        self.total_sent += r.sent;
+        self.total_dropped += r.dropped;
+    }
+
+    /// Sample standard deviation of steps-to-convergence over fairly
+    /// converged runs (0 with fewer than two samples).
+    pub fn steps_std(&self) -> f64 {
+        if self.converged >= 2 {
+            (self.welford_m2 / (self.converged - 1) as f64).sqrt()
+        } else {
+            0.0
+        }
+    }
+
+    /// The finished per-cell report.
+    pub fn finish(&self) -> CellReport {
+        let mut stats = CellStats {
+            runs: self.runs,
+            converged: self.converged,
+            converged_unfairly: self.converged_unfairly,
+            stable_outcome: self.stable_outcome,
+            mean_steps: 0.0,
+            mean_messages: self.sum_messages,
+            mean_dropped: self.sum_dropped,
+        };
+        if stats.converged > 0 {
+            stats.mean_steps = self.steps_sum as f64 / stats.converged as f64;
+        }
+        if stats.runs > 0 {
+            stats.mean_messages /= stats.runs as f64;
+            stats.mean_dropped /= stats.runs as f64;
+        }
+        CellReport {
+            model: self.model,
+            stats,
+            steps_std: self.steps_std(),
+            wall: self.wall,
+            total_steps: self.total_steps,
+            total_sent: self.total_sent,
+            total_dropped: self.total_dropped,
+        }
+    }
+}
+
 /// Executes run `run` of one cell: a pure function of its arguments.
+///
+/// Builds a fresh [`RouteTable`] for the instance; grids amortize that cost
+/// across runs with [`run_one_with`].
 pub fn run_one(inst: &SppInstance, model: CommModel, cfg: &CellConfig, run: usize) -> RunRecord {
+    run_one_with(inst, &RouteTable::new(inst), model, cfg, run)
+}
+
+/// [`run_one`] against a prebuilt route table, shared (by reference) across
+/// every run and worker of a grid. The runner records no assignment trace —
+/// Monte-Carlo statistics never read it — which keeps the per-run
+/// allocation profile flat.
+pub fn run_one_with(
+    inst: &SppInstance,
+    table: &RouteTable,
+    model: CommModel,
+    cfg: &CellConfig,
+    run: usize,
+) -> RunRecord {
     let t0 = Instant::now();
-    let mut runner = Runner::new(inst);
+    let mut runner = Runner::with_table(inst, table).tracing(false);
     let mut sched =
         RandomFair::new(inst, model, run_seed(cfg.seed, run)).with_drop_prob(cfg.drop_prob);
     let report = drive_report(&mut runner, &mut sched, cfg.max_steps);
@@ -174,10 +307,15 @@ pub fn run_one(inst: &SppInstance, model: CommModel, cfg: &CellConfig, run: usiz
     rec
 }
 
-/// Runs one cell sequentially on the calling thread.
+/// Runs one cell sequentially on the calling thread, streaming each run
+/// into a [`CellAccum`] (no record retention).
 pub fn run_cell(inst: &SppInstance, model: CommModel, cfg: &CellConfig) -> CellStats {
-    let records: Vec<RunRecord> = (0..cfg.runs).map(|i| run_one(inst, model, cfg, i)).collect();
-    CellStats::from_records(&records)
+    let table = RouteTable::new(inst);
+    let mut acc = CellAccum::new(model);
+    for i in 0..cfg.runs {
+        acc.push(&run_one_with(inst, &table, model, cfg, i));
+    }
+    acc.finish().stats
 }
 
 /// One cell's statistics plus execution observability: wall-clock (summed
@@ -189,6 +327,10 @@ pub struct CellReport {
     pub model: CommModel,
     /// Deterministic aggregate statistics.
     pub stats: CellStats,
+    /// Sample standard deviation of steps-to-convergence over fairly
+    /// converged runs (Welford; 0 with fewer than two samples). Reported by
+    /// the large-topology family lane; the classic grid JSON ignores it.
+    pub steps_std: f64,
     /// Total time spent executing this cell's runs.
     pub wall: Duration,
     /// Steps executed across all runs.
@@ -207,17 +349,6 @@ impl CellReport {
             self.total_steps as f64 / secs
         } else {
             0.0
-        }
-    }
-
-    fn from_records(model: CommModel, records: &[RunRecord]) -> CellReport {
-        CellReport {
-            model,
-            stats: CellStats::from_records(records),
-            wall: records.iter().map(|r| r.wall).sum(),
-            total_steps: records.iter().map(|r| r.executed_steps).sum(),
-            total_sent: records.iter().map(|r| r.sent).sum(),
-            total_dropped: records.iter().map(|r| r.dropped).sum(),
         }
     }
 }
@@ -268,20 +399,26 @@ pub fn try_run_grid_with(
     let mut grid_span = routelab_obs::span("mc.grid");
     grid_span.field("models", models.len());
     grid_span.field("runs_per_cell", runs);
-    let records = pool::execute(jobs, pool_cfg.resolved_threads(), &|job| {
-        run_one(inst, models[job / runs], cfg, job % runs)
-    })
+    // One route table for the whole grid, shared by reference across every
+    // worker; records stream into per-cell accumulators in job order (cell-
+    // major, so each cell sees its runs in run order) and are never
+    // retained.
+    let table = RouteTable::new(inst);
+    let mut accums: Vec<CellAccum> = models.iter().map(|&m| CellAccum::new(m)).collect();
+    pool::execute_fold(
+        jobs,
+        pool_cfg.resolved_threads(),
+        &|job| run_one_with(inst, &table, models[job / runs], cfg, job % runs),
+        &mut accums,
+        &mut |accs, job, rec| accs[job / runs].push(&rec),
+    )
     .map_err(|p| GridError {
         model: models[p.job / runs],
         run: p.job % runs,
         seed: run_seed(cfg.seed, p.job % runs),
         panic: p.message,
     })?;
-    Ok(models
-        .iter()
-        .enumerate()
-        .map(|(c, &m)| CellReport::from_records(m, &records[c * runs..(c + 1) * runs]))
-        .collect())
+    Ok(accums.iter().map(|a| a.finish()).collect())
 }
 
 /// [`try_run_grid_with`] without the observability wrapper, panicking (with
@@ -326,6 +463,63 @@ pub fn run_grid_per_model_threads(
         }
     });
     out
+}
+
+/// The pinned Monte-Carlo workload shared by `exp-montecarlo` and the
+/// engine throughput bench (`exp-engine-bench`): instance families, model
+/// list, and cell configuration in one place, so the benchmark measures
+/// exactly the workload the experiment publishes and the two can never
+/// drift apart.
+pub mod pinned {
+    use super::CellConfig;
+    use routelab_core::model::CommModel;
+    use routelab_spp::generator::{gao_rexford_instance, random_instance, RandomSppConfig};
+    use routelab_spp::{gadgets, SppInstance};
+
+    /// Instance groups of the default grid, in report order.
+    pub fn instances() -> Vec<(String, SppInstance)> {
+        let mut v = vec![
+            ("DISAGREE".to_string(), gadgets::disagree()),
+            ("BAD-GADGET".to_string(), gadgets::bad_gadget()),
+            ("GOOD-GADGET".to_string(), gadgets::good_gadget()),
+            ("FIG6".to_string(), gadgets::fig6()),
+        ];
+        for n in [8, 16] {
+            let inst = gao_rexford_instance(n, 7, 6, 5).expect("generator");
+            v.push((format!("GAO-REXFORD n={n}"), inst));
+        }
+        let rnd = random_instance(&RandomSppConfig { nodes: 10, seed: 5, ..Default::default() })
+            .expect("generator");
+        v.push(("RANDOM n=10".to_string(), rnd));
+        v
+    }
+
+    /// The eight models of the published grid.
+    pub fn models() -> Vec<CommModel> {
+        ["R1O", "REO", "RMS", "UMS", "R1A", "RMA", "REA", "U1O"]
+            .iter()
+            .map(|s| s.parse().expect("model"))
+            .collect()
+    }
+
+    /// The pinned cell configuration with `runs` runs per cell.
+    pub fn config(runs: usize) -> CellConfig {
+        CellConfig { runs, max_steps: 30_000, seed: 42, drop_prob: 0.25 }
+    }
+
+    /// A Gao–Rexford family instance of `nodes` nodes — the large-topology
+    /// lane (`--family gao-rexford --nodes N`) and the bench's 10k-node
+    /// cell both use this construction.
+    pub fn family_instance(nodes: usize) -> SppInstance {
+        gao_rexford_instance(nodes, 7, 6, 5).expect("generator")
+    }
+
+    /// The family lane's step budget for an `n`-node instance: randomized
+    /// single-channel activation needs a coupon-collector factor over the
+    /// channel count times a few convergence waves.
+    pub fn family_max_steps(nodes: usize) -> usize {
+        (120 * nodes).max(30_000)
+    }
 }
 
 #[cfg(test)]
@@ -451,6 +645,97 @@ mod tests {
         let s = CellStats { runs: 10, converged: 7, ..CellStats::default() };
         assert!((s.convergence_rate() - 0.7).abs() < 1e-9);
         assert_eq!(CellStats::default().convergence_rate(), 0.0);
+    }
+
+    #[test]
+    fn streaming_accumulator_is_bit_identical_to_batch_fold() {
+        // The streaming CellAccum must replay CellStats::from_records'
+        // exact operation order: identical counters AND bit-identical f64
+        // means on the same record sequence.
+        let inst = gadgets::bad_gadget();
+        let table = routelab_spp::RouteTable::new(&inst);
+        for model in ["RMS", "UMS", "REA", "U1O"] {
+            let model: CommModel = model.parse().unwrap();
+            let records: Vec<RunRecord> = (0..quick().runs)
+                .map(|i| run_one_with(&inst, &table, model, &quick(), i))
+                .collect();
+            let batch = CellStats::from_records(&records);
+            let mut acc = CellAccum::new(model);
+            for r in &records {
+                acc.push(r);
+            }
+            let streamed = acc.finish();
+            assert_eq!(streamed.stats, batch, "{model}");
+            assert_eq!(streamed.stats.mean_steps.to_bits(), batch.mean_steps.to_bits());
+            assert_eq!(streamed.stats.mean_messages.to_bits(), batch.mean_messages.to_bits());
+            assert_eq!(streamed.stats.mean_dropped.to_bits(), batch.mean_dropped.to_bits());
+        }
+    }
+
+    #[test]
+    fn shared_table_runs_match_per_run_tables() {
+        let inst = gadgets::fig7();
+        let table = routelab_spp::RouteTable::new(&inst);
+        for model in ["R1O", "UMS"] {
+            let model: CommModel = model.parse().unwrap();
+            for run in 0..4 {
+                let a = run_one(&inst, model, &quick(), run);
+                let b = run_one_with(&inst, &table, model, &quick(), run);
+                assert_eq!(a.converged, b.converged);
+                assert_eq!(a.converged_unfairly, b.converged_unfairly);
+                assert_eq!(a.steps_to_convergence, b.steps_to_convergence);
+                assert_eq!(a.stable_outcome, b.stable_outcome);
+                assert_eq!(a.executed_steps, b.executed_steps);
+                assert_eq!(a.sent, b.sent);
+                assert_eq!(a.dropped, b.dropped);
+            }
+        }
+    }
+
+    #[test]
+    fn grid_reports_are_bit_identical_across_thread_counts() {
+        // The thread-count half of the differential suite: every statistic
+        // the JSON reports (other than wall clock) must be reproduced
+        // exactly at 1, 2, and 8 workers.
+        for inst in [gadgets::disagree(), gadgets::bad_gadget()] {
+            let models: Vec<CommModel> =
+                ["R1O", "RMS", "UMS", "REA"].iter().map(|s| s.parse().unwrap()).collect();
+            let base = try_run_grid_with(&inst, &models, &quick(), &PoolConfig::with_threads(1))
+                .expect("no panics");
+            for threads in [2, 8] {
+                let other =
+                    try_run_grid_with(&inst, &models, &quick(), &PoolConfig::with_threads(threads))
+                        .expect("no panics");
+                for (a, b) in base.iter().zip(&other) {
+                    assert_eq!(a.model, b.model, "threads={threads}");
+                    assert_eq!(a.stats, b.stats, "threads={threads} model={}", a.model);
+                    assert_eq!(a.steps_std.to_bits(), b.steps_std.to_bits());
+                    assert_eq!(a.total_steps, b.total_steps);
+                    assert_eq!(a.total_sent, b.total_sent);
+                    assert_eq!(a.total_dropped, b.total_dropped);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn steps_std_matches_two_pass_formula() {
+        let inst = gadgets::good_gadget();
+        let table = routelab_spp::RouteTable::new(&inst);
+        let model: CommModel = "RMS".parse().unwrap();
+        let records: Vec<RunRecord> =
+            (0..quick().runs).map(|i| run_one_with(&inst, &table, model, &quick(), i)).collect();
+        let mut acc = CellAccum::new(model);
+        for r in &records {
+            acc.push(r);
+        }
+        let steps: Vec<f64> =
+            records.iter().filter(|r| r.converged).map(|r| r.steps_to_convergence as f64).collect();
+        assert!(steps.len() >= 2, "good gadget always converges");
+        let mean = steps.iter().sum::<f64>() / steps.len() as f64;
+        let var = steps.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (steps.len() - 1) as f64;
+        assert!((acc.steps_std() - var.sqrt()).abs() < 1e-9 * (1.0 + var.sqrt()));
+        assert_eq!(CellAccum::new(model).steps_std(), 0.0);
     }
 
     #[test]

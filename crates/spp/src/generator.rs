@@ -220,6 +220,75 @@ pub fn gao_rexford_instance(
     max_path_len: usize,
     max_paths_per_node: usize,
 ) -> Result<SppInstance, SppError> {
+    let (g, tiers, rel) = gao_rexford_topology(n, seed);
+
+    let dest = NodeId(0);
+    let names: Vec<String> =
+        (0..n).map(|i| if i == 0 { "d".to_string() } else { format!("as{i}") }).collect();
+
+    // Every valley-free path to the top-tier destination is a pure "up"
+    // path: all of d's incident edges point up into d, and the
+    // `up* across? down*` grammar cannot resume climbing once it crosses or
+    // descends. Up edges strictly decrease (tier, index) — spanning edges
+    // go to an earlier node of weakly smaller tier, shortcuts to a strictly
+    // smaller tier — so up-paths form a DAG and are automatically simple.
+    // Prepending a node preserves (length, lex) order, so each node's k
+    // best paths extend only its up-neighbors' k best: the DP below is
+    // exact and costs O(edges × k) instead of the exponential DFS sweep.
+    let k = max_paths_per_node;
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by_key(|&i| (tiers[i], i));
+    let mut best: Vec<Vec<Path>> = vec![Vec::new(); n];
+    for &i in &order {
+        let v = NodeId(i as u32);
+        if v == dest {
+            best[i] = vec![Path::trivial(dest)];
+            continue;
+        }
+        let mut merged: Vec<Path> = Vec::new();
+        for &u in g.neighbors(v) {
+            if rel[&(v, u)] != Step::Up {
+                continue;
+            }
+            for p in &best[u.index()] {
+                if p.len() + 1 > max_path_len {
+                    continue;
+                }
+                merged.push(p.prepend(v).expect("up paths strictly descend"));
+            }
+        }
+        merged.sort_by(|a, b| a.len().cmp(&b.len()).then_with(|| a.cmp(b)));
+        merged.truncate(k);
+        debug_assert!(merged.iter().all(|p| is_valley_free(p, &rel)));
+        best[i] = merged;
+    }
+
+    let mut permitted = Vec::with_capacity(n);
+    for v in g.nodes() {
+        if v == dest {
+            permitted.push(vec![RankedPath { path: Path::trivial(dest), rank: 0 }]);
+            continue;
+        }
+        // All paths are provider-learned (pure up), so the old
+        // (relationship class, length, lex) ranking reduces to (length, lex).
+        let perms = best[v.index()]
+            .iter()
+            .cloned()
+            .enumerate()
+            .map(|(i, path)| RankedPath { path, rank: i as u32 + 1 })
+            .collect();
+        permitted.push(perms);
+    }
+    SppInstance::from_parts(g, dest, names, permitted)
+}
+
+/// The random tiered topology behind [`gao_rexford_instance`]: the graph,
+/// per-node tiers (0 = top; the destination, node 0, is tier 0), and the
+/// directed relationship map (`rel[(a, b)]` is `a`'s step toward `b`).
+fn gao_rexford_topology(
+    n: usize,
+    seed: u64,
+) -> (Graph, Vec<u32>, std::collections::HashMap<(NodeId, NodeId), Step>) {
     assert!(n >= 2, "need at least a destination and one other node");
     let mut rng = StdRng::seed_from_u64(seed);
     let mut g = Graph::new(n);
@@ -271,37 +340,7 @@ pub fn gao_rexford_instance(
         }
     }
 
-    let dest = NodeId(0);
-    let names: Vec<String> =
-        (0..n).map(|i| if i == 0 { "d".to_string() } else { format!("as{i}") }).collect();
-
-    let mut permitted = Vec::with_capacity(n);
-    for v in g.nodes() {
-        if v == dest {
-            permitted.push(vec![RankedPath { path: Path::trivial(dest), rank: 0 }]);
-            continue;
-        }
-        let mut paths = enumerate_simple_paths(&g, v, dest, max_path_len, 4096);
-        paths.retain(|p| is_valley_free(p, &rel));
-        // Rank: relationship class of the first step, then length, then lex.
-        paths.sort_by_key(|p| {
-            let first = rel[&(p.as_slice()[0], p.as_slice()[1])];
-            let class = match first {
-                Step::Down => 0u8, // customer-learned: most preferred
-                Step::Across => 1,
-                Step::Up => 2,
-            };
-            (class, p.len(), p.clone())
-        });
-        paths.truncate(max_paths_per_node);
-        let perms = paths
-            .into_iter()
-            .enumerate()
-            .map(|(i, path)| RankedPath { path, rank: i as u32 + 1 })
-            .collect();
-        permitted.push(perms);
-    }
-    SppInstance::from_parts(g, dest, names, permitted)
+    (g, tiers, rel)
 }
 
 /// A path (source first) is valley-free when its step sequence matches
@@ -384,6 +423,71 @@ mod tests {
             let inst = gao_rexford_instance(10, seed, 6, 5).unwrap();
             assert!(inst.validate().is_ok(), "seed {seed}");
             assert!(is_wheel_free(&inst), "seed {seed}");
+        }
+    }
+
+    /// The pre-k-best construction: enumerate all simple paths by DFS,
+    /// filter valley-free, rank by (relationship class, length, lex).
+    fn reference_gao_rexford(
+        n: usize,
+        seed: u64,
+        max_path_len: usize,
+        max_paths_per_node: usize,
+    ) -> SppInstance {
+        let (g, _tiers, rel) = gao_rexford_topology(n, seed);
+        let dest = NodeId(0);
+        let names: Vec<String> =
+            (0..n).map(|i| if i == 0 { "d".to_string() } else { format!("as{i}") }).collect();
+        let mut permitted = Vec::with_capacity(n);
+        for v in g.nodes() {
+            if v == dest {
+                permitted.push(vec![RankedPath { path: Path::trivial(dest), rank: 0 }]);
+                continue;
+            }
+            let mut paths = enumerate_simple_paths(&g, v, dest, max_path_len, usize::MAX);
+            paths.retain(|p| is_valley_free(p, &rel));
+            paths.sort_by_key(|p| {
+                let first = rel[&(p.as_slice()[0], p.as_slice()[1])];
+                let class = match first {
+                    Step::Down => 0u8,
+                    Step::Across => 1,
+                    Step::Up => 2,
+                };
+                (class, p.len(), p.clone())
+            });
+            paths.truncate(max_paths_per_node);
+            let perms = paths
+                .into_iter()
+                .enumerate()
+                .map(|(i, path)| RankedPath { path, rank: i as u32 + 1 })
+                .collect();
+            permitted.push(perms);
+        }
+        SppInstance::from_parts(g, dest, names, permitted).unwrap()
+    }
+
+    #[test]
+    fn k_best_construction_matches_exhaustive_dfs() {
+        for n in [2, 3, 5, 8, 12] {
+            for seed in 0..12 {
+                for (len, k) in [(6, 5), (4, 3), (8, 2)] {
+                    let fast = gao_rexford_instance(n, seed, len, k).unwrap();
+                    let slow = reference_gao_rexford(n, seed, len, k);
+                    assert_eq!(fast, slow, "n {n} seed {seed} len {len} k {k}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn gao_rexford_scales_to_thousands_of_nodes() {
+        // Random-attachment provider chains grow like ln(n), so give the
+        // length cap ample room for every node to keep at least one path.
+        let inst = gao_rexford_instance(2000, 11, 32, 4).unwrap();
+        assert!(inst.validate().is_ok());
+        // Every node reaches the destination via its spanning provider chain.
+        for v in inst.nodes() {
+            assert!(!inst.permitted(v).is_empty(), "node {v} has no path");
         }
     }
 

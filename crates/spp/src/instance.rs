@@ -46,6 +46,10 @@ pub struct SppInstance {
     names: Vec<String>,
     /// Per node, sorted by increasing rank (most preferred first).
     permitted: Vec<Vec<RankedPath>>,
+    /// Name → id (first occurrence wins for duplicate names).
+    by_name: HashMap<String, NodeId>,
+    /// Per node, path → position in the sorted `permitted` list.
+    rank_index: Vec<HashMap<Path, u32>>,
 }
 
 impl SppInstance {
@@ -85,7 +89,7 @@ impl SppInstance {
 
     /// Looks a node up by name.
     pub fn node_by_name(&self, name: &str) -> Option<NodeId> {
-        self.names.iter().position(|n| n == name).map(|i| NodeId(i as u32))
+        self.by_name.get(name).copied()
     }
 
     /// The permitted paths of `v`, most preferred first.
@@ -93,14 +97,21 @@ impl SppInstance {
         &self.permitted[v.index()]
     }
 
-    /// The rank `λ_v(p)`, or `None` if `p ∉ P_v`.
+    /// The rank `λ_v(p)`, or `None` if `p ∉ P_v` (one hash probe).
     pub fn rank(&self, v: NodeId, p: &Path) -> Option<u32> {
-        self.permitted[v.index()].iter().find(|rp| &rp.path == p).map(|rp| rp.rank)
+        let pos = *self.rank_index[v.index()].get(p)?;
+        Some(self.permitted[v.index()][pos as usize].rank)
     }
 
     /// `true` if `p` is permitted at `v`.
     pub fn is_permitted(&self, v: NodeId, p: &Path) -> bool {
-        self.rank(v, p).is_some()
+        self.rank_index[v.index()].contains_key(p)
+    }
+
+    /// The position of `p` in `v`'s preference order (0 = most preferred),
+    /// or `None` if `p ∉ P_v`.
+    pub fn preference_position(&self, v: NodeId, p: &Path) -> Option<u32> {
+        self.rank_index[v.index()].get(p).copied()
     }
 
     /// Extends a neighbor's route by `v` and returns the resulting candidate
@@ -250,7 +261,22 @@ impl SppInstance {
         for perms in &mut permitted {
             perms.sort_by(|a, b| a.rank.cmp(&b.rank).then_with(|| a.path.cmp(&b.path)));
         }
-        let inst = SppInstance { graph, dest, names, permitted };
+        let mut by_name = HashMap::with_capacity(names.len());
+        for (i, n) in names.iter().enumerate() {
+            // First occurrence wins, matching a front-to-back name scan.
+            by_name.entry(n.clone()).or_insert(NodeId(i as u32));
+        }
+        let rank_index = permitted
+            .iter()
+            .map(|perms| {
+                perms
+                    .iter()
+                    .enumerate()
+                    .map(|(pos, rp)| (rp.path.clone(), pos as u32))
+                    .collect::<HashMap<_, _>>()
+            })
+            .collect();
+        let inst = SppInstance { graph, dest, names, permitted, by_name, rank_index };
         inst.validate()?;
         Ok(inst)
     }

@@ -14,6 +14,8 @@
 //! * [`dispute`] — dispute-wheel detection and the dispute digraph,
 //! * [`generator`] — random instance generators (uniform random policies and
 //!   Gao–Rexford-style customer/peer/provider policies),
+//! * [`table`] — interned route tables ([`RouteTable`]) backing the engine's
+//!   allocation-free hot path,
 //! * [`format`] — a small text format for instances.
 //!
 //! # Example
@@ -39,9 +41,11 @@ pub mod graph;
 pub mod instance;
 pub mod path;
 pub mod solve;
+pub mod table;
 
 pub use automorphism::{automorphisms, Automorphism};
 pub use error::SppError;
 pub use graph::{Channel, Graph, NodeId};
 pub use instance::{RankedPath, SppBuilder, SppInstance};
 pub use path::{Path, Route};
+pub use table::{RouteId, RouteTable, NO_CANDIDATE};

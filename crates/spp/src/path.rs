@@ -37,9 +37,19 @@ impl Path {
         if nodes.is_empty() {
             return Err(SppError::EmptyPath);
         }
-        for (i, &v) in nodes.iter().enumerate() {
-            if nodes[i + 1..].contains(&v) {
-                return Err(SppError::PathNotSimple { repeated: v });
+        if nodes.len() <= 16 {
+            // Short paths: a scan over the seen prefix beats hashing.
+            for i in 1..nodes.len() {
+                if nodes[..i].contains(&nodes[i]) {
+                    return Err(SppError::PathNotSimple { repeated: nodes[i] });
+                }
+            }
+        } else {
+            let mut seen = std::collections::HashSet::with_capacity(nodes.len());
+            for &v in &nodes {
+                if !seen.insert(v) {
+                    return Err(SppError::PathNotSimple { repeated: v });
+                }
             }
         }
         Ok(Path { nodes })

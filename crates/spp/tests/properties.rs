@@ -8,7 +8,7 @@ use routelab_spp::generator::{
     shortest_path_instance, RandomSppConfig,
 };
 use routelab_spp::solve::{enumerate_stable_assignments, is_consistent, is_stable};
-use routelab_spp::{NodeId, Path, SppInstance};
+use routelab_spp::{NodeId, Path, Route, RouteId, RouteTable, SppInstance, NO_CANDIDATE};
 
 fn arb_instance() -> impl Strategy<Value = SppInstance> {
     (2usize..9, 0usize..6, 0u64..5_000).prop_map(|(nodes, extra, seed)| {
@@ -123,6 +123,86 @@ proptest! {
         let inst = gao_rexford_instance(n, seed, 6, 5).expect("valid instance");
         prop_assert!(inst.validate().is_ok());
         prop_assert!(find_dispute_wheel(&inst).is_none());
+    }
+
+    #[test]
+    fn route_table_intern_round_trips(inst in arb_instance()) {
+        let t = RouteTable::new(&inst);
+        prop_assert!(t.route(RouteId::EPSILON).is_epsilon());
+        let mut total = 1;
+        for v in inst.nodes() {
+            let perms = inst.permitted(v);
+            prop_assert_eq!(t.route_count(v), perms.len());
+            total += perms.len();
+            for (pos, rp) in perms.iter().enumerate() {
+                let id = t.route_id(v, pos as u32);
+                // Decode then re-intern is the identity.
+                prop_assert_eq!(t.route(id).as_path(), Some(&rp.path));
+                prop_assert_eq!(t.intern_path(&rp.path), Some(id));
+                prop_assert_eq!(t.intern_route(t.route(id)), Some(id));
+                // Array position is preference position.
+                prop_assert_eq!(inst.preference_position(v, &rp.path), Some(pos as u32));
+            }
+        }
+        prop_assert_eq!(t.len(), total);
+    }
+
+    #[test]
+    fn route_table_extension_agrees_with_naive_candidate(inst in arb_instance()) {
+        let t = RouteTable::new(&inst);
+        for (cid, ch) in inst.graph().channels().enumerate() {
+            let (u, v) = (ch.from, ch.to);
+            prop_assert_eq!(t.candidate_pos(cid, RouteId::EPSILON), NO_CANDIDATE);
+            for (pos, rp) in inst.permitted(u).iter().enumerate() {
+                let learned = Route::path(rp.path.clone());
+                let fast = t.candidate_pos(cid, t.route_id(u, pos as u32));
+                match inst.candidate(v, &learned) {
+                    None => prop_assert_eq!(fast, NO_CANDIDATE),
+                    Some((ext, rank)) => {
+                        prop_assert_eq!(t.route(t.decide(v, fast)).as_path(), Some(&ext));
+                        prop_assert_eq!(inst.rank(v, &ext), Some(rank));
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn route_table_min_position_matches_choose_best(
+        inst in arb_instance(),
+        picks in proptest::collection::vec(0usize..64, 16),
+    ) {
+        // Random learned-route configurations per node: the min over
+        // precomputed extension positions must reproduce choose_best.
+        let t = RouteTable::new(&inst);
+        let channels = inst.channels();
+        for v in inst.nodes() {
+            let ins: Vec<usize> = (0..channels.len()).filter(|&c| channels[c].to == v).collect();
+            let learned: Vec<RouteId> = ins
+                .iter()
+                .enumerate()
+                .map(|(k, &c)| {
+                    let u = channels[c].from;
+                    let n = t.route_count(u);
+                    // pick 0 = ε, 1..=n = u's routes by preference position.
+                    match picks[(k + c) % picks.len()] % (n + 1) {
+                        0 => RouteId::EPSILON,
+                        p => t.route_id(u, (p - 1) as u32),
+                    }
+                })
+                .collect();
+            let interned = if v == t.dest() {
+                t.dest_choice()
+            } else {
+                let mut best = NO_CANDIDATE;
+                for (k, &c) in ins.iter().enumerate() {
+                    best = best.min(t.candidate_pos(c, learned[k]));
+                }
+                t.decide(v, best)
+            };
+            let routes: Vec<Route> = learned.iter().map(|&id| t.route(id).clone()).collect();
+            prop_assert_eq!(t.route(interned), &inst.choose_best(v, routes.iter()));
+        }
     }
 
     #[test]

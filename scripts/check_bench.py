@@ -10,6 +10,15 @@ For `results/BENCH_explore.json` (the default), fails (exit 1) when:
   * any run was not bit-identical across thread counts;
   * the reduced and unreduced oscillation verdicts disagree.
 
+For `results/BENCH_engine.json` (`"bench": "engine"`), fails when the
+pinned Monte-Carlo grid's single-worker throughput drops below
+`min_speedup` times the `baseline_steps_per_sec` the JSON itself carries
+(the pre-interned-route engine's figure), or when any run of the
+10 000-node Gao-Rexford smoke cell failed to converge within its step
+budget. Both constants live in the bench source
+(crates/sim/src/bin/exp_engine_bench.rs); the baseline must only ever be
+raised.
+
 For `results/BENCH_obs_overhead.json` (`"bench": "obs_overhead"`), fails
 when the enabled telemetry sink costs more than OBS_OVERHEAD_MAX_PCT on the
 pool grid workload, or the flight recorder (obs + trace, the full
@@ -57,6 +66,38 @@ def check_obs_overhead(bench: dict) -> None:
     print("check_bench: OK")
 
 
+def check_engine(bench: dict) -> None:
+    for key in ("baseline_steps_per_sec", "min_speedup", "steps_per_sec", "tenk"):
+        if key not in bench:
+            fail(f"no {key} in the JSON (bench too old?)")
+    rate = bench["steps_per_sec"]
+    base = bench["baseline_steps_per_sec"]
+    want = bench["min_speedup"]
+    print(
+        f"check_bench: engine grid @1t: {rate:,.0f} steps/s "
+        f"({rate / base:.2f}x the {base:,.0f} steps/s baseline, gate {want:.1f}x)"
+    )
+    if rate < want * base:
+        fail(
+            f"engine throughput {rate:,.0f} steps/s is below the gate "
+            f"({want:.1f}x {base:,.0f} = {want * base:,.0f} steps/s)"
+        )
+    tenk = bench["tenk"]
+    for key in ("nodes", "runs", "converged", "max_steps", "steps_per_sec"):
+        if key not in tenk:
+            fail(f"no tenk.{key} in the JSON (bench too old?)")
+    print(
+        f"check_bench: tenk n={tenk['nodes']}: {tenk['converged']}/{tenk['runs']} "
+        f"converged, {tenk['steps_per_sec']:,.0f} steps/s"
+    )
+    if tenk["converged"] != tenk["runs"]:
+        fail(
+            f"10k-node cell: only {tenk['converged']}/{tenk['runs']} runs converged "
+            f"within {tenk['max_steps']} steps (Gao-Rexford is wheel-free; all must)"
+        )
+    print("check_bench: OK")
+
+
 def main() -> None:
     path = sys.argv[1] if len(sys.argv) > 1 else "results/BENCH_explore.json"
     with open(path) as f:
@@ -64,6 +105,10 @@ def main() -> None:
 
     if bench.get("bench") == "obs_overhead":
         check_obs_overhead(bench)
+        return
+
+    if bench.get("bench") == "engine":
+        check_engine(bench)
         return
 
     if not bench.get("bit_identical_across_thread_counts"):

@@ -159,7 +159,7 @@ fn cmd_realize(
     let mut runner = Runner::new(inst);
     let mut seq = Vec::with_capacity(steps);
     for _ in 0..steps {
-        let s = sched.next_step(runner.state()).expect("round robin is infinite");
+        let s = sched.next_step(&runner.state()).expect("round robin is infinite");
         runner.step(&s);
         seq.push(s);
     }

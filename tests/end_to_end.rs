@@ -49,8 +49,8 @@ fn serialization_round_trips_through_execution() {
         let mut s1 = RoundRobin::new(&inst, "RMS".parse().unwrap());
         let mut s2 = RoundRobin::new(&back, "RMS".parse().unwrap());
         for _ in 0..3 * inst.node_count() {
-            let step1 = s1.next_step(r1.state()).unwrap();
-            let step2 = s2.next_step(r2.state()).unwrap();
+            let step1 = s1.next_step(&r1.state()).unwrap();
+            let step2 = s2.next_step(&r2.state()).unwrap();
             assert_eq!(step1, step2, "{name}");
             r1.step(&step1);
             r2.step(&step2);
@@ -69,7 +69,7 @@ fn recorded_runs_replay_in_stronger_models() {
     let mut runner = Runner::new(&inst);
     let mut seq = Vec::new();
     for _ in 0..60 {
-        let s = sched.next_step(runner.state()).unwrap();
+        let s = sched.next_step(&runner.state()).unwrap();
         runner.step(&s);
         seq.push(s);
     }

@@ -56,7 +56,7 @@ proptest! {
         let mut sched = RandomFair::new(&inst, model, seed);
         let mut runner = Runner::new(&inst);
         for _ in 0..40 {
-            let step = sched.next_step(runner.state()).expect("infinite schedule");
+            let step = sched.next_step(&runner.state()).expect("infinite schedule");
             prop_assert!(check_step(model, inst.graph(), &step).is_ok());
             runner.step(&step);
             // Conservation: messages sent - consumed = in flight.
@@ -82,13 +82,13 @@ proptest! {
             if runner.state().is_quiescent() {
                 break;
             }
-            let step = sched.next_step(runner.state()).expect("infinite schedule");
+            let step = sched.next_step(&runner.state()).expect("infinite schedule");
             runner.step(&step);
         }
         if runner.state().is_quiescent() {
             let frozen = runner.state().assignment();
             for _ in 0..20 {
-                let step = sched.next_step(runner.state()).expect("infinite schedule");
+                let step = sched.next_step(&runner.state()).expect("infinite schedule");
                 runner.step(&step);
                 prop_assert_eq!(&runner.state().assignment(), &frozen);
             }
@@ -108,7 +108,7 @@ proptest! {
         let mut runner = Runner::new(&inst);
         let mut seq = Vec::new();
         for _ in 0..3 * inst.node_count() {
-            let s = sched.next_step(runner.state()).expect("infinite schedule");
+            let s = sched.next_step(&runner.state()).expect("infinite schedule");
             runner.step(&s);
             seq.push(s);
         }
@@ -127,7 +127,7 @@ proptest! {
         let mut sched = RoundRobin::new(&inst, model);
         let mut runner = Runner::new(&inst);
         for _ in 0..2 * inst.node_count() {
-            let s = sched.next_step(runner.state()).expect("infinite schedule");
+            let s = sched.next_step(&runner.state()).expect("infinite schedule");
             runner.step(&s);
         }
         let t = runner.trace().clone();
