@@ -27,8 +27,20 @@ pub enum TransformKind {
     Coalesce,
 }
 
+impl TransformKind {
+    /// Every constructive algorithm, in paper order.
+    pub const ALL: [TransformKind; 6] = [
+        TransformKind::Identity,
+        TransformKind::Pad,
+        TransformKind::Split,
+        TransformKind::Flag,
+        TransformKind::Elide,
+        TransformKind::Coalesce,
+    ];
+}
+
 /// A foundational positive edge with its transformation.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Edge {
     /// The realized (source) model.
     pub realized: CommModel,
@@ -141,53 +153,41 @@ pub fn apply_edge(
     }
 }
 
-/// Finds the strongest chain of foundational edges realizing `from` inside
+/// Applies a chain of edges in order, accumulating the weakest claimed
+/// strength and the conjunction of losslessness.
+///
+/// # Errors
+///
+/// Propagates [`TransformError`] from the underlying algorithms.
+pub fn apply_chain(
+    inst: &SppInstance,
+    seq: &ActivationSeq,
+    edges: &[Edge],
+) -> Result<TransformOutput, TransformError> {
+    let mut cur = TransformOutput { seq: seq.clone(), claimed: Strength::Exact, lossless: true };
+    for edge in edges {
+        let next = apply_edge(edge, inst, &cur.seq)?;
+        cur = TransformOutput {
+            seq: next.seq,
+            claimed: cur.claimed.min(next.claimed),
+            lossless: cur.lossless && next.lossless,
+        };
+    }
+    Ok(cur)
+}
+
+/// Finds the strongest chain of registered edges realizing `from` inside
 /// `to` (maximum bottleneck strength, then fewest edges), or `None` when no
-/// positive chain exists (e.g. realizing `R1O` inside `REA`).
+/// positive chain exists (e.g. realizing `R1O` inside `REA`). Thin wrapper
+/// over [`crate::plan::plan_route`] against the global registry.
 pub fn plan(from: CommModel, to: CommModel) -> Option<Vec<Edge>> {
-    if from == to {
-        return Some(Vec::new());
-    }
-    let edges = foundational_edges();
-    // Bellman-Ford over (bottleneck strength desc, path length asc).
-    let n = 24;
-    let mut best: Vec<Option<(u8, usize)>> = vec![None; n];
-    let mut pred: Vec<Option<Edge>> = vec![None; n];
-    best[from.index()] = Some((4, 0));
-    for _ in 0..n {
-        let mut changed = false;
-        for e in &edges {
-            let Some((b, l)) = best[e.realized.index()] else { continue };
-            let cand = (b.min(e.strength.level()), l + 1);
-            let better = match best[e.realizer.index()] {
-                None => true,
-                Some((ob, ol)) => cand.0 > ob || (cand.0 == ob && cand.1 < ol),
-            };
-            if better {
-                best[e.realizer.index()] = Some(cand);
-                pred[e.realizer.index()] = Some(*e);
-                changed = true;
-            }
-        }
-        if !changed {
-            break;
-        }
-    }
-    best[to.index()]?;
-    // Reconstruct.
-    let mut path = Vec::new();
-    let mut cur = to;
-    while cur != from {
-        let e = pred[cur.index()].expect("predecessor exists on reachable node");
-        path.push(e);
-        cur = e.realized;
-    }
-    path.reverse();
-    Some(path)
+    crate::plan::plan_route(crate::registry::Registry::global(), from, to)
+        .ok()
+        .map(|route| route.edges())
 }
 
 /// Realizes `seq` (legal in `from`) inside `to` along the strongest
-/// foundational chain. Returns `None` when no positive chain exists.
+/// registered chain. Returns `None` when no positive chain exists.
 ///
 /// # Errors
 ///
@@ -199,16 +199,7 @@ pub fn realize(
     to: CommModel,
 ) -> Result<Option<TransformOutput>, TransformError> {
     let Some(path) = plan(from, to) else { return Ok(None) };
-    let mut cur = TransformOutput { seq: seq.clone(), claimed: Strength::Exact, lossless: true };
-    for edge in &path {
-        let next = apply_edge(edge, inst, &cur.seq)?;
-        cur = TransformOutput {
-            seq: next.seq,
-            claimed: cur.claimed.min(next.claimed),
-            lossless: cur.lossless && next.lossless,
-        };
-    }
-    Ok(Some(cur))
+    apply_chain(inst, seq, &path).map(Some)
 }
 
 #[cfg(test)]

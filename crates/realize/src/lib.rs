@@ -22,6 +22,12 @@
 //! sequence is legal in the target model and that the claimed trace relation
 //! (Definition 3.2) actually holds.
 //!
+//! [`registry`] names every transform, gadget generator, and check under a
+//! stable, versioned string identity, and [`plan`] builds two façades on
+//! top: a realization-lattice planner ([`plan::plan_route`] /
+//! [`plan::verify_route`]) and the composable `|`-separated pipeline
+//! language behind `routelab pipeline`.
+//!
 //! # Example
 //!
 //! ```
@@ -42,9 +48,13 @@
 //! ```
 
 pub mod compose;
+pub mod plan;
+pub mod registry;
 pub mod transform;
 pub mod verify;
 
-pub use compose::{plan, realize, Edge, TransformKind};
+pub use compose::{apply_chain, realize, Edge, TransformKind};
+pub use plan::{plan_route, run_pipeline, NoRoute, PipelineError, Route};
+pub use registry::{Registry, RegistryError};
 pub use transform::{TransformError, TransformOutput};
 pub use verify::{verify_edge, Report};

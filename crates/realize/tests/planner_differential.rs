@@ -1,0 +1,125 @@
+//! Differential suite for the realization-lattice planner: every ordered
+//! pair of the 24 communication models is decided, every route the planner
+//! claims is validated end to end by `realize::verify` semantics on the full
+//! gadget library, and every `NoRoute` verdict is closure-sound.
+
+use routelab_core::closure::derive_bounds;
+use routelab_core::edges::foundational_facts;
+use routelab_core::model::CommModel;
+use routelab_realize::plan::{fair_prefix, plan_route, verify_route};
+use routelab_realize::registry::Registry;
+use routelab_spp::gadgets;
+
+#[test]
+fn planner_decides_all_576_ordered_pairs() {
+    let reg = Registry::global();
+    let mut reachable = 0;
+    let mut unreachable = 0;
+    for from in CommModel::all() {
+        for to in CommModel::all() {
+            match plan_route(reg, from, to) {
+                Ok(route) => {
+                    assert_eq!(route.from, from);
+                    assert_eq!(route.to, to);
+                    // The route is a contiguous chain through the lattice.
+                    let mut cur = from;
+                    for step in &route.steps {
+                        assert_eq!(step.edge.realized, cur, "{route}");
+                        cur = step.edge.realizer;
+                    }
+                    assert_eq!(cur, to, "{route}");
+                    reachable += 1;
+                }
+                Err(e) => {
+                    assert_eq!((e.from, e.to), (from, to));
+                    unreachable += 1;
+                }
+            }
+        }
+    }
+    assert_eq!(reachable + unreachable, 576);
+    // The 24 trivial pairs are reachable; plenty of real routes exist too.
+    assert!(reachable > 24, "only {reachable} reachable pairs");
+    assert!(unreachable > 0, "Thm 3.8 pairs must be unreachable");
+}
+
+#[test]
+fn every_reachable_route_verifies_on_the_full_gadget_library() {
+    let reg = Registry::global();
+    let corpus = gadgets::corpus();
+    let mut verified = 0;
+    for from in CommModel::all() {
+        for to in CommModel::all() {
+            let Ok(route) = plan_route(reg, from, to) else { continue };
+            for (name, inst) in &corpus {
+                let seq = fair_prefix(inst, from, 3 * inst.node_count());
+                let report = verify_route(inst, &seq, &route)
+                    .unwrap_or_else(|e| panic!("{name}: {route}: {e}"));
+                assert!(report.holds(), "{name}: {route}: {report}");
+                assert_eq!(report.claimed, route.bottleneck(), "{name}: {route}");
+                verified += 1;
+            }
+        }
+    }
+    // Every reachable ordered pair times every corpus gadget was verified.
+    assert!(verified >= 24 * corpus.len(), "only {verified} verifications ran");
+}
+
+#[test]
+fn unreachable_pairs_have_no_single_registered_edge() {
+    // Closure soundness of NoRoute: if no composite chain exists, then in
+    // particular no single registered transform may bridge the pair.
+    let reg = Registry::global();
+    for from in CommModel::all() {
+        for to in CommModel::all() {
+            if plan_route(reg, from, to).is_ok() {
+                continue;
+            }
+            for (name, edge) in reg.transform_arcs() {
+                assert!(
+                    !(edge.realized == from && edge.realizer == to),
+                    "{from} -> {to}: NoRoute, but `{name}` bridges it directly"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn planner_reachability_and_bottlenecks_match_the_positive_closure() {
+    // The planner must agree exactly with the derived closure of the
+    // paper's foundational facts: reachable iff lower bound > 0, and the
+    // route's bottleneck strength equals the lower bound.
+    let reg = Registry::global();
+    let bounds = derive_bounds(&foundational_facts());
+    for from in CommModel::all() {
+        for to in CommModel::all() {
+            if from == to {
+                continue;
+            }
+            let lower = bounds.get(from, to).lower;
+            match plan_route(reg, from, to) {
+                Ok(route) => {
+                    assert_eq!(
+                        route.bottleneck().level(),
+                        lower,
+                        "{from} -> {to}: planner bottleneck vs closure lower bound"
+                    );
+                }
+                Err(_) => assert_eq!(lower, 0, "{from} -> {to}: closure reachable, planner not"),
+            }
+        }
+    }
+}
+
+#[test]
+fn compose_plan_facade_agrees_with_the_planner() {
+    let reg = Registry::global();
+    for from in CommModel::all() {
+        for to in CommModel::all() {
+            let via_compose = routelab_realize::compose::plan(from, to);
+            let via_planner = plan_route(reg, from, to).ok().map(|r| r.edges());
+            assert_eq!(via_compose, via_planner, "{from} -> {to}");
+        }
+    }
+}

@@ -1,66 +1,56 @@
 //! Experiment E10: mechanically verify every foundational positive result
 //! (Props 3.3, 3.4, Thm 3.5, Prop 3.6, Thm 3.7) on fair runs over the gadget
 //! corpus, plus composed realizations for notable model pairs.
+//!
+//! The edge table is not hardcoded here: it is drawn from the
+//! named-transformation registry (`routelab_realize::registry`), so this
+//! binary can never drift from the transforms the library actually exposes.
 
 use routelab_core::model::CommModel;
-use routelab_engine::runner::Runner;
-use routelab_engine::schedule::{RoundRobin, Scheduler};
-use routelab_realize::compose::foundational_edges;
+use routelab_realize::plan::fair_prefix;
+use routelab_realize::registry::Registry;
 use routelab_realize::verify::{verify_edge, verify_path};
 use routelab_sim::cli;
 use routelab_sim::table::Table;
 use routelab_spp::gadgets;
 
-fn rr_prefix(
-    inst: &routelab_spp::SppInstance,
-    model: CommModel,
-    steps: usize,
-) -> Vec<routelab_core::step::ActivationStep> {
-    let mut sched = RoundRobin::new(inst, model);
-    let mut runner = Runner::new(inst);
-    let mut seq = Vec::with_capacity(steps);
-    for _ in 0..steps {
-        let s = sched.next_step(&runner.state()).expect("infinite schedule");
-        runner.step(&s);
-        seq.push(s);
-    }
-    seq
-}
-
 fn main() {
     let opts = cli::parse_common("exp-transform");
     let corpus = gadgets::corpus();
+    let reg = Registry::global();
     let mut ok = true;
 
-    println!("Foundational transformations on round-robin runs (4n steps per gadget):\n");
+    println!("Registered transformations on round-robin runs (4n steps per gadget):\n");
     let mut table =
-        Table::new(vec!["edge".into(), "kind".into(), "claimed".into(), "gadgets verified".into()]);
-    for edge in foundational_edges() {
-        let mut passed = 0;
-        for (name, inst) in &corpus {
-            let seq = rr_prefix(inst, edge.realized, 4 * inst.node_count());
-            match verify_edge(inst, &seq, edge.kind, edge.realized, edge.realizer) {
-                Ok(report) if report.holds() => passed += 1,
-                Ok(report) => {
-                    println!("FAIL {name}: {report}");
-                    ok = false;
-                }
-                Err(e) => {
-                    println!("ERROR {name}: {e}");
-                    ok = false;
+        Table::new(vec!["edge".into(), "via".into(), "claimed".into(), "gadgets verified".into()]);
+    for entry in reg.transforms() {
+        for edge in entry.edges() {
+            let mut passed = 0;
+            for (name, inst) in &corpus {
+                let seq = fair_prefix(inst, edge.realized, 4 * inst.node_count());
+                match verify_edge(inst, &seq, edge.kind, edge.realized, edge.realizer) {
+                    Ok(report) if report.holds() => passed += 1,
+                    Ok(report) => {
+                        println!("FAIL {name}: {report}");
+                        ok = false;
+                    }
+                    Err(e) => {
+                        println!("ERROR {name}: {e}");
+                        ok = false;
+                    }
                 }
             }
+            table.row(vec![
+                format!("{} <= {}", edge.realized, edge.realizer),
+                entry.meta.cache_key(),
+                edge.strength.to_string(),
+                format!("{passed}/{}", corpus.len()),
+            ]);
         }
-        table.row(vec![
-            format!("{} <= {}", edge.realized, edge.realizer),
-            format!("{:?}", edge.kind),
-            edge.strength.to_string(),
-            format!("{passed}/{}", corpus.len()),
-        ]);
     }
     println!("{table}");
 
-    println!("Composed realizations (strongest foundational chains):\n");
+    println!("Composed realizations (strongest registered chains):\n");
     let mut table =
         Table::new(vec!["pair".into(), "claimed".into(), "achieved".into(), "steps".into()]);
     let pairs = [
@@ -75,7 +65,7 @@ fn main() {
     for (from, to) in pairs {
         let from: CommModel = from.parse().expect("model");
         let to: CommModel = to.parse().expect("model");
-        let seq = rr_prefix(&inst, from, 3 * inst.node_count());
+        let seq = fair_prefix(&inst, from, 3 * inst.node_count());
         match verify_path(&inst, &seq, from, to) {
             Ok(Some(report)) => {
                 ok &= report.holds();

@@ -10,6 +10,8 @@
 //!   models and instance families (the E11 extension experiment),
 //! * [`pool`] — the deterministic run-level worker pool executing those
 //!   statistics (bit-identical results for every worker count),
+//! * [`pipeline`] — byte-stable rendering for the registry-backed CLI
+//!   surface (`routelab transforms list` / `pipeline` / `plan`),
 //! * [`report`] — machine-readable JSON reports (`results/*.json`) layered
 //!   over the text tables,
 //! * [`cli`] — the shared `--threads`/`--quiet`/`--obs`/`--trace` flag
@@ -39,6 +41,7 @@ pub mod cli;
 pub mod examples;
 pub mod flight;
 pub mod montecarlo;
+pub mod pipeline;
 pub mod pool;
 pub mod report;
 pub mod survey;

@@ -1,0 +1,202 @@
+//! Deterministic text rendering for the registry-backed CLI surface:
+//! `routelab transforms list`, `routelab pipeline "…"`, and
+//! `routelab plan <from> <to>`.
+//!
+//! Everything here is byte-stable (no timings, no absolute paths) so the
+//! golden snapshot tests and the CI smoke job can diff CLI output exactly.
+
+use routelab_core::model::CommModel;
+use routelab_realize::plan::{
+    fair_prefix, plan_route, run_pipeline, verify_route, NoRoute, PipelineError, StageOutcome,
+};
+use routelab_realize::registry::Registry;
+use routelab_spp::SppInstance;
+
+use crate::table::Table;
+
+/// Renders the full registry listing: one table per entry kind, with each
+/// entry's versioned cache key, model constraints, dispatch target, and
+/// description.
+pub fn render_transforms_list(reg: &Registry) -> String {
+    let mut out = String::new();
+    let mut table = Table::new(vec![
+        "name".into(),
+        "in".into(),
+        "out".into(),
+        "strength".into(),
+        "impl".into(),
+        "description".into(),
+    ]);
+    for t in reg.transforms() {
+        table.row(vec![
+            t.meta.cache_key(),
+            t.meta.input.to_string(),
+            t.meta.output.to_string(),
+            t.strength().to_string(),
+            t.meta.impl_path.to_string(),
+            t.meta.description.to_string(),
+        ]);
+    }
+    out.push_str(&format!("transforms ({}):\n{table}\n", reg.transforms().len()));
+
+    let mut table =
+        Table::new(vec!["name".into(), "arguments".into(), "impl".into(), "description".into()]);
+    for g in reg.generators() {
+        table.row(vec![
+            g.meta.cache_key(),
+            g.meta.input.to_string(),
+            g.meta.impl_path.to_string(),
+            g.meta.description.to_string(),
+        ]);
+    }
+    out.push_str(&format!("generators ({}):\n{table}\n", reg.generators().len()));
+
+    let mut table = Table::new(vec!["name".into(), "impl".into(), "description".into()]);
+    for c in reg.checks() {
+        table.row(vec![
+            c.meta.cache_key(),
+            c.meta.impl_path.to_string(),
+            c.meta.description.to_string(),
+        ]);
+    }
+    out.push_str(&format!("checks ({}):\n{table}", reg.checks().len()));
+    out
+}
+
+/// Parses, type-checks, executes, and renders a pipeline: one summary row
+/// per stage, then a verdict line.
+///
+/// # Errors
+///
+/// Returns the typed [`PipelineError`] (which names the offending stage)
+/// when the pipeline fails to parse, type-check, or execute.
+pub fn render_pipeline(reg: &Registry, spec: &str) -> Result<String, PipelineError> {
+    let run = run_pipeline(reg, spec)?;
+    let mut out = format!("pipeline: {spec}\n\n");
+    let mut table = Table::new(vec!["stage".into(), "op".into(), "summary".into()]);
+    for (i, outcome) in run.outcomes.iter().enumerate() {
+        let (op, summary) = match outcome {
+            StageOutcome::Source { label, nodes, model, inferred, steps } => (
+                label.clone(),
+                format!(
+                    "{nodes}-node instance; {steps}-step round-robin source run in {model}{}",
+                    if *inferred { " (inferred)" } else { "" }
+                ),
+            ),
+            StageOutcome::Pin { model } => (model.to_string(), "model pin holds".into()),
+            StageOutcome::Transform { name, edge, steps_in, steps_out, claimed, lossless } => (
+                (*name).to_string(),
+                format!(
+                    "{} -> {} ({}); {steps_in} -> {steps_out} steps; chain claims {claimed}{}",
+                    edge.realized,
+                    edge.realizer,
+                    edge.strength,
+                    if *lossless { "" } else { ", lossy" }
+                ),
+            ),
+            StageOutcome::Check { name, report } => (
+                (*name).to_string(),
+                format!(
+                    "claimed {}, achieved {:?}, target {}: {}",
+                    report.claimed,
+                    report.achieved,
+                    if report.target_legal { "legal" } else { "ILLEGAL" },
+                    if report.holds() { "HOLDS" } else { "FAILS" }
+                ),
+            ),
+        };
+        table.row(vec![(i + 1).to_string(), op, summary]);
+    }
+    out.push_str(&table.to_string());
+    out.push_str(&format!(
+        "\nresult: {} — realized {} inside {} ({} -> {} steps)\n",
+        if run.ok { "OK" } else { "FAILED" },
+        run.start,
+        run.end,
+        run.source.len(),
+        run.seq.len()
+    ));
+    Ok(out)
+}
+
+/// Plans a composite transform route between two models, validates it end
+/// to end on a fair run of `inst`, and renders both.
+///
+/// # Errors
+///
+/// Returns the typed [`NoRoute`] when the realization lattice has no
+/// positive chain between the models.
+pub fn render_plan(
+    reg: &Registry,
+    inst: &SppInstance,
+    inst_name: &str,
+    from: CommModel,
+    to: CommModel,
+) -> Result<String, NoRoute> {
+    let route = plan_route(reg, from, to)?;
+    let mut out = format!("route: {route}\n");
+    out.push_str(&format!(
+        "stages: {}, bottleneck strength: {}\n",
+        route.steps.len(),
+        route.bottleneck()
+    ));
+    let steps = 3 * inst.node_count();
+    let seq = fair_prefix(inst, from, steps);
+    match verify_route(inst, &seq, &route) {
+        Ok(report) => out.push_str(&format!(
+            "verified on {inst_name} ({steps}-step fair run): {} — {report}\n",
+            if report.holds() { "HOLDS" } else { "FAILS" }
+        )),
+        Err(e) => out.push_str(&format!("verification ERROR on {inst_name}: {e}\n")),
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transforms_list_is_deterministic_and_complete() {
+        let reg = Registry::global();
+        let a = render_transforms_list(reg);
+        let b = render_transforms_list(reg);
+        assert_eq!(a, b);
+        for t in reg.transforms() {
+            assert!(a.contains(&t.meta.cache_key()), "missing {}", t.meta.name);
+        }
+        for g in reg.generators() {
+            assert!(a.contains(&g.meta.cache_key()), "missing {}", g.meta.name);
+        }
+        for c in reg.checks() {
+            assert!(a.contains(&c.meta.cache_key()), "missing {}", c.meta.name);
+        }
+    }
+
+    #[test]
+    fn pipeline_rendering_carries_stage_rows_and_verdict() {
+        let out = render_pipeline(Registry::global(), "fig6 | split | pad | verify").unwrap();
+        assert!(out.contains("result: OK"), "{out}");
+        assert!(out.contains("split"), "{out}");
+        assert!(out.contains("HOLDS"), "{out}");
+    }
+
+    #[test]
+    fn pipeline_errors_are_returned_typed() {
+        let err = render_pipeline(Registry::global(), "fig6 | nonsense").unwrap_err();
+        assert!(matches!(err, PipelineError::Unknown { stage: 1, .. }), "{err:?}");
+    }
+
+    #[test]
+    fn plan_rendering_verifies_the_route() {
+        let inst = routelab_spp::gadgets::fig6();
+        let reg = Registry::global();
+        let from: CommModel = "REA".parse().unwrap();
+        let to: CommModel = "UMS".parse().unwrap();
+        let out = render_plan(reg, &inst, "FIG6", from, to).unwrap();
+        assert!(out.contains("HOLDS"), "{out}");
+        assert!(out.contains("bottleneck strength: exact"), "{out}");
+        let err = render_plan(reg, &inst, "FIG6", to, from).unwrap_err();
+        assert_eq!(err, NoRoute { from: to, to: from });
+    }
+}

@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Registry-coverage gate: every public realization transform and gadget
+generator must have a registry entry, and every registry entry must
+dispatch to a function that still exists.
+
+The registry prints each entry's dispatch target in the `impl` column of
+`routelab transforms list` (e.g. `transform::pad_m_to_e`). This script
+greps the `pub fn` surface of `crates/realize/src/transform.rs` and
+`crates/spp/src/gadgets.rs` and demands an exact two-way match, so a
+transform or generator added without a registry entry (or an entry whose
+algorithm was renamed away) fails CI.
+
+Usage: check_registry.py <transforms-list.txt> [repo-root]
+"""
+
+import re
+import sys
+from pathlib import Path
+
+# Public functions that are deliberately not pipeline stages.
+EXCLUDED = {
+    "gadgets::corpus",  # the library index, not a generator
+}
+
+SOURCES = {
+    "transform": "crates/realize/src/transform.rs",
+    "gadgets": "crates/spp/src/gadgets.rs",
+}
+
+
+def public_fns(root: Path) -> set[str]:
+    fns = set()
+    for module, rel in SOURCES.items():
+        text = (root / rel).read_text()
+        for name in re.findall(r"^pub fn (\w+)", text, flags=re.M):
+            fns.add(f"{module}::{name}")
+    return fns - EXCLUDED
+
+
+def registered_impls(listing: str) -> set[str]:
+    # The impl column entries are the only `module::function` tokens in the
+    # listing output.
+    return set(re.findall(r"\b(?:transform|gadgets|verify)::\w+", listing))
+
+
+def main() -> int:
+    if len(sys.argv) < 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    listing = Path(sys.argv[1]).read_text()
+    root = Path(sys.argv[2]) if len(sys.argv) > 2 else Path(__file__).resolve().parent.parent
+
+    want = public_fns(root)
+    have = {impl for impl in registered_impls(listing) if not impl.startswith("verify::")}
+
+    missing = sorted(want - have)
+    stale = sorted(have - want)
+    if missing:
+        print(f"NOT REGISTERED (add registry entries): {missing}", file=sys.stderr)
+    if stale:
+        print(f"STALE REGISTRY ENTRIES (no such function): {stale}", file=sys.stderr)
+    if missing or stale:
+        return 1
+    print(f"registry coverage OK: {len(want)} transforms/generators all registered")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -8,6 +8,9 @@
 //! routelab solve    <instance>
 //! routelab check    <instance> <model> [--witness]
 //! routelab realize  <instance> <from-model> <to-model> [steps]
+//! routelab plan     <from-model> <to-model> [instance]
+//! routelab pipeline "<source> | <stage> | …"
+//! routelab transforms list
 //! routelab simulate <instance> <model> [runs] [--threads N]
 //! routelab fig3 | fig4
 //! routelab obs summarize <telemetry-dir> [--json]
@@ -28,6 +31,15 @@
 //! `<instance>` is either a gadget name (`DISAGREE`, `FIG6`, `FIG7`, `FIG8`,
 //! `FIG9`, `BAD-GADGET`, `GOOD-GADGET`, `LINE2`) or a path to an `spp v1`
 //! text file (see `routelab::spp::format`).
+//!
+//! `pipeline` and `plan` resolve names against the registry in
+//! `routelab::realize::registry` (`transforms list` prints it): a pipeline
+//! is a `|`-separated chain — a generator first (`fig6`, `wheel 5`), then
+//! transforms (`split`, `pad`, `embed UMS`), model pins (`RMS`), and checks
+//! (`verify`) — type-checked for model compatibility before anything runs.
+//! `plan` searches the realization lattice for the strongest composite
+//! transform route between two models and validates it end to end on a fair
+//! run before printing it.
 
 use std::process::ExitCode;
 
@@ -171,6 +183,46 @@ fn cmd_realize(
         None => println!("no realization chain exists from {from} into {to}"),
     }
     Ok(())
+}
+
+fn cmd_plan(args: &[String]) -> Result<(), String> {
+    let usage = "usage: routelab plan <from-model> <to-model> [instance]";
+    let from = parse_model(args.first().ok_or(usage)?)?;
+    let to = parse_model(args.get(1).ok_or(usage)?)?;
+    let spec = args.get(2).map(String::as_str).unwrap_or("FIG6");
+    let inst = load_instance(spec)?;
+    let reg = routelab::realize::Registry::global();
+    let out = routelab::sim::pipeline::render_plan(reg, &inst, spec, from, to)
+        .map_err(|e| e.to_string())?;
+    print!("{out}");
+    Ok(())
+}
+
+fn cmd_pipeline(args: &[String]) -> Result<(), String> {
+    let usage = "usage: routelab pipeline \"<source> | <stage> | …\"\n\
+                 \u{20}  e.g. routelab pipeline \"fig6 | split | pad | verify\"";
+    let spec = match args {
+        [one] => one.clone(),
+        [] => return Err(usage.into()),
+        // Allow an unquoted pipeline: rejoin the shell-split words.
+        many => many.join(" "),
+    };
+    let reg = routelab::realize::Registry::global();
+    let out = routelab::sim::pipeline::render_pipeline(reg, &spec).map_err(|e| e.to_string())?;
+    print!("{out}");
+    Ok(())
+}
+
+fn cmd_transforms(args: &[String]) -> Result<(), String> {
+    let usage = "usage: routelab transforms list";
+    match args.first().map(String::as_str) {
+        Some("list") => {
+            let reg = routelab::realize::Registry::global();
+            print!("{}", routelab::sim::pipeline::render_transforms_list(reg));
+            Ok(())
+        }
+        _ => Err(usage.into()),
+    }
 }
 
 fn cmd_simulate(
@@ -392,8 +444,8 @@ fn cmd_trace_export(path: &str, out: Option<&str>) -> Result<(), String> {
 
 fn run(opts: &CommonOpts) -> Result<(), String> {
     let args = &opts.rest;
-    let usage =
-        "usage: routelab <models|audit|solve|check|realize|simulate|fig3|fig4|obs|trace> …\n\
+    let usage = "usage: routelab <models|audit|solve|check|realize|plan|pipeline|transforms|\
+         simulate|fig3|fig4|obs|trace> …\n\
          run `routelab help` for details";
     match args.first().map(String::as_str) {
         Some("models") => cmd_models(),
@@ -418,6 +470,9 @@ fn run(opts: &CommonOpts) -> Result<(), String> {
             let steps = args.get(4).and_then(|s| s.parse().ok()).unwrap_or(24);
             cmd_realize(&inst, from, to, steps)?;
         }
+        Some("plan") => cmd_plan(&args[1..])?,
+        Some("pipeline") => cmd_pipeline(&args[1..])?,
+        Some("transforms") => cmd_transforms(&args[1..])?,
         Some("simulate") => {
             // `--threads N` is stripped into `opts.pool` by the common parser.
             let inst = load_instance(args.get(1).ok_or(usage)?)?;
@@ -434,6 +489,9 @@ fn run(opts: &CommonOpts) -> Result<(), String> {
             println!("\ninstances: DISAGREE FIG6 FIG7 FIG8 FIG9 BAD-GADGET GOOD-GADGET LINE2");
             println!("           or a path to an `spp v1` file");
             println!("models:    [RU][1ME][OSFA], e.g. RMS, R1O, REA");
+            println!("pipelines: `routelab pipeline \"fig6 | split | pad | verify\"` chains");
+            println!("           registry stages; `routelab transforms list` names them;");
+            println!("           `routelab plan REA UMS` finds and verifies a composite route");
             println!("telemetry: add --obs (or ROUTELAB_OBS=1) to any subcommand, then");
             println!("           `routelab obs summarize results/telemetry` to aggregate");
             println!("tracing:   `routelab trace record FIG6 REO` captures a divergent run,");
